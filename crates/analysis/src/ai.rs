@@ -1,0 +1,154 @@
+//! Arithmetic intensity of the N:M block computation — paper Eq. (3).
+//!
+//! For a shared-memory block `Cs[ms][ns] = As[ms][ks] ⊛ (Bs[ws][ns], Ds)`:
+//!
+//! ```text
+//! AI = 2·ms·ns·ws / (ms·ks + ws·ns + 2·ms·ns)        (elements, Eq. 3)
+//! ```
+//!
+//! The denominator counts `f32` *elements* moved (`As` + `Bs` + `C`
+//! read/write); dividing by 4 gives FLOPs per byte for roofline use. With
+//! `ws = ks·(1 − sparsity)` the numerator shrinks with sparsity while the
+//! `ms·ks` term does not — the mechanism behind the compute→memory bound
+//! transition. The packing path replaces `ks` with the packed footprint
+//! `ks·ρ` (`ρ` = packing ratio), recovering intensity at high sparsity.
+
+use serde::{Deserialize, Serialize};
+
+/// Block-level arithmetic-intensity calculator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BlockAi {
+    /// Block rows of `C` (`ms`).
+    pub ms: usize,
+    /// Block columns of `C` (`ns`).
+    pub ns: usize,
+    /// Dense k-depth of the block (`ks`).
+    pub ks: usize,
+    /// Compressed k-depth (`ws = ks·N/M`).
+    pub ws: usize,
+}
+
+impl BlockAi {
+    /// Paper Eq. (3) verbatim: FLOPs per `f32` element moved.
+    pub fn elements(&self) -> f64 {
+        self.with_a_footprint(self.ks)
+    }
+
+    /// Eq. (3) with the `As` footprint replaced by the packed footprint
+    /// `a_elems` (= `ks·ρ` for packing ratio `ρ`).
+    pub fn with_a_footprint(&self, a_elems: usize) -> f64 {
+        let num = 2.0 * (self.ms * self.ns * self.ws) as f64;
+        let den = (self.ms * a_elems + self.ws * self.ns + 2 * self.ms * self.ns) as f64;
+        num / den
+    }
+
+    /// FLOPs per **byte** (Eq. 3 divided by `sizeof(f32)`).
+    pub fn flops_per_byte(&self) -> f64 {
+        self.elements() / 4.0
+    }
+
+    /// Packed-footprint FLOPs per byte.
+    pub fn flops_per_byte_packed(&self, packing_ratio: f64) -> f64 {
+        let a_elems = (self.ks as f64 * packing_ratio).round() as usize;
+        self.with_a_footprint(a_elems) / 4.0
+    }
+}
+
+/// AI of the *whole problem* (device-level): `2·m·n·w` FLOPs over the
+/// minimum global traffic (each operand read once, `C` written once) —
+/// the upper roofline bound no blocking scheme can beat.
+pub fn problem_ai_flops_per_byte(m: usize, n: usize, k: usize, w: usize) -> f64 {
+    let flops = 2.0 * (m * n * w) as f64;
+    let bytes = 4.0 * (m * k + w * n + m * n) as f64;
+    flops / bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The large-kernel block at 87.5% sparsity used in the paper's
+    /// Fig. 10 discussion: ms=64, ns=128, ks=256, ws=32.
+    fn fig10_block() -> BlockAi {
+        BlockAi {
+            ms: 64,
+            ns: 128,
+            ks: 256,
+            ws: 32,
+        }
+    }
+
+    #[test]
+    fn eq3_hand_computed() {
+        let b = fig10_block();
+        // 2*64*128*32 / (64*256 + 32*128 + 2*64*128) = 524288/36864.
+        assert!((b.elements() - 524288.0 / 36864.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ai_decreases_with_sparsity_at_fixed_ks() {
+        // Paper: "as sparsity increases, the arithmetic intensity decreases".
+        let mut last = f64::INFINITY;
+        for ws in [256usize, 128, 96, 64, 32] {
+            let ai = BlockAi {
+                ms: 64,
+                ns: 128,
+                ks: 256,
+                ws,
+            }
+            .elements();
+            assert!(ai < last, "AI must fall as ws shrinks: {ai} !< {last}");
+            last = ai;
+        }
+    }
+
+    #[test]
+    fn packing_recovers_intensity() {
+        let b = fig10_block();
+        let unpacked = b.flops_per_byte();
+        let packed = b.flops_per_byte_packed(0.41); // expected union at 87.5%, qs=4
+        assert!(packed > unpacked);
+        // Ideal packing (identical windows) gives the largest AI.
+        let ideal = b.flops_per_byte_packed(b.ws as f64 / b.ks as f64);
+        assert!(ideal > packed);
+    }
+
+    #[test]
+    fn dense_block_matches_classic_gemm_ai() {
+        // ws == ks: AI = 2·ms·ns·ks/(ms·ks + ks·ns + 2·ms·ns) — the classic
+        // blocked-GEMM intensity.
+        let b = BlockAi {
+            ms: 64,
+            ns: 64,
+            ks: 64,
+            ws: 64,
+        };
+        assert!((b.elements() - 2.0 * 64.0 / 4.0).abs() < 1e-12); // = 32
+    }
+
+    #[test]
+    fn bytes_form_is_quarter_of_elements() {
+        let b = fig10_block();
+        assert!((b.flops_per_byte() - b.elements() / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn larger_ks_raises_ai_at_fixed_sparsity() {
+        // Paper §IV-E: "larger ks and ws could lead to higher arithmetic
+        // intensity" (the 50%/62.5% levels are smem-capacity limited).
+        let density = 0.25;
+        let ai_small = BlockAi { ms: 64, ns: 128, ks: 128, ws: (128.0 * density) as usize }.elements();
+        let ai_large = BlockAi { ms: 64, ns: 128, ks: 512, ws: (512.0 * density) as usize }.elements();
+        assert!(ai_large > ai_small);
+    }
+
+    #[test]
+    fn problem_ai_sanity() {
+        // Dense 4096^3: 2*4096^3 / (4*3*4096^2) = 4096/6 ≈ 682 FLOPs/byte.
+        let ai = problem_ai_flops_per_byte(4096, 4096, 4096, 4096);
+        assert!((ai - 4096.0 / 6.0).abs() < 1e-9);
+        // 87.5% sparsity divides the FLOPs by 8 but A traffic stays.
+        let ai_sparse = problem_ai_flops_per_byte(4096, 4096, 4096, 512);
+        assert!(ai_sparse < ai);
+    }
+}

@@ -1,0 +1,139 @@
+//! Inner-kernel computing-to-memory-access ratio — paper Eq. (6).
+//!
+//! A thread tile of `mt × nt` accumulators performs `mt·nt` FMAs per `k`
+//! step while loading `mt + nt` values from shared memory; with LDS width
+//! factor `α` (4 for `LDS.32`, 2 for `LDS.64`, 1 for `LDS.128`):
+//!
+//! ```text
+//! CMAR = (1/α) · mt·nt / (mt + nt)                  (Eq. 6)
+//! ```
+//!
+//! subject to the register budget `mt + nt + mt·nt ≤ 255`.
+
+use serde::{Deserialize, Serialize};
+
+/// Shared-memory load instruction width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LdsWidth {
+    /// 32-bit loads (α = 4).
+    Lds32,
+    /// 64-bit loads (α = 2).
+    Lds64,
+    /// 128-bit loads (α = 1).
+    Lds128,
+}
+
+impl LdsWidth {
+    /// The paper's proportionality constant α.
+    pub fn alpha(&self) -> f64 {
+        match self {
+            LdsWidth::Lds32 => 4.0,
+            LdsWidth::Lds64 => 2.0,
+            LdsWidth::Lds128 => 1.0,
+        }
+    }
+
+    /// Bytes moved per instruction per lane.
+    pub fn bytes(&self) -> usize {
+        match self {
+            LdsWidth::Lds32 => 4,
+            LdsWidth::Lds64 => 8,
+            LdsWidth::Lds128 => 16,
+        }
+    }
+}
+
+/// Eq. (6): FMA instructions per LDS instruction for an `mt × nt` tile.
+pub fn cmar(mt: usize, nt: usize, width: LdsWidth) -> f64 {
+    (mt * nt) as f64 / (mt + nt) as f64 / width.alpha()
+}
+
+/// The architectural register budget of Eq. (6)'s constraint.
+pub const REGISTER_BUDGET: usize = 255;
+
+/// Registers a thread tile needs: accumulators + `At` + `Bt` fragments.
+pub fn tile_registers(mt: usize, nt: usize) -> usize {
+    mt * nt + mt + nt
+}
+
+/// Registers with the V3 inner double buffer (two `At`/`Bt` fragments).
+pub fn tile_registers_double_buffered(mt: usize, nt: usize) -> usize {
+    mt * nt + 2 * (mt + nt)
+}
+
+/// `true` when the tile satisfies `mt + nt + mt·nt ≤ 255`.
+pub fn tile_fits_registers(mt: usize, nt: usize) -> bool {
+    tile_registers(mt, nt) <= REGISTER_BUDGET
+}
+
+/// Enumerate the register-feasible power-of-two tiles and return the one
+/// with the highest CMAR (ties broken toward square tiles, which balance
+/// the `At`/`Bt` fragment loads).
+pub fn best_tile(width: LdsWidth) -> (usize, usize) {
+    let mut best: (usize, usize) = (1, 1);
+    let mut best_cmar = 0.0f64;
+    for log_mt in 0..6 {
+        for log_nt in 0..6 {
+            let (mt, nt) = (1usize << log_mt, 1usize << log_nt);
+            if !tile_fits_registers(mt, nt) {
+                continue;
+            }
+            let c = cmar(mt, nt, width);
+            let better = c > best_cmar + 1e-12
+                || ((c - best_cmar).abs() < 1e-12
+                    && mt.abs_diff(nt) < best.0.abs_diff(best.1));
+            if better {
+                best = (mt, nt);
+                best_cmar = c;
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq6_hand_computed() {
+        // 8x8 tile with LDS.128: 64/16 = 4 FMAs per LDS.
+        assert!((cmar(8, 8, LdsWidth::Lds128) - 4.0).abs() < 1e-12);
+        // Same tile with LDS.32: 1 FMA per LDS.
+        assert!((cmar(8, 8, LdsWidth::Lds32) - 1.0).abs() < 1e-12);
+        // Paper's 8x16 option: 128/24 ≈ 5.33 with LDS.128.
+        assert!((cmar(8, 16, LdsWidth::Lds128) - 128.0 / 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn larger_tiles_have_higher_cmar() {
+        // "the larger mt and nt are, the higher the CMAR is".
+        assert!(cmar(8, 8, LdsWidth::Lds128) > cmar(4, 4, LdsWidth::Lds128));
+        assert!(cmar(16, 8, LdsWidth::Lds128) > cmar(8, 8, LdsWidth::Lds128));
+    }
+
+    #[test]
+    fn register_budget() {
+        assert!(tile_fits_registers(8, 8)); // 80 regs
+        assert!(tile_fits_registers(8, 16)); // 152 regs
+        assert!(!tile_fits_registers(16, 16)); // 288 regs > 255
+        assert_eq!(tile_registers(8, 8), 80);
+        assert_eq!(tile_registers_double_buffered(8, 8), 96);
+    }
+
+    #[test]
+    fn best_tile_is_a_paper_configuration() {
+        // On A100 "mt and nt are typically set to 8x8 or 8x16"; the CMAR
+        // argmax under the register budget is the 8x16-class tile.
+        let (mt, nt) = best_tile(LdsWidth::Lds128);
+        assert_eq!(mt * nt, 128, "expected an 8x16-class tile, got {mt}x{nt}");
+        assert!(tile_fits_registers(mt, nt));
+    }
+
+    #[test]
+    fn alpha_and_bytes_agree() {
+        for w in [LdsWidth::Lds32, LdsWidth::Lds64, LdsWidth::Lds128] {
+            assert!((w.alpha() - 16.0 / w.bytes() as f64).abs() < 1e-12);
+        }
+    }
+}

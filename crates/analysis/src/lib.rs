@@ -1,0 +1,24 @@
+//! # nm-analysis — the paper's top-down performance analysis model
+//!
+//! Implements §III-A of the NM-SpMM paper as executable, testable code:
+//!
+//! * [`ai`] — Eq. (3), the block-level arithmetic intensity of N:M sparsity
+//!   computation, in the paper's element form and in FLOPs/byte, with the
+//!   packed-footprint variant used by the high-sparsity path,
+//! * [`cmar`] — Eq. (6), the inner kernel's computing-to-memory-access
+//!   ratio and the 255-register thread-tile constraint,
+//! * [`packing`] — the expected packed-footprint model (union of pruning
+//!   windows) that predicts the paper's "7/8 vs 3/8 working set" numbers,
+//! * [`strategy`] — the sparsity-aware decision procedure: packing or not,
+//!   which pipeline hides which (Figs. 5/6), derived from the roofline
+//!   position exactly as the paper prescribes.
+
+#![warn(missing_docs)]
+
+pub mod ai;
+pub mod cmar;
+pub mod packing;
+pub mod strategy;
+
+pub use ai::BlockAi;
+pub use strategy::{PipelineHint, Strategy, StrategyDecision};

@@ -1,0 +1,100 @@
+//! Expected packed-footprint model.
+//!
+//! The packing path loads only the union of the `A` columns referenced by a
+//! block's `qs = ns/L` pruning windows. For windows selecting independent
+//! uniform `N`-subsets of `M`, the probability a given row survives in none
+//! of them is `(1 − N/M)^qs`, so the expected footprint fraction is
+//!
+//! ```text
+//! ρ(qs) = 1 − (1 − N/M)^qs
+//! ```
+//!
+//! This reproduces the paper's Fig. 2 working-set fractions: at 50%
+//! sparsity with 4 windows `ρ ≈ 0.94 ≈ 7/8…15/16` (non-packing chosen), at
+//! 87.5% `ρ ≈ 0.41 ≈ 3/8` (packing pays). The identical-pattern lower bound
+//! is `N/M` ("the memory access minimize to N/M", §III-C1).
+
+use nm_core::pattern::NmConfig;
+
+/// Expected packed-footprint fraction of `As` for `qs` independent windows.
+pub fn expected_ratio(cfg: NmConfig, qs: usize) -> f64 {
+    let density = cfg.n as f64 / cfg.m as f64;
+    1.0 - (1.0 - density).powi(qs as i32)
+}
+
+/// Lower bound on the packed footprint (identical patterns): `N/M`.
+pub fn best_case_ratio(cfg: NmConfig) -> f64 {
+    cfg.n as f64 / cfg.m as f64
+}
+
+/// Upper bound: `min(1, qs·N/M)` — distinct rows can never exceed the sum
+/// of per-window selections nor the window depth.
+pub fn worst_case_ratio(cfg: NmConfig, qs: usize) -> f64 {
+    ((qs * cfg.n) as f64 / cfg.m as f64).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(n: usize, m: usize) -> NmConfig {
+        NmConfig::new(n, m, 32).unwrap()
+    }
+
+    #[test]
+    fn fig2_working_set_fractions() {
+        // Paper Fig. 2 with 4 windows: moderate ≈ 7/8, high ≈ 3/8.
+        let moderate = expected_ratio(cfg(8, 16), 4); // 50%
+        let high = expected_ratio(cfg(2, 16), 4); // 87.5%
+        assert!(
+            moderate > 0.87 && moderate < 0.97,
+            "moderate working set {moderate} should be ≈ 7/8"
+        );
+        assert!(
+            (high - 0.375).abs() < 0.05,
+            "high-sparsity working set {high} should be ≈ 3/8"
+        );
+    }
+
+    #[test]
+    fn bounds_bracket_expectation() {
+        for (n, m) in [(2usize, 16usize), (4, 16), (6, 16), (8, 16), (2, 4)] {
+            for qs in [1usize, 2, 4, 8, 16] {
+                let c = cfg(n, m);
+                let e = expected_ratio(c, qs);
+                assert!(e >= best_case_ratio(c) - 1e-12, "{n}:{m} qs={qs}");
+                assert!(e <= worst_case_ratio(c, qs) + 1e-12, "{n}:{m} qs={qs}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_window_is_exactly_density() {
+        let c = cfg(4, 16);
+        assert!((expected_ratio(c, 1) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn many_windows_approach_full_footprint() {
+        let c = cfg(2, 16);
+        assert!(expected_ratio(c, 64) > 0.99);
+    }
+
+    #[test]
+    fn monotone_in_window_count() {
+        let c = cfg(2, 16);
+        let mut last = 0.0;
+        for qs in 1..=32 {
+            let e = expected_ratio(c, qs);
+            assert!(e > last);
+            last = e;
+        }
+    }
+
+    #[test]
+    fn dense_config_has_full_footprint() {
+        let c = NmConfig::new(16, 16, 32).unwrap();
+        assert!((expected_ratio(c, 1) - 1.0).abs() < 1e-12);
+        assert!((best_case_ratio(c) - 1.0).abs() < 1e-12);
+    }
+}

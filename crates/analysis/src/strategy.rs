@@ -1,0 +1,228 @@
+//! The sparsity-aware decision procedure (paper §III-A, last two
+//! paragraphs; §III-C).
+//!
+//! Given a device, a sparsity configuration and a blocking plan, decide:
+//!
+//! * **packing or non-packing** — packing when sparsity ≥ 70% (the paper's
+//!   moderate/high threshold), where the `As` working set is mostly dead,
+//! * **which pipeline hides which** — at moderate sparsity computation
+//!   instructions mask the global→shared loads (Fig. 5); at high sparsity
+//!   the loads mask computation (Fig. 6),
+//!
+//! and report the roofline position that justifies the choice.
+
+use crate::ai::BlockAi;
+use crate::packing::expected_ratio;
+use gpu_sim::device::DeviceConfig;
+use gpu_sim::roofline::Roofline;
+use nm_core::pattern::{NmConfig, SparsityClass};
+use serde::{Deserialize, Serialize};
+
+/// Which instruction class covers the other in the software pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PipelineHint {
+    /// Fig. 5: FMA instructions hide `Lg2s` latency (moderate sparsity).
+    ComputeHidesLoad,
+    /// Fig. 6: `Lg2s` instructions hide FMA latency (high sparsity).
+    LoadHidesCompute,
+}
+
+/// Roofline-side classification of the block computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PredictedBound {
+    /// Block AI above the machine ridge.
+    Compute,
+    /// Block AI below the machine ridge.
+    Memory,
+}
+
+/// Output of the decision procedure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StrategyDecision {
+    /// Load `As` through `col_info` (true) or directly (false).
+    pub packing: bool,
+    /// Pipeline orientation for the V3 kernel.
+    pub pipeline: PipelineHint,
+    /// Roofline classification using the *effective* footprint
+    /// (packed when `packing` is chosen).
+    pub predicted_bound: PredictedBound,
+    /// Effective block arithmetic intensity in FLOPs/byte.
+    pub ai_flops_per_byte: f64,
+    /// Expected packing ratio ρ (1.0 when non-packing).
+    pub packing_ratio: f64,
+    /// Sparsity that drove the decision.
+    pub sparsity: f64,
+}
+
+/// The paper's decision procedure.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Strategy;
+
+impl Strategy {
+    /// Decide for a block of shape `block` on `dev`, with `qs = ns/L`
+    /// pruning windows per block column.
+    pub fn decide(dev: &DeviceConfig, cfg: NmConfig, block: BlockAi, qs: usize) -> StrategyDecision {
+        let sparsity = cfg.sparsity();
+        let packing = cfg.class() == SparsityClass::High;
+        let packing_ratio = if packing {
+            expected_ratio(cfg, qs)
+        } else {
+            1.0
+        };
+        let ai = if packing {
+            block.flops_per_byte_packed(packing_ratio)
+        } else {
+            block.flops_per_byte()
+        };
+        let roof = Roofline::from_device(dev);
+        let predicted_bound = if roof.is_memory_bound(ai) {
+            PredictedBound::Memory
+        } else {
+            PredictedBound::Compute
+        };
+        let pipeline = match cfg.class() {
+            SparsityClass::Moderate => PipelineHint::ComputeHidesLoad,
+            SparsityClass::High => PipelineHint::LoadHidesCompute,
+        };
+        StrategyDecision {
+            packing,
+            pipeline,
+            predicted_bound,
+            ai_flops_per_byte: ai,
+            packing_ratio,
+            sparsity,
+        }
+    }
+
+    /// The sparsity at which the *unpacked* block computation crosses the
+    /// machine ridge — the paper's "transition point varies depending on
+    /// the arithmetic intensity of the hardware" (§III-A). Returns a value
+    /// in `[0, 1]`, found by bisection on `ws = ks·(1−s)`.
+    ///
+    /// Block refills are mostly served by L2 (inter-block panel reuse), so
+    /// the relevant ridge uses the L2-amplified bandwidth, not raw DRAM —
+    /// with raw DRAM bandwidth the 3090 would be "memory bound" even dense,
+    /// which contradicts its measured GEMM efficiency.
+    pub fn transition_sparsity(dev: &DeviceConfig, ms: usize, ns: usize, ks: usize) -> f64 {
+        let roof = Roofline {
+            peak_flops: dev.peak_fp32_flops(),
+            bandwidth: dev.dram_bw * dev.l2_bw_ratio,
+        };
+        let ridge = roof.ridge();
+        let ai_at = |s: f64| {
+            let ws = ((ks as f64) * (1.0 - s)).max(1.0) as usize;
+            BlockAi { ms, ns, ks, ws }.flops_per_byte()
+        };
+        if ai_at(0.0) < ridge {
+            return 0.0; // memory bound even dense
+        }
+        if ai_at(0.999) >= ridge {
+            return 1.0; // never transitions
+        }
+        let (mut lo, mut hi) = (0.0f64, 0.999f64);
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if ai_at(mid) >= ridge {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::device::{a100_80g, rtx3090, rtx4090};
+
+    fn block(ks: usize, ws: usize) -> BlockAi {
+        BlockAi {
+            ms: 64,
+            ns: 128,
+            ks,
+            ws,
+        }
+    }
+
+    #[test]
+    fn moderate_sparsity_chooses_nonpacking_compute_pipeline() {
+        let dev = a100_80g();
+        let cfg = NmConfig::new(8, 16, 32).unwrap(); // 50%
+        let d = Strategy::decide(&dev, cfg, block(128, 64), 4);
+        assert!(!d.packing);
+        assert_eq!(d.pipeline, PipelineHint::ComputeHidesLoad);
+        assert_eq!(d.packing_ratio, 1.0);
+    }
+
+    #[test]
+    fn high_sparsity_chooses_packing_load_pipeline() {
+        let dev = a100_80g();
+        let cfg = NmConfig::new(2, 16, 32).unwrap(); // 87.5%
+        let d = Strategy::decide(&dev, cfg, block(256, 32), 4);
+        assert!(d.packing);
+        assert_eq!(d.pipeline, PipelineHint::LoadHidesCompute);
+        assert!(d.packing_ratio < 0.5, "ρ = {}", d.packing_ratio);
+    }
+
+    #[test]
+    fn packing_improves_predicted_ai() {
+        let dev = a100_80g();
+        let cfg = NmConfig::new(2, 16, 32).unwrap();
+        let b = block(256, 32);
+        let with = Strategy::decide(&dev, cfg, b, 4).ai_flops_per_byte;
+        assert!(with > b.flops_per_byte());
+    }
+
+    #[test]
+    fn transition_point_is_in_the_paper_band() {
+        // The paper pegs the transition near 70% on the A100 for its
+        // blocking; the model must land in a plausible band there. The
+        // 3090/4090 transition earlier (possibly at 0: memory bound from the
+        // start at this tile size) — exactly the paper's "smaller
+        // performance gains from N:M sparsity" on those parts.
+        let a100 = Strategy::transition_sparsity(&a100_80g(), 64, 128, 256);
+        assert!(
+            (0.5..1.0).contains(&a100),
+            "A100 transition {a100} out of band"
+        );
+        for dev in [rtx3090(), rtx4090()] {
+            let t = Strategy::transition_sparsity(&dev, 64, 128, 256);
+            assert!(
+                (0.0..=a100).contains(&t),
+                "{}: transition {t} must not exceed A100's {a100}",
+                dev.name
+            );
+        }
+    }
+
+    #[test]
+    fn higher_compute_to_bw_ratio_transitions_earlier() {
+        // 3090/4090 have more FLOPs per byte of bandwidth than A100, so the
+        // memory-bound regime starts at *lower* sparsity there.
+        let a100 = Strategy::transition_sparsity(&a100_80g(), 64, 128, 256);
+        let r4090 = Strategy::transition_sparsity(&rtx4090(), 64, 128, 256);
+        assert!(
+            r4090 <= a100,
+            "4090 transition {r4090} must not exceed A100 {a100}"
+        );
+    }
+
+    #[test]
+    fn exact_threshold_is_high() {
+        let dev = a100_80g();
+        let cfg = NmConfig::new(3, 10, 32).unwrap(); // exactly 70%
+        let d = Strategy::decide(&dev, cfg, block(160, 48), 4);
+        assert!(d.packing);
+    }
+
+    #[test]
+    fn decision_is_deterministic() {
+        let dev = rtx3090();
+        let cfg = NmConfig::new(4, 16, 32).unwrap();
+        let a = Strategy::decide(&dev, cfg, block(256, 64), 8);
+        let b = Strategy::decide(&dev, cfg, block(256, 64), 8);
+        assert_eq!(a, b);
+    }
+}

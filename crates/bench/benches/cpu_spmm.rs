@@ -1,0 +1,57 @@
+//! Wall-clock criterion benches of the real (multi-threaded CPU) NM-SpMM
+//! against the dense parallel GEMM — the honest-hardware counterpart of the
+//! paper's Fig. 9 speedup claim: time falls as sparsity rises, approaching
+//! the `M/N` bound.
+//!
+//! Shape: a quarter-scale Llama-7B attention projection (m=256, n=1024,
+//! k=1024) so a full criterion run finishes in minutes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nm_core::matrix::MatrixF32;
+use nm_core::parallel::{gemm_parallel, spmm_parallel, CpuSpmmOptions, Strategy};
+use nm_core::pattern::NmConfig;
+use nm_core::sparse::NmSparseMatrix;
+
+const M: usize = 256;
+const N: usize = 1024;
+const K: usize = 1024;
+
+fn bench_cpu_spmm(c: &mut Criterion) {
+    let a = MatrixF32::random(M, K, 1);
+    let b = MatrixF32::random(K, N, 2);
+
+    let mut group = c.benchmark_group("cpu_spmm");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((M * N * K) as u64));
+
+    group.bench_function("dense_gemm_parallel", |bench| {
+        bench.iter(|| gemm_parallel(&a, &b))
+    });
+
+    for (label, n_keep) in [("50.0%", 8usize), ("62.5%", 6), ("75.0%", 4), ("87.5%", 2)] {
+        let cfg = NmConfig::new(n_keep, 16, 32).expect("config");
+        let sb = NmSparseMatrix::prune_magnitude(&b, cfg).expect("prune");
+        group.bench_with_input(BenchmarkId::new("nm_spmm_auto", label), &sb, |bench, sb| {
+            bench.iter(|| spmm_parallel(&a, sb, &CpuSpmmOptions::default()))
+        });
+    }
+
+    // Packing vs non-packing at high sparsity — the ablation on real iron.
+    let cfg = NmConfig::new(2, 16, 32).expect("config");
+    let sb = NmSparseMatrix::prune_magnitude(&b, cfg).expect("prune");
+    for (label, strategy) in [("packing", Strategy::Packing), ("non-packing", Strategy::NonPacking)] {
+        let opts = CpuSpmmOptions {
+            strategy,
+            ..Default::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("nm_spmm_87.5%", label),
+            &sb,
+            |bench, sb| bench.iter(|| spmm_parallel(&a, sb, &opts)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cpu_spmm);
+criterion_main!(benches);

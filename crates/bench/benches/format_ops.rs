@@ -1,0 +1,44 @@
+//! Criterion benches of the format operations: pruning/compression,
+//! decompression, the offline packing pre-processing (Fig. 4) and index
+//! bit-packing — the deployment-time costs the paper's §III-C1 calls
+//! "offline" and therefore amortized.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nm_core::colinfo::preprocess;
+use nm_core::matrix::MatrixF32;
+use nm_core::pattern::NmConfig;
+use nm_core::prune::PrunePolicy;
+use nm_core::sparse::NmSparseMatrix;
+
+const K: usize = 2048;
+const N: usize = 2048;
+
+fn bench_format(c: &mut Criterion) {
+    let b = MatrixF32::random(K, N, 3);
+    let cfg = NmConfig::new(2, 16, 32).expect("config");
+
+    let mut group = c.benchmark_group("format_ops");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes((K * N * 4) as u64));
+
+    for (label, policy) in [
+        ("magnitude", PrunePolicy::Magnitude),
+        ("random", PrunePolicy::Random { seed: 1 }),
+        ("strided", PrunePolicy::Strided),
+    ] {
+        group.bench_with_input(BenchmarkId::new("prune_compress", label), &policy, |bench, p| {
+            bench.iter(|| NmSparseMatrix::prune(&b, cfg, *p).expect("prune"))
+        });
+    }
+
+    let sb = NmSparseMatrix::prune_magnitude(&b, cfg).expect("prune");
+    group.bench_function("decompress", |bench| bench.iter(|| sb.decompress()));
+    group.bench_function("offline_preprocess_colinfo", |bench| {
+        bench.iter(|| preprocess(&sb, 256, 128).expect("preprocess"))
+    });
+    group.bench_function("index_bit_pack", |bench| bench.iter(|| sb.indices().bit_pack(cfg)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_format);
+criterion_main!(benches);

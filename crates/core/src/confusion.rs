@@ -1,0 +1,127 @@
+//! The confusion matrix `W` of paper Eq. (2).
+//!
+//! `W[i][j] = |C′[i][j] − C[i][j]| / (m·n)` quantifies, elementwise, how far
+//! the N:M-approximated product `C′` strays from the exact dense product
+//! `C`. Summing `W` gives the mean absolute error of the approximation —
+//! the quantity the algorithm community trades against the `M/N` speedup.
+
+use crate::matrix::MatrixF32;
+
+/// Paper Eq. (2): elementwise `|c_approx − c_exact| / (m·n)`.
+///
+/// # Panics
+/// Panics when shapes differ.
+pub fn confusion_matrix(c_approx: &MatrixF32, c_exact: &MatrixF32) -> MatrixF32 {
+    assert_eq!(c_approx.shape(), c_exact.shape(), "shape mismatch");
+    let (m, n) = c_approx.shape();
+    let scale = 1.0 / (m as f32 * n as f32);
+    let data = c_approx
+        .as_slice()
+        .iter()
+        .zip(c_exact.as_slice())
+        .map(|(a, e)| (a - e).abs() * scale)
+        .collect();
+    MatrixF32::from_vec(m, n, data)
+}
+
+/// Total confusion `Σ_ij W[i][j]` — the mean absolute elementwise error.
+pub fn total_confusion(c_approx: &MatrixF32, c_exact: &MatrixF32) -> f64 {
+    assert_eq!(c_approx.shape(), c_exact.shape(), "shape mismatch");
+    let (m, n) = c_approx.shape();
+    let sum: f64 = c_approx
+        .as_slice()
+        .iter()
+        .zip(c_exact.as_slice())
+        .map(|(a, e)| ((a - e).abs()) as f64)
+        .sum();
+    sum / (m as f64 * n as f64)
+}
+
+/// Summary of an approximation experiment: error vs. the dense oracle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApproximationReport {
+    /// Mean absolute elementwise error (total confusion).
+    pub mean_abs_error: f64,
+    /// Relative Frobenius error.
+    pub rel_frobenius: f64,
+    /// Largest single-element deviation.
+    pub max_abs_error: f32,
+}
+
+/// Build an [`ApproximationReport`] comparing `c_approx` to `c_exact`.
+pub fn report(c_approx: &MatrixF32, c_exact: &MatrixF32) -> ApproximationReport {
+    ApproximationReport {
+        mean_abs_error: total_confusion(c_approx, c_exact),
+        rel_frobenius: c_approx.rel_frobenius_error(c_exact),
+        max_abs_error: c_approx.max_abs_diff(c_exact),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::NmConfig;
+    use crate::sparse::NmSparseMatrix;
+    use crate::spmm::{gemm_reference, spmm_reference};
+
+    #[test]
+    fn zero_for_identical_matrices() {
+        let c = MatrixF32::random(6, 6, 1);
+        let w = confusion_matrix(&c, &c);
+        assert!(w.as_slice().iter().all(|&v| v == 0.0));
+        assert_eq!(total_confusion(&c, &c), 0.0);
+    }
+
+    #[test]
+    fn known_difference() {
+        let a = MatrixF32::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = MatrixF32::from_vec(2, 2, vec![1.0, 2.5, 2.0, 4.0]);
+        let w = confusion_matrix(&a, &b);
+        // |diff| / 4
+        assert_eq!(w.as_slice(), &[0.0, 0.125, 0.25, 0.0]);
+        assert!((total_confusion(&a, &b) - (0.5 + 1.0) / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_grows_with_sparsity() {
+        // Higher sparsity prunes more of B, so the approximation to the
+        // dense product degrades monotonically (on random data).
+        let a = MatrixF32::random(32, 64, 3);
+        let b = MatrixF32::random(64, 32, 4);
+        let exact = gemm_reference(&a, &b);
+        let mut last = -1.0f64;
+        for cfg in NmConfig::paper_levels(4) {
+            let sb = NmSparseMatrix::prune_magnitude(&b, cfg).unwrap();
+            let approx = spmm_reference(&a, &sb);
+            let err = total_confusion(&approx, &exact);
+            assert!(
+                err > last,
+                "error must grow with sparsity: {err} !> {last} at {cfg}"
+            );
+            last = err;
+        }
+    }
+
+    #[test]
+    fn report_fields_are_consistent() {
+        let a = MatrixF32::random(8, 8, 5);
+        let b = MatrixF32::random(8, 8, 6);
+        let r = report(&a, &b);
+        assert!(r.mean_abs_error > 0.0);
+        assert!(r.rel_frobenius > 0.0);
+        assert!(r.max_abs_error > 0.0);
+        assert!(r.mean_abs_error <= r.max_abs_error as f64);
+    }
+
+    #[test]
+    fn dense_config_has_zero_confusion() {
+        let a = MatrixF32::random(16, 16, 7);
+        let b = MatrixF32::random(16, 16, 8);
+        let cfg = NmConfig::new(4, 4, 4).unwrap();
+        let sb = NmSparseMatrix::prune_magnitude(&b, cfg).unwrap();
+        let approx = spmm_reference(&a, &sb);
+        let exact = gemm_reference(&a, &b);
+        // Reduction order differs (window-by-window), allow f32 noise.
+        assert!(total_confusion(&approx, &exact) < 1e-6);
+    }
+}

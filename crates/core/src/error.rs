@@ -1,0 +1,109 @@
+//! Error types shared across the NM-SpMM crates.
+
+use std::fmt;
+
+/// Errors produced by format construction, compression and validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NmError {
+    /// An `N:M` / `L` combination that violates the format rules
+    /// (`0 < N <= M`, `L >= 1`, `M` a power of two for bit-packed indices).
+    InvalidConfig {
+        /// Human-readable reason for the rejection.
+        reason: String,
+    },
+    /// Two operands whose shapes do not agree for the requested operation.
+    DimensionMismatch {
+        /// Description of the expected shape.
+        expected: String,
+        /// Description of the shape that was provided.
+        found: String,
+    },
+    /// An index-matrix entry that points outside its pruning window, or is
+    /// not strictly increasing within a window.
+    CorruptIndex {
+        /// Row of the index matrix `D` where the fault was found.
+        row: usize,
+        /// Column (pruning-window index) of the faulty entry.
+        col: usize,
+        /// The offending value.
+        value: u32,
+        /// Upper bound (exclusive) the value had to respect.
+        bound: u32,
+    },
+    /// Blocking parameters that violate a hardware constraint
+    /// (shared-memory capacity, register budget, warp geometry).
+    InvalidBlocking {
+        /// Human-readable reason for the rejection.
+        reason: String,
+    },
+}
+
+impl fmt::Display for NmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NmError::InvalidConfig { reason } => write!(f, "invalid N:M config: {reason}"),
+            NmError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            NmError::CorruptIndex {
+                row,
+                col,
+                value,
+                bound,
+            } => write!(
+                f,
+                "corrupt index matrix at D[{row}][{col}]: value {value} out of bound {bound}"
+            ),
+            NmError::InvalidBlocking { reason } => {
+                write!(f, "invalid blocking parameters: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NmError {}
+
+/// Crate-local result alias.
+pub type Result<T> = std::result::Result<T, NmError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = NmError::InvalidConfig {
+            reason: "N must not exceed M".into(),
+        };
+        assert!(e.to_string().contains("N must not exceed M"));
+
+        let e = NmError::DimensionMismatch {
+            expected: "k=128".into(),
+            found: "k=64".into(),
+        };
+        assert!(e.to_string().contains("k=128"));
+        assert!(e.to_string().contains("k=64"));
+
+        let e = NmError::CorruptIndex {
+            row: 3,
+            col: 7,
+            value: 9,
+            bound: 8,
+        };
+        let s = e.to_string();
+        assert!(s.contains("D[3][7]"));
+        assert!(s.contains('9'));
+
+        let e = NmError::InvalidBlocking {
+            reason: "shared memory exceeded".into(),
+        };
+        assert!(e.to_string().contains("shared memory"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        let a = NmError::InvalidConfig { reason: "x".into() };
+        let b = NmError::InvalidConfig { reason: "x".into() };
+        assert_eq!(a, b);
+    }
+}

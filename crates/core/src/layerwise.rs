@@ -1,0 +1,272 @@
+//! Layer-wise N:M scheme selection (Sun et al., DominoSearch — the paper's
+//! references [33]/[34]: "a layer-wise N:M scheme for improved precision
+//! over uniform sparsity").
+//!
+//! Given a set of layers with per-layer pruning-error curves and a global
+//! compute budget, choose each layer's `N` (at fixed `M`) so total error is
+//! minimized. This is the classic discrete allocation problem; the
+//! implementation uses the exact greedy-on-marginal-error algorithm, which
+//! is optimal when the per-layer error curves are convex in the number of
+//! kept slots (pruning error is, for magnitude pruning: each additional
+//! kept vector saves at most as much norm as the previous one).
+
+use crate::matrix::MatrixF32;
+use serde::{Deserialize, Serialize};
+
+/// One prunable layer in the allocation problem.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LayerSpec {
+    /// Identifier for reporting.
+    pub name: String,
+    /// Reduction depth `k` (rows of `B`).
+    pub k: usize,
+    /// Output width `n` (columns of `B`).
+    pub n: usize,
+    /// Cost of keeping one more slot (FLOPs per kept `N` unit):
+    /// `2·m·n·k/M` for batch `m` — precomputed by the caller.
+    pub flops_per_slot: f64,
+    /// `err[i]` = pruning error if `N = i+1` slots are kept (length `M`);
+    /// must be non-increasing in `i`.
+    pub err_by_n: Vec<f64>,
+}
+
+/// The chosen per-layer configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Allocation {
+    /// Chosen `N` per layer, parallel to the input slice.
+    pub n_per_layer: Vec<usize>,
+    /// Total error under the chosen allocation.
+    pub total_error: f64,
+    /// Total FLOPs consumed.
+    pub total_flops: f64,
+    /// The budget that was honored.
+    pub budget_flops: f64,
+}
+
+/// Measure a layer's magnitude-pruning error curve: for each `N ∈ 1..=M`,
+/// the squared norm of the weights discarded by keeping the top `N`
+/// vectors per window (column-window granularity `L`).
+pub fn error_curve(b: &MatrixF32, m_window: usize, l: usize) -> Vec<f64> {
+    let (k, n) = b.shape();
+    let windows_k = k.div_ceil(m_window);
+    let q = n.div_ceil(l);
+    // Per (window, column-window): sorted per-vector squared norms.
+    let mut curve = vec![0.0f64; m_window];
+    for wi in 0..windows_k {
+        for wj in 0..q {
+            let lo = wj * l;
+            let hi = ((wj + 1) * l).min(n);
+            let mut norms: Vec<f64> = (0..m_window)
+                .map(|t| {
+                    let row = wi * m_window + t;
+                    if row < k {
+                        b.row(row)[lo..hi].iter().map(|v| (*v as f64).powi(2)).sum()
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
+            norms.sort_by(|a, b| b.total_cmp(a));
+            // Keeping N vectors discards norms[N..]: accumulate suffix sums.
+            let mut suffix = 0.0;
+            for nn in (0..m_window).rev() {
+                // err for N = nn+1 discards indices nn+1..
+                curve[nn] += suffix;
+                suffix += norms[nn];
+            }
+        }
+    }
+    curve
+}
+
+/// Optimal (greedy-on-marginals) allocation of `N` per layer at fixed `M`,
+/// under a total FLOP budget expressed as a fraction of the dense cost.
+///
+/// Every layer starts at `N = 1`; the slot with the largest error reduction
+/// per FLOP is granted repeatedly until the budget is exhausted.
+///
+/// # Panics
+/// Panics if any error curve's length differs from `m_window` or increases
+/// with `N`.
+pub fn allocate(layers: &[LayerSpec], m_window: usize, budget_fraction: f64) -> Allocation {
+    for l in layers {
+        assert_eq!(l.err_by_n.len(), m_window, "{}: curve length", l.name);
+        assert!(
+            l.err_by_n.windows(2).all(|w| w[1] <= w[0] + 1e-9),
+            "{}: error must not increase with N",
+            l.name
+        );
+    }
+    let dense_flops: f64 = layers
+        .iter()
+        .map(|l| l.flops_per_slot * m_window as f64)
+        .sum();
+    let budget = dense_flops * budget_fraction.clamp(0.0, 1.0);
+
+    let mut n_per_layer = vec![1usize; layers.len()];
+    let mut flops: f64 = layers.iter().map(|l| l.flops_per_slot).sum();
+    let mut error: f64 = layers
+        .iter()
+        .map(|l| l.err_by_n[0])
+        .sum();
+
+    loop {
+        // Best marginal: error drop per FLOP for incrementing one layer's N.
+        let mut best: Option<(usize, f64)> = None;
+        for (i, l) in layers.iter().enumerate() {
+            let n = n_per_layer[i];
+            if n >= m_window || flops + l.flops_per_slot > budget {
+                continue;
+            }
+            let drop = l.err_by_n[n - 1] - l.err_by_n[n];
+            let ratio = drop / l.flops_per_slot;
+            if best.map(|(_, r)| ratio > r).unwrap_or(true) {
+                best = Some((i, ratio));
+            }
+        }
+        match best {
+            Some((i, _)) => {
+                let n = n_per_layer[i];
+                error -= layers[i].err_by_n[n - 1] - layers[i].err_by_n[n];
+                n_per_layer[i] = n + 1;
+                flops += layers[i].flops_per_slot;
+            }
+            None => break,
+        }
+    }
+
+    Allocation {
+        n_per_layer,
+        total_error: error,
+        total_flops: flops,
+        budget_flops: budget,
+    }
+}
+
+/// Convenience: build a [`LayerSpec`] from a weight matrix.
+pub fn spec_from_weights(
+    name: &str,
+    b: &MatrixF32,
+    m_window: usize,
+    l: usize,
+    batch_m: usize,
+) -> LayerSpec {
+    let (k, n) = b.shape();
+    LayerSpec {
+        name: name.to_string(),
+        k,
+        n,
+        flops_per_slot: 2.0 * batch_m as f64 * n as f64 * k as f64 / m_window as f64,
+        err_by_n: error_curve(b, m_window, l),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_curve_is_non_increasing_and_ends_at_zero() {
+        let b = MatrixF32::random(64, 32, 1);
+        let curve = error_curve(&b, 16, 8);
+        assert_eq!(curve.len(), 16);
+        for w in curve.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "curve must be non-increasing");
+        }
+        assert!(curve[15].abs() < 1e-9, "keeping all M vectors loses nothing");
+        assert!(curve[0] > 0.0, "keeping 1 of 16 must lose something");
+    }
+
+    #[test]
+    fn uniform_layers_get_uniform_allocation() {
+        let b = MatrixF32::random(64, 64, 2);
+        let layers: Vec<LayerSpec> = (0..3)
+            .map(|i| spec_from_weights(&format!("l{i}"), &b, 16, 8, 128))
+            .collect();
+        let alloc = allocate(&layers, 16, 0.5);
+        assert_eq!(alloc.n_per_layer, vec![8, 8, 8], "identical layers split evenly");
+        assert!(alloc.total_flops <= alloc.budget_flops + 1e-6);
+    }
+
+    #[test]
+    fn sensitive_layer_gets_more_slots() {
+        // Layer "hot" has much larger weights -> bigger error for pruning it.
+        let cold = MatrixF32::random(64, 64, 3);
+        let mut hot_data = MatrixF32::random(64, 64, 4);
+        for v in hot_data.as_mut_slice() {
+            *v *= 10.0;
+        }
+        let layers = vec![
+            spec_from_weights("cold", &cold, 16, 8, 128),
+            spec_from_weights("hot", &hot_data, 16, 8, 128),
+        ];
+        let alloc = allocate(&layers, 16, 0.5);
+        assert!(
+            alloc.n_per_layer[1] > alloc.n_per_layer[0],
+            "the sensitive layer must keep more: {:?}",
+            alloc.n_per_layer
+        );
+    }
+
+    #[test]
+    fn budget_is_respected_and_monotone() {
+        let b = MatrixF32::random(64, 64, 5);
+        let layers: Vec<LayerSpec> = (0..4)
+            .map(|i| spec_from_weights(&format!("l{i}"), &b, 16, 8, 64))
+            .collect();
+        let mut last_err = f64::INFINITY;
+        for budget in [0.2, 0.4, 0.6, 0.8, 1.0] {
+            let alloc = allocate(&layers, 16, budget);
+            assert!(alloc.total_flops <= alloc.budget_flops + 1e-6);
+            assert!(
+                alloc.total_error <= last_err + 1e-9,
+                "more budget cannot hurt: {} !<= {last_err}",
+                alloc.total_error
+            );
+            last_err = alloc.total_error;
+        }
+    }
+
+    #[test]
+    fn full_budget_keeps_everything() {
+        let b = MatrixF32::random(32, 32, 6);
+        let layers = vec![spec_from_weights("l0", &b, 16, 8, 32)];
+        let alloc = allocate(&layers, 16, 1.0);
+        assert_eq!(alloc.n_per_layer, vec![16]);
+        assert!(alloc.total_error.abs() < 1e-9);
+    }
+
+    #[test]
+    fn minimal_budget_keeps_one_each() {
+        let b = MatrixF32::random(32, 32, 7);
+        let layers = vec![
+            spec_from_weights("a", &b, 16, 8, 32),
+            spec_from_weights("b", &b, 16, 8, 32),
+        ];
+        let alloc = allocate(&layers, 16, 0.0);
+        assert_eq!(alloc.n_per_layer, vec![1, 1], "floor allocation is N=1");
+    }
+
+    #[test]
+    fn allocation_beats_uniform_at_equal_flops() {
+        // Mixed-sensitivity layers: the allocator's error must not exceed
+        // the uniform N=M/2 split at the same budget.
+        let cold = MatrixF32::random(64, 64, 8);
+        let mut hot_data = MatrixF32::random(64, 64, 9);
+        for v in hot_data.as_mut_slice() {
+            *v *= 5.0;
+        }
+        let layers = vec![
+            spec_from_weights("cold", &cold, 16, 8, 64),
+            spec_from_weights("hot", &hot_data, 16, 8, 64),
+        ];
+        let alloc = allocate(&layers, 16, 0.5);
+        let uniform_err: f64 = layers.iter().map(|l| l.err_by_n[7]).sum(); // N=8
+        assert!(
+            alloc.total_error <= uniform_err + 1e-9,
+            "greedy {} must not exceed uniform {}",
+            alloc.total_error,
+            uniform_err
+        );
+    }
+}

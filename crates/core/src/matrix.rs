@@ -1,0 +1,286 @@
+//! Dense row-major `f32` matrix used throughout the workspace.
+//!
+//! Deliberately minimal: NM-SpMM only needs row-major dense storage with
+//! cheap row slicing, seeded random fills and a handful of elementwise
+//! helpers. Anything heavier (BLAS traits, views, strides) would obscure the
+//! kernels built on top.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Dense row-major matrix of `f32`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatrixF32 {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl MatrixF32 {
+    /// Zero-filled `rows × cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from an existing row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Build by evaluating `f(row, col)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Matrix with entries drawn uniformly from `[-1, 1)`, reproducible for a
+    /// given `seed`.
+    pub fn random(rows: usize, cols: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        Self { rows, cols, data }
+    }
+
+    /// Identity-like matrix (ones on the main diagonal, zero elsewhere);
+    /// works for non-square shapes.
+    pub fn eye(rows: usize, cols: usize) -> Self {
+        Self::from_fn(rows, cols, |i, j| if i == j { 1.0 } else { 0.0 })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Borrow the backing row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrow the backing row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume and return the backing buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Borrow row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f32) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Out-of-place transpose.
+    pub fn transpose(&self) -> Self {
+        let mut t = Self::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        t
+    }
+
+    /// Zero-pad to `new_rows × new_cols` (both must be ≥ current shape).
+    pub fn pad_to(&self, new_rows: usize, new_cols: usize) -> Self {
+        assert!(new_rows >= self.rows && new_cols >= self.cols);
+        let mut out = Self::zeros(new_rows, new_cols);
+        for i in 0..self.rows {
+            out.data[i * new_cols..i * new_cols + self.cols].copy_from_slice(self.row(i));
+        }
+        out
+    }
+
+    /// Largest absolute element difference against `other`.
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn max_abs_diff(&self, other: &Self) -> f32 {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in max_abs_diff");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+
+    /// Relative Frobenius-norm error `‖self − other‖F / ‖other‖F`
+    /// (`‖·‖F` computed in f64; returns the absolute norm if `other` is zero).
+    pub fn rel_frobenius_error(&self, other: &Self) -> f64 {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch");
+        let mut num = 0f64;
+        let mut den = 0f64;
+        for (a, b) in self.data.iter().zip(&other.data) {
+            let d = (*a as f64) - (*b as f64);
+            num += d * d;
+            den += (*b as f64) * (*b as f64);
+        }
+        if den == 0.0 {
+            num.sqrt()
+        } else {
+            (num / den).sqrt()
+        }
+    }
+
+    /// `true` when every element differs from `other` by at most
+    /// `atol + rtol·|other|` (the usual mixed tolerance test).
+    pub fn allclose(&self, other: &Self, rtol: f32, atol: f32) -> bool {
+        if self.shape() != other.shape() {
+            return false;
+        }
+        self.data
+            .iter()
+            .zip(&other.data)
+            .all(|(a, b)| (a - b).abs() <= atol + rtol * b.abs())
+    }
+
+    /// Count of exactly-zero entries.
+    pub fn count_zeros(&self) -> usize {
+        self.data.iter().filter(|v| **v == 0.0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_shape_and_content() {
+        let m = MatrixF32::zeros(3, 5);
+        assert_eq!(m.shape(), (3, 5));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn from_fn_row_major_ordering() {
+        let m = MatrixF32::from_fn(2, 3, |i, j| (i * 10 + j) as f32);
+        assert_eq!(m.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+        assert_eq!(m.get(1, 2), 12.0);
+    }
+
+    #[test]
+    fn random_is_reproducible_and_seed_sensitive() {
+        let a = MatrixF32::random(4, 4, 42);
+        let b = MatrixF32::random(4, 4, 42);
+        let c = MatrixF32::random(4, 4, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.as_slice().iter().all(|v| (-1.0..1.0).contains(v)));
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = MatrixF32::random(5, 7, 1);
+        let tt = m.transpose().transpose();
+        assert_eq!(m, tt);
+        assert_eq!(m.transpose().shape(), (7, 5));
+        assert_eq!(m.get(2, 4), m.transpose().get(4, 2));
+    }
+
+    #[test]
+    fn pad_preserves_content_and_zero_fills() {
+        let m = MatrixF32::from_fn(2, 2, |i, j| (i + j) as f32 + 1.0);
+        let p = m.pad_to(3, 4);
+        assert_eq!(p.get(0, 0), 1.0);
+        assert_eq!(p.get(1, 1), 3.0);
+        assert_eq!(p.get(2, 3), 0.0);
+        assert_eq!(p.get(0, 2), 0.0);
+    }
+
+    #[test]
+    fn row_slices_match_elements() {
+        let m = MatrixF32::random(4, 6, 9);
+        for i in 0..4 {
+            for j in 0..6 {
+                assert_eq!(m.row(i)[j], m.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn allclose_tolerances() {
+        let a = MatrixF32::from_vec(1, 2, vec![1.0, 2.0]);
+        let b = MatrixF32::from_vec(1, 2, vec![1.0 + 1e-6, 2.0 - 1e-6]);
+        assert!(a.allclose(&b, 1e-5, 0.0));
+        assert!(!a.allclose(&b, 0.0, 1e-8));
+        let c = MatrixF32::zeros(2, 1);
+        assert!(!a.allclose(&c, 1.0, 1.0), "shape mismatch must fail");
+    }
+
+    #[test]
+    fn eye_rectangular() {
+        let m = MatrixF32::eye(2, 3);
+        assert_eq!(m.as_slice(), &[1.0, 0.0, 0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn rel_frobenius_error_zero_for_identical() {
+        let a = MatrixF32::random(3, 3, 7);
+        assert_eq!(a.rel_frobenius_error(&a), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_rejects_bad_length() {
+        let _ = MatrixF32::from_vec(2, 2, vec![0.0; 3]);
+    }
+}

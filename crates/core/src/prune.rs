@@ -1,0 +1,221 @@
+//! Vector-selection strategies (pruning policies).
+//!
+//! A pruner inspects the dense weight matrix `B[k][n]` and, for every
+//! pruning window (`M` rows × `L` cols), decides which `N` row-vectors to
+//! keep. The output is a canonical [`IndexMatrix`] (offsets strictly
+//! increasing within each window) that [`crate::sparse::NmSparseMatrix`]
+//! uses to compress `B`.
+//!
+//! The paper's algorithm-side contract ("naive N:M pattern", §II-B) is that
+//! *any* selection rule may be plugged in — magnitude pruning is what the
+//! sparse-network literature uses, random and strided selections are useful
+//! for benchmarking because they bound the packing ratio from both sides
+//! (§III-C1: identical window patterns minimize the packed footprint to
+//! `N/M`; independent random patterns maximize it).
+
+use crate::index::IndexMatrix;
+use crate::matrix::MatrixF32;
+use crate::pattern::NmConfig;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Which rule picks the `N` surviving vectors per window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PrunePolicy {
+    /// Keep the `N` vectors with the largest L2 norm (ties broken by the
+    /// lower offset) — the standard magnitude criterion.
+    Magnitude,
+    /// Keep a uniformly random `N`-subset, independently per window.
+    /// Worst case for the packing path.
+    Random {
+        /// RNG seed (deterministic selections for reproducible runs).
+        seed: u64,
+    },
+    /// Keep offsets `{0, ⌊M/N⌋, 2⌊M/N⌋, …}` — identical in every window.
+    /// Best case for the packing path.
+    Strided,
+    /// Keep the first `N` offsets `{0, 1, …, N−1}` of every window.
+    FirstN,
+}
+
+/// Compute the selection for `b` under `cfg` with the given `policy`.
+///
+/// Shapes follow the paper's padding rule: the result always has
+/// `w = ⌈k/M⌉·N` rows and `q = ⌈n/L⌉` columns; windows that extend past the
+/// matrix edge behave as if `b` were zero-padded.
+pub fn select(b: &MatrixF32, cfg: NmConfig, policy: PrunePolicy) -> IndexMatrix {
+    let (k, n) = b.shape();
+    let windows_k = cfg.window_rows(k);
+    let q = cfg.window_cols(n);
+    let w = windows_k * cfg.n;
+    let mut d = IndexMatrix::zeros(w, q);
+
+    let mut rng = match policy {
+        PrunePolicy::Random { seed } => Some(StdRng::seed_from_u64(seed)),
+        _ => None,
+    };
+    let mut offsets: Vec<u8> = (0..cfg.m as u8).collect();
+
+    for wi in 0..windows_k {
+        for wj in 0..q {
+            let chosen: Vec<u8> = match policy {
+                PrunePolicy::Magnitude => {
+                    let mut scored: Vec<(f64, u8)> = (0..cfg.m)
+                        .map(|t| {
+                            let row = wi * cfg.m + t;
+                            let norm: f64 = if row < k {
+                                let lo = wj * cfg.l;
+                                let hi = ((wj + 1) * cfg.l).min(n);
+                                b.row(row)[lo..hi]
+                                    .iter()
+                                    .map(|v| (*v as f64) * (*v as f64))
+                                    .sum()
+                            } else {
+                                0.0 // padded rows have zero norm
+                            };
+                            (norm, t as u8)
+                        })
+                        .collect();
+                    // Sort descending by norm, ascending offset on ties.
+                    scored.sort_by(|a, b| {
+                        b.0.partial_cmp(&a.0)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(a.1.cmp(&b.1))
+                    });
+                    let mut kept: Vec<u8> = scored[..cfg.n].iter().map(|s| s.1).collect();
+                    kept.sort_unstable();
+                    kept
+                }
+                PrunePolicy::Random { .. } => {
+                    let rng = rng.as_mut().expect("rng initialized for Random policy");
+                    offsets.shuffle(rng);
+                    let mut kept: Vec<u8> = offsets[..cfg.n].to_vec();
+                    kept.sort_unstable();
+                    kept
+                }
+                PrunePolicy::Strided => {
+                    let stride = cfg.m / cfg.n;
+                    (0..cfg.n).map(|r| (r * stride.max(1)).min(cfg.m - 1) as u8).collect()
+                }
+                PrunePolicy::FirstN => (0..cfg.n as u8).collect(),
+            };
+            for (r, off) in chosen.iter().enumerate() {
+                d.set(wi * cfg.n + r, wj, *off);
+            }
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(n: usize, m: usize, l: usize) -> NmConfig {
+        NmConfig::new(n, m, l).unwrap()
+    }
+
+    #[test]
+    fn all_policies_produce_canonical_selections() {
+        let b = MatrixF32::random(32, 24, 3);
+        for policy in [
+            PrunePolicy::Magnitude,
+            PrunePolicy::Random { seed: 7 },
+            PrunePolicy::Strided,
+            PrunePolicy::FirstN,
+        ] {
+            for c in [cfg(2, 4, 4), cfg(2, 16, 8), cfg(6, 16, 4), cfg(1, 8, 2)] {
+                let d = select(&b, c, policy);
+                assert_eq!(d.w(), c.compressed_rows(32));
+                assert_eq!(d.q(), c.window_cols(24));
+                d.validate(c)
+                    .unwrap_or_else(|e| panic!("{policy:?}/{c}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn magnitude_keeps_the_heavy_vectors() {
+        // One window, M=4, L=2, n=2: rows 1 and 3 carry the weight.
+        let mut b = MatrixF32::zeros(4, 2);
+        b.row_mut(1).copy_from_slice(&[5.0, 5.0]);
+        b.row_mut(3).copy_from_slice(&[2.0, -2.0]);
+        let d = select(&b, cfg(2, 4, 2), PrunePolicy::Magnitude);
+        assert_eq!(d.get(0, 0), 1);
+        assert_eq!(d.get(1, 0), 3);
+    }
+
+    #[test]
+    fn magnitude_is_per_window_column() {
+        // Two column windows with different heavy rows.
+        let mut b = MatrixF32::zeros(4, 4);
+        // cols 0..2 -> rows {0,1} heavy; cols 2..4 -> rows {2,3} heavy.
+        b.row_mut(0)[0] = 9.0;
+        b.row_mut(1)[1] = 9.0;
+        b.row_mut(2)[2] = 9.0;
+        b.row_mut(3)[3] = 9.0;
+        let d = select(&b, cfg(2, 4, 2), PrunePolicy::Magnitude);
+        assert_eq!((d.get(0, 0), d.get(1, 0)), (0, 1));
+        assert_eq!((d.get(0, 1), d.get(1, 1)), (2, 3));
+    }
+
+    #[test]
+    fn magnitude_tie_break_prefers_low_offsets() {
+        let b = MatrixF32::zeros(4, 4); // all ties
+        let d = select(&b, cfg(2, 4, 4), PrunePolicy::Magnitude);
+        assert_eq!((d.get(0, 0), d.get(1, 0)), (0, 1));
+    }
+
+    #[test]
+    fn random_is_reproducible() {
+        let b = MatrixF32::random(64, 32, 5);
+        let c = cfg(4, 16, 4);
+        let d1 = select(&b, c, PrunePolicy::Random { seed: 11 });
+        let d2 = select(&b, c, PrunePolicy::Random { seed: 11 });
+        let d3 = select(&b, c, PrunePolicy::Random { seed: 12 });
+        assert_eq!(d1, d2);
+        assert_ne!(d1, d3);
+    }
+
+    #[test]
+    fn strided_pattern_is_identical_across_windows() {
+        let b = MatrixF32::random(32, 32, 1);
+        let c = cfg(4, 16, 4);
+        let d = select(&b, c, PrunePolicy::Strided);
+        for u in 0..d.w() {
+            for j in 1..d.q() {
+                assert_eq!(d.get(u, j), d.get(u, 0));
+            }
+        }
+        // offsets are 0,4,8,12
+        assert_eq!(
+            (0..4).map(|r| d.get(r, 0)).collect::<Vec<_>>(),
+            vec![0, 4, 8, 12]
+        );
+    }
+
+    #[test]
+    fn padded_rows_lose_to_real_rows_under_magnitude() {
+        // k=5 with M=4: second window has 1 real row (row 4) + 3 padded.
+        let mut b = MatrixF32::zeros(5, 2);
+        b.row_mut(4).copy_from_slice(&[1.0, 1.0]);
+        let d = select(&b, cfg(2, 4, 2), PrunePolicy::Magnitude);
+        assert_eq!(d.w(), 4);
+        // Window 1 rows are d[2], d[3]; offset 0 (the real row) must be kept.
+        assert_eq!(d.get(2, 0), 0);
+    }
+
+    #[test]
+    fn dense_n_equals_m_keeps_everything() {
+        let b = MatrixF32::random(8, 8, 2);
+        let c = cfg(4, 4, 4);
+        for policy in [PrunePolicy::Magnitude, PrunePolicy::FirstN, PrunePolicy::Strided] {
+            let d = select(&b, c, policy);
+            for u in 0..d.w() {
+                assert_eq!(d.get(u, 0) as usize, u % 4, "{policy:?}");
+            }
+        }
+    }
+}

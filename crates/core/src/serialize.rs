@@ -1,0 +1,262 @@
+//! Binary serialization of the compressed N:M format.
+//!
+//! A deployment-oriented container: magic + version header, the `N:M (L)`
+//! configuration, logical shape, bit-packed index matrix and raw `f32`
+//! values, each section length-prefixed and validated on load. The decoder
+//! rejects truncated buffers, bad magic, unsupported versions, inconsistent
+//! shapes and non-canonical index matrices — loading untrusted bytes can
+//! fail loudly but never produce a structurally invalid matrix.
+
+use crate::error::{NmError, Result};
+use crate::index::IndexMatrix;
+use crate::matrix::MatrixF32;
+use crate::pattern::NmConfig;
+use crate::sparse::NmSparseMatrix;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// File magic: `NMSP`.
+pub const MAGIC: [u8; 4] = *b"NMSP";
+/// Current container version.
+pub const VERSION: u16 = 1;
+
+/// Serialize a compressed matrix into a standalone binary blob.
+pub fn to_bytes(sb: &NmSparseMatrix) -> Bytes {
+    let cfg = sb.cfg();
+    let (w, q) = (sb.w(), sb.q());
+    let packed_idx = sb.indices().bit_pack(cfg);
+    let values = sb.values().as_slice();
+
+    let mut buf = BytesMut::with_capacity(32 + packed_idx.len() + values.len() * 4);
+    buf.put_slice(&MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u16_le(0); // reserved flags
+    buf.put_u32_le(cfg.n as u32);
+    buf.put_u32_le(cfg.m as u32);
+    buf.put_u32_le(cfg.l as u32);
+    buf.put_u64_le(sb.k() as u64);
+    buf.put_u64_le(sb.cols() as u64);
+    buf.put_u64_le(packed_idx.len() as u64);
+    buf.put_slice(&packed_idx);
+    buf.put_u64_le(values.len() as u64);
+    for v in values {
+        buf.put_f32_le(*v);
+    }
+    let _ = (w, q); // shapes are derivable; kept for readability
+    buf.freeze()
+}
+
+/// Deserialize and fully validate a blob produced by [`to_bytes`].
+pub fn from_bytes(mut data: &[u8]) -> Result<NmSparseMatrix> {
+    let fail = |reason: &str| NmError::InvalidConfig {
+        reason: format!("deserialize: {reason}"),
+    };
+    let need = |data: &[u8], n: usize, what: &str| {
+        if data.remaining() < n {
+            Err(fail(&format!("truncated before {what}")))
+        } else {
+            Ok(())
+        }
+    };
+
+    need(data, 8, "header")?;
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if magic != MAGIC {
+        return Err(fail("bad magic"));
+    }
+    let version = data.get_u16_le();
+    if version != VERSION {
+        return Err(fail(&format!("unsupported version {version}")));
+    }
+    let _flags = data.get_u16_le();
+
+    need(data, 12 + 16, "config")?;
+    let n_keep = data.get_u32_le() as usize;
+    let m_win = data.get_u32_le() as usize;
+    let l = data.get_u32_le() as usize;
+    let cfg = NmConfig::new(n_keep, m_win, l)?;
+    let k = data.get_u64_le() as usize;
+    let n = data.get_u64_le() as usize;
+
+    let w = cfg.compressed_rows(k);
+    let q = cfg.window_cols(n);
+
+    need(data, 8, "index length")?;
+    let idx_len = data.get_u64_le() as usize;
+    let expect_idx = (w * q * cfg.index_bits() as usize).div_ceil(8);
+    if idx_len != expect_idx {
+        return Err(fail(&format!(
+            "index section is {idx_len} bytes, expected {expect_idx}"
+        )));
+    }
+    need(data, idx_len, "index payload")?;
+    let mut packed = vec![0u8; idx_len];
+    data.copy_to_slice(&mut packed);
+    let indices = IndexMatrix::bit_unpack(&packed, w, q, cfg)?;
+    indices.validate(cfg)?;
+
+    need(data, 8, "values length")?;
+    let val_len = data.get_u64_le() as usize;
+    if val_len != w * n {
+        return Err(fail(&format!(
+            "values section holds {val_len} floats, expected {}",
+            w * n
+        )));
+    }
+    need(data, val_len * 4, "values payload")?;
+    let mut values = Vec::with_capacity(val_len);
+    for _ in 0..val_len {
+        values.push(data.get_f32_le());
+    }
+
+    // Rebuild through the validating constructor: decompress is not needed,
+    // compress() re-checks the canonical form.
+    let rebuilt = NmSparseMatrix::compress(
+        &reassemble_dense(&values, &indices, cfg, k, n),
+        cfg,
+        indices,
+    )?;
+    Ok(rebuilt)
+}
+
+/// Expand values+indices to the dense matrix so the validating `compress`
+/// constructor can rebuild the sparse form losslessly.
+fn reassemble_dense(
+    values: &[f32],
+    indices: &IndexMatrix,
+    cfg: NmConfig,
+    k: usize,
+    n: usize,
+) -> MatrixF32 {
+    let mut out = MatrixF32::zeros(k, n);
+    let (w, q) = (indices.w(), indices.q());
+    for u in 0..w {
+        let base = u / cfg.n * cfg.m;
+        for j in 0..q {
+            let dst_row = base + indices.get(u, j) as usize;
+            if dst_row >= k {
+                continue;
+            }
+            let lo = j * cfg.l;
+            let hi = ((j + 1) * cfg.l).min(n);
+            out.row_mut(dst_row)[lo..hi].copy_from_slice(&values[u * n + lo..u * n + hi]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prune::PrunePolicy;
+
+    fn sample(seed: u64) -> NmSparseMatrix {
+        let cfg = NmConfig::new(2, 16, 8).unwrap();
+        let b = MatrixF32::random(64, 48, seed);
+        NmSparseMatrix::prune(&b, cfg, PrunePolicy::Random { seed }).unwrap()
+    }
+
+    #[test]
+    fn round_trip_is_lossless() {
+        let sb = sample(1);
+        let blob = to_bytes(&sb);
+        let back = from_bytes(&blob).unwrap();
+        assert_eq!(back.cfg(), sb.cfg());
+        assert_eq!(back.k(), sb.k());
+        assert_eq!(back.cols(), sb.cols());
+        assert_eq!(back.values(), sb.values());
+        assert_eq!(back.indices(), sb.indices());
+    }
+
+    #[test]
+    fn round_trip_with_padding_shapes() {
+        let cfg = NmConfig::new(2, 4, 4).unwrap();
+        let b = MatrixF32::random(17, 13, 5); // both axes ragged
+        let sb = NmSparseMatrix::prune_magnitude(&b, cfg).unwrap();
+        let back = from_bytes(&to_bytes(&sb)).unwrap();
+        assert_eq!(back.values(), sb.values());
+        assert_eq!(back.decompress(), sb.decompress());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let sb = sample(2);
+        let mut blob = to_bytes(&sb).to_vec();
+        blob[0] = b'X';
+        let err = from_bytes(&blob).unwrap_err();
+        assert!(err.to_string().contains("bad magic"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unsupported_version() {
+        let sb = sample(3);
+        let mut blob = to_bytes(&sb).to_vec();
+        blob[4] = 99;
+        assert!(from_bytes(&blob).unwrap_err().to_string().contains("version"));
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_boundary() {
+        let sb = sample(4);
+        let blob = to_bytes(&sb);
+        // Cut the blob at a spread of lengths — all must fail, never panic.
+        for cut in [0usize, 3, 7, 11, 19, 27, 35, 43, blob.len() - 1] {
+            assert!(
+                from_bytes(&blob[..cut]).is_err(),
+                "cut at {cut} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_corrupt_index_payload() {
+        let sb = sample(5);
+        let blob = to_bytes(&sb).to_vec();
+        // Flip bits across the index section; the canonical-form validator
+        // (strictly increasing offsets per window) must catch corruption.
+        let idx_start = 40; // header(8) + cfg(12) + dims(16) + len(8) = 44... locate by construction
+        let mut rejected = 0;
+        for i in 0..16 {
+            let mut bad = blob.clone();
+            let pos = idx_start + 4 + i;
+            if pos < bad.len() {
+                bad[pos] ^= 0xFF;
+            }
+            if from_bytes(&bad).is_err() {
+                rejected += 1;
+            }
+        }
+        assert!(
+            rejected > 8,
+            "most index corruptions must be detected (got {rejected}/16)"
+        );
+    }
+
+    #[test]
+    fn rejects_inconsistent_lengths() {
+        let sb = sample(6);
+        let mut blob = to_bytes(&sb).to_vec();
+        // Lie about the index length field (offset 36 = 8+12+16).
+        blob[36] ^= 0x01;
+        assert!(from_bytes(&blob).is_err());
+    }
+
+    #[test]
+    fn dense_config_round_trips() {
+        let cfg = NmConfig::new(4, 4, 2).unwrap();
+        let b = MatrixF32::random(16, 8, 7);
+        let sb = NmSparseMatrix::prune_magnitude(&b, cfg).unwrap();
+        let back = from_bytes(&to_bytes(&sb)).unwrap();
+        assert_eq!(back.decompress(), b);
+    }
+
+    #[test]
+    fn blob_is_compact() {
+        let sb = sample(8);
+        let blob = to_bytes(&sb);
+        // values dominate: w*n floats + small header/indices.
+        let floor = sb.values().as_slice().len() * 4;
+        assert!(blob.len() >= floor);
+        assert!(blob.len() < floor + floor / 4 + 64);
+    }
+}

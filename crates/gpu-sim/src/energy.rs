@@ -1,0 +1,181 @@
+//! First-order energy model.
+//!
+//! Energy per operation on modern GPUs is dominated by data movement:
+//! moving a byte from DRAM costs ~two orders of magnitude more than an FMA.
+//! The model charges per-event energies (FMA, shared-memory byte, L2 byte,
+//! DRAM byte) plus static/leakage power over the kernel's runtime —
+//! the standard Hong-Kim-style decomposition. Constants follow published
+//! per-operation estimates for 7-8 nm datacenter GPUs (Jouppi et al.,
+//! "Ten Lessons", and NVIDIA's own energy-per-op disclosures), scaled per
+//! device by its TDP class. Absolute joules are indicative; *relative*
+//! comparisons (sparsity saves energy roughly with traffic and time) are
+//! the point.
+
+use crate::device::DeviceConfig;
+use crate::stats::KernelStats;
+use crate::timing::LaunchReport;
+use serde::{Deserialize, Serialize};
+
+/// Per-operation energy constants in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyParams {
+    /// One FP32 FMA (two FLOPs).
+    pub pj_per_fma: f64,
+    /// One byte through shared memory.
+    pub pj_per_smem_byte: f64,
+    /// One byte served by L2.
+    pub pj_per_l2_byte: f64,
+    /// One byte from DRAM.
+    pub pj_per_dram_byte: f64,
+    /// Static + idle power in watts, charged over the runtime.
+    pub static_watts: f64,
+}
+
+impl EnergyParams {
+    /// Defaults for the modeled 7-8 nm generation.
+    pub fn for_device(dev: &DeviceConfig) -> Self {
+        // Scale static power with the part's compute class.
+        let static_watts = 0.25 * (dev.peak_fp32_tflops() * 10.0).clamp(60.0, 150.0);
+        Self {
+            pj_per_fma: 1.3,
+            pj_per_smem_byte: 2.0,
+            pj_per_l2_byte: 8.0,
+            pj_per_dram_byte: 20.0,
+            static_watts,
+        }
+    }
+}
+
+/// Energy breakdown for one kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Compute (FMA) energy in joules.
+    pub compute_j: f64,
+    /// Shared-memory traffic energy in joules.
+    pub smem_j: f64,
+    /// L2 traffic energy in joules.
+    pub l2_j: f64,
+    /// DRAM traffic energy in joules.
+    pub dram_j: f64,
+    /// Static/leakage energy over the runtime in joules.
+    pub static_j: f64,
+}
+
+impl EnergyReport {
+    /// Total energy in joules.
+    pub fn total_j(&self) -> f64 {
+        self.compute_j + self.smem_j + self.l2_j + self.dram_j + self.static_j
+    }
+
+    /// Energy efficiency in GFLOPs per joule for `useful_flops`.
+    pub fn gflops_per_joule(&self, useful_flops: f64) -> f64 {
+        useful_flops / self.total_j() / 1e9
+    }
+}
+
+/// Estimate the energy of a launch from its event counts and report.
+pub fn estimate(dev: &DeviceConfig, stats: &KernelStats, report: &LaunchReport) -> EnergyReport {
+    let p = EnergyParams::for_device(dev);
+    let pj = 1e-12;
+    let smem_bytes = (stats.lds_bytes + stats.sts_bytes) as f64;
+    EnergyReport {
+        compute_j: stats.ffma as f64 * p.pj_per_fma * pj,
+        smem_j: smem_bytes * p.pj_per_smem_byte * pj,
+        l2_j: report.traffic.l2_hit_bytes * p.pj_per_l2_byte * pj,
+        dram_j: (report.traffic.dram_bytes + stats.stg_bytes as f64) * p.pj_per_dram_byte * pj,
+        static_j: p.static_watts * report.seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{a100_80g, rtx4090};
+    use crate::l2::TrafficSplit;
+    use crate::timing::{Bound, RoundBreakdown};
+
+    fn fake_report(seconds: f64, dram: f64, l2: f64) -> LaunchReport {
+        LaunchReport {
+            name: "test".into(),
+            cycles: seconds * 1.41e9,
+            seconds,
+            tflops: 0.0,
+            efficiency: 0.0,
+            bound: Bound::Compute,
+            waves: 1,
+            blocks_per_sm: 1,
+            traffic: TrafficSplit {
+                dram_bytes: dram,
+                l2_hit_bytes: l2,
+                miss_fraction: dram / (dram + l2).max(1.0),
+            },
+            round: RoundBreakdown {
+                compute: 0.0,
+                shared: 0.0,
+                memory: 0.0,
+                critical_path: 0.0,
+            },
+        }
+    }
+
+    #[test]
+    fn dram_byte_costs_more_than_fma() {
+        let p = EnergyParams::for_device(&a100_80g());
+        assert!(p.pj_per_dram_byte > 10.0 * p.pj_per_fma);
+        assert!(p.pj_per_l2_byte < p.pj_per_dram_byte);
+        assert!(p.pj_per_smem_byte < p.pj_per_l2_byte);
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let dev = a100_80g();
+        let stats = KernelStats {
+            ffma: 1_000_000,
+            lds_bytes: 500_000,
+            sts_bytes: 500_000,
+            stg_bytes: 100_000,
+            ..Default::default()
+        };
+        let rep = fake_report(1e-3, 1e6, 9e6);
+        let e = estimate(&dev, &stats, &rep);
+        let sum = e.compute_j + e.smem_j + e.l2_j + e.dram_j + e.static_j;
+        assert!((e.total_j() - sum).abs() < 1e-15);
+        assert!(e.total_j() > 0.0);
+        // At 1 ms, static energy dominates micro-kernels.
+        assert!(e.static_j > e.compute_j);
+    }
+
+    #[test]
+    fn less_traffic_means_less_energy() {
+        let dev = a100_80g();
+        let stats = KernelStats {
+            ffma: 10_000_000,
+            ..Default::default()
+        };
+        let heavy = estimate(&dev, &stats, &fake_report(1e-3, 1e9, 1e9));
+        let light = estimate(&dev, &stats, &fake_report(1e-3, 1e8, 1e8));
+        assert!(light.total_j() < heavy.total_j());
+    }
+
+    #[test]
+    fn gflops_per_joule_is_finite_and_positive() {
+        let dev = rtx4090();
+        let stats = KernelStats {
+            ffma: 1 << 30,
+            lds_bytes: 1 << 28,
+            sts_bytes: 1 << 28,
+            ..Default::default()
+        };
+        let rep = fake_report(5e-3, 1e9, 3e9);
+        let e = estimate(&dev, &stats, &rep);
+        let g = e.gflops_per_joule(2.0 * (1u64 << 30) as f64);
+        assert!(g.is_finite() && g > 0.0);
+    }
+
+    #[test]
+    fn static_power_scales_with_device_class() {
+        let small = EnergyParams::for_device(&a100_80g()).static_watts;
+        let big = EnergyParams::for_device(&rtx4090()).static_watts;
+        assert!(big >= small);
+    }
+}

@@ -1,0 +1,220 @@
+//! Warp-level memory access models: global-memory coalescing and
+//! shared-memory bank conflicts.
+//!
+//! These are the two access-pattern effects the paper's kernels are designed
+//! around ("reordering to avoid bank conflict", §I; coalesced `LoadTile`
+//! accesses, §III-B). The kernels in `nm-kernels` call these functions with
+//! the *actual per-lane addresses* their tile loaders generate, so a layout
+//! bug (e.g. an unpadded shared tile) shows up as measurable replays, just
+//! as it would under Nsight Compute.
+
+/// Bytes per global-memory sector (transaction granularity).
+pub const SECTOR_BYTES: usize = 32;
+/// Number of shared-memory banks.
+pub const NUM_BANKS: usize = 32;
+/// Bank word width in bytes.
+pub const BANK_WIDTH: usize = 4;
+
+/// Number of 32-byte sectors touched by one warp-wide global access, given
+/// each active lane's starting byte address and the per-lane access width.
+///
+/// A fully coalesced 32-lane × 4 B access touches 4 sectors (128 B); a
+/// stride-N gather touches up to 32.
+pub fn coalesced_sectors(lane_addrs: &[usize], bytes_per_lane: usize) -> usize {
+    let mut sectors: Vec<usize> = lane_addrs
+        .iter()
+        .flat_map(|&a| {
+            let first = a / SECTOR_BYTES;
+            let last = (a + bytes_per_lane - 1) / SECTOR_BYTES;
+            first..=last
+        })
+        .collect();
+    sectors.sort_unstable();
+    sectors.dedup();
+    sectors.len()
+}
+
+/// Shared-memory conflict degree of one warp-wide access: the maximum number
+/// of *distinct* 4-byte words any single bank must serve. Degree 1 is
+/// conflict-free; lanes reading the same word broadcast and do not conflict.
+///
+/// For accesses wider than 4 B the hardware splits the warp into phases; pass
+/// each phase's addresses separately (the tile loaders do this).
+pub fn bank_conflict_degree(lane_word_addrs: &[usize]) -> usize {
+    let mut per_bank: [Vec<usize>; NUM_BANKS] = std::array::from_fn(|_| Vec::new());
+    for &addr in lane_word_addrs {
+        let word = addr; // caller passes word (4-byte) indices
+        let bank = word % NUM_BANKS;
+        if !per_bank[bank].contains(&word) {
+            per_bank[bank].push(word);
+        }
+    }
+    per_bank.iter().map(Vec::len).max().unwrap_or(0).max(1)
+}
+
+/// Replay count for one warp access: `degree − 1` extra trips.
+pub fn bank_conflict_replays(lane_word_addrs: &[usize]) -> usize {
+    bank_conflict_degree(lane_word_addrs) - 1
+}
+
+/// Summary of one warp-level shared-memory access pattern evaluated over a
+/// whole tile load/store loop.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SmemAccessReport {
+    /// Warp-level requests issued.
+    pub requests: usize,
+    /// Replays caused by bank conflicts (extra cycles beyond `requests`).
+    pub replays: usize,
+}
+
+impl SmemAccessReport {
+    /// Accumulate one warp access with the given word addresses.
+    pub fn record(&mut self, lane_word_addrs: &[usize]) {
+        self.requests += 1;
+        self.replays += bank_conflict_replays(lane_word_addrs);
+    }
+
+    /// Total serviced cycles (requests + replays).
+    pub fn cycles(&self) -> usize {
+        self.requests + self.replays
+    }
+
+    /// Merge another report into this one.
+    pub fn merge(&mut self, other: &SmemAccessReport) {
+        self.requests += other.requests;
+        self.replays += other.replays;
+    }
+}
+
+/// Word addresses for a warp reading a `rows × cols` shared tile with one
+/// lane per `(row, col)` in a `lanes_y × lanes_x` arrangement, with an
+/// optional padding column (`stride = cols + pad`). Helper for layout tests.
+pub fn tile_access_words(
+    lanes_y: usize,
+    lanes_x: usize,
+    stride: usize,
+    row0: usize,
+    col0: usize,
+) -> Vec<usize> {
+    let mut out = Vec::with_capacity(lanes_y * lanes_x);
+    for ly in 0..lanes_y {
+        for lx in 0..lanes_x {
+            out.push((row0 + ly) * stride + col0 + lx);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fully_coalesced_warp_touches_four_sectors() {
+        let addrs: Vec<usize> = (0..32).map(|l| l * 4).collect();
+        assert_eq!(coalesced_sectors(&addrs, 4), 4);
+    }
+
+    #[test]
+    fn strided_gather_touches_one_sector_per_lane() {
+        let addrs: Vec<usize> = (0..32).map(|l| l * 128).collect();
+        assert_eq!(coalesced_sectors(&addrs, 4), 32);
+    }
+
+    #[test]
+    fn vectorized_float4_access() {
+        // 32 lanes × 16 B contiguous = 512 B = 16 sectors.
+        let addrs: Vec<usize> = (0..32).map(|l| l * 16).collect();
+        assert_eq!(coalesced_sectors(&addrs, 16), 16);
+    }
+
+    #[test]
+    fn duplicate_addresses_coalesce() {
+        let addrs = vec![0usize; 32];
+        assert_eq!(coalesced_sectors(&addrs, 4), 1);
+    }
+
+    #[test]
+    fn unaligned_access_spans_extra_sector() {
+        // One lane reading 4 B at byte 30 crosses a sector boundary.
+        assert_eq!(coalesced_sectors(&[30], 4), 2);
+    }
+
+    #[test]
+    fn conflict_free_row_access() {
+        // 32 consecutive words hit 32 distinct banks.
+        let words: Vec<usize> = (0..32).collect();
+        assert_eq!(bank_conflict_degree(&words), 1);
+    }
+
+    #[test]
+    fn broadcast_is_conflict_free() {
+        let words = vec![7usize; 32];
+        assert_eq!(bank_conflict_degree(&words), 1);
+        assert_eq!(bank_conflict_replays(&words), 0);
+    }
+
+    #[test]
+    fn stride_32_column_access_is_fully_serialized() {
+        // Column of a 32-wide tile without padding: all lanes hit bank 0.
+        let words: Vec<usize> = (0..32).map(|l| l * 32).collect();
+        assert_eq!(bank_conflict_degree(&words), 32);
+    }
+
+    #[test]
+    fn padding_removes_column_conflicts() {
+        // Same column access with stride 33: every lane a different bank.
+        let words: Vec<usize> = (0..32).map(|l| l * 33).collect();
+        assert_eq!(bank_conflict_degree(&words), 1);
+    }
+
+    #[test]
+    fn two_way_conflict() {
+        // Lanes 0..16 hit words 0..16, lanes 16..32 hit words 32..48:
+        // each bank serves 2 distinct words.
+        let words: Vec<usize> = (0..16).chain(32..48).collect();
+        assert_eq!(bank_conflict_degree(&words), 2);
+        assert_eq!(bank_conflict_replays(&words), 1);
+    }
+
+    #[test]
+    fn report_accumulates() {
+        let mut rep = SmemAccessReport::default();
+        rep.record(&(0..32).collect::<Vec<_>>()); // clean
+        rep.record(&(0..32).map(|l| l * 32).collect::<Vec<_>>()); // 32-way
+        assert_eq!(rep.requests, 2);
+        assert_eq!(rep.replays, 31);
+        assert_eq!(rep.cycles(), 33);
+
+        let mut other = SmemAccessReport::default();
+        other.record(&[0; 32]);
+        rep.merge(&other);
+        assert_eq!(rep.requests, 3);
+    }
+
+    #[test]
+    fn tile_access_helper_matches_manual_layout() {
+        // 4x8 warp grid reading a 32-wide tile, no padding: row-major lanes.
+        let words = tile_access_words(4, 8, 32, 0, 0);
+        assert_eq!(words.len(), 32);
+        assert_eq!(words[0], 0);
+        assert_eq!(words[8], 32); // second lane row starts one tile row down
+        // Banks repeat every row (stride 32) -> 4 distinct words per bank for
+        // the 8 banks covered.
+        assert_eq!(bank_conflict_degree(&words), 4);
+        // Padding does not help a 2-D lane grid where lanes read different
+        // rows AND columns — banks (ly+lx) mod 32 still collide 4 ways.
+        // (This is why the kernels load Bt row-wise and broadcast At instead.)
+        let padded = tile_access_words(4, 8, 33, 0, 0);
+        assert_eq!(bank_conflict_degree(&padded), 4);
+        // A row-wise warp access (1x32 lanes) is conflict-free regardless.
+        let row = tile_access_words(1, 32, 33, 3, 0);
+        assert_eq!(bank_conflict_degree(&row), 1);
+    }
+
+    #[test]
+    fn empty_access_degree_is_one() {
+        assert_eq!(bank_conflict_degree(&[]), 1);
+        assert_eq!(coalesced_sectors(&[], 4), 0);
+    }
+}

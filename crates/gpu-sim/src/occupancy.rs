@@ -1,0 +1,184 @@
+//! Occupancy: how many thread blocks fit on one SM.
+//!
+//! The paper leans on occupancy twice: register pressure from the `Ct`
+//! accumulator tile limits parallelism ("using too many registers per thread
+//! reduces parallelism", §III-B2), and the shared-memory blocking equation
+//! (Eq. 4) reserves half the SM's shared memory. This module reproduces the
+//! standard CUDA occupancy calculation restricted to the resources the
+//! paper reasons about: warp slots, registers, shared memory, block slots.
+
+use crate::device::DeviceConfig;
+use serde::{Deserialize, Serialize};
+
+/// Per-block resource demand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockResources {
+    /// Threads per block.
+    pub threads: usize,
+    /// Registers per thread (architectural cap 255).
+    pub regs_per_thread: usize,
+    /// Shared-memory bytes per block (all buffers, double-buffered if so).
+    pub smem_bytes: usize,
+}
+
+/// Result of the occupancy calculation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Occupancy {
+    /// Blocks resident per SM (0 when the block cannot launch at all).
+    pub blocks_per_sm: usize,
+    /// Warps resident per SM.
+    pub warps_per_sm: usize,
+    /// Resident warps / architectural warp slots.
+    pub occupancy: f64,
+    /// Which resource capped residency.
+    pub limiter: Limiter,
+}
+
+/// The resource that bounds occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Limiter {
+    /// Warp slots per SM.
+    WarpSlots,
+    /// Register file capacity.
+    Registers,
+    /// Shared-memory capacity.
+    SharedMemory,
+    /// Hardware block-slot limit.
+    BlockSlots,
+    /// Block is unlaunchable (exceeds a per-block hardware limit).
+    Unlaunchable,
+}
+
+/// Compute occupancy of `res` on `dev`.
+pub fn occupancy(dev: &DeviceConfig, res: &BlockResources) -> Occupancy {
+    let warps_per_block = res.threads.div_ceil(32);
+    if res.threads == 0
+        || res.threads > dev.max_threads_per_block
+        || res.regs_per_thread > dev.max_registers_per_thread
+        || res.smem_bytes > dev.max_shared_per_sm
+    {
+        return Occupancy {
+            blocks_per_sm: 0,
+            warps_per_sm: 0,
+            occupancy: 0.0,
+            limiter: Limiter::Unlaunchable,
+        };
+    }
+
+    let by_warps = dev.max_warps_per_sm / warps_per_block;
+    let regs_per_block = res.regs_per_thread.max(1) * res.threads;
+    let by_regs = dev.registers_per_sm() / regs_per_block;
+    let by_smem = dev
+        .max_shared_per_sm
+        .checked_div(res.smem_bytes)
+        .unwrap_or(usize::MAX);
+    let by_slots = dev.max_blocks_per_sm;
+
+    let blocks = by_warps.min(by_regs).min(by_smem).min(by_slots);
+    let limiter = if blocks == by_smem && res.smem_bytes > 0 {
+        Limiter::SharedMemory
+    } else if blocks == by_regs {
+        Limiter::Registers
+    } else if blocks == by_warps {
+        Limiter::WarpSlots
+    } else {
+        Limiter::BlockSlots
+    };
+    let warps = blocks * warps_per_block;
+    Occupancy {
+        blocks_per_sm: blocks,
+        warps_per_sm: warps,
+        occupancy: warps as f64 / dev.max_warps_per_sm as f64,
+        limiter,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{a100_80g, rtx3090};
+
+    #[test]
+    fn small_block_is_warp_or_slot_limited() {
+        let dev = a100_80g();
+        let res = BlockResources {
+            threads: 128,
+            regs_per_thread: 32,
+            smem_bytes: 0,
+        };
+        let occ = occupancy(&dev, &res);
+        // 65536 regs / (32*128) = 16 blocks; warp slots 64/4 = 16 blocks.
+        assert_eq!(occ.blocks_per_sm, 16);
+        assert_eq!(occ.warps_per_sm, 64);
+        assert!((occ.occupancy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn register_heavy_block_is_reg_limited() {
+        let dev = a100_80g();
+        // The paper's thread tile: mt*nt + mt + nt + overhead ~ 110 regs.
+        let res = BlockResources {
+            threads: 256,
+            regs_per_thread: 128,
+            smem_bytes: 0,
+        };
+        let occ = occupancy(&dev, &res);
+        // 65536/(128*256) = 2 blocks = 16 warps of 64.
+        assert_eq!(occ.blocks_per_sm, 2);
+        assert_eq!(occ.limiter, Limiter::Registers);
+        assert!(occ.occupancy < 0.3);
+    }
+
+    #[test]
+    fn smem_heavy_block_is_smem_limited() {
+        let dev = a100_80g();
+        let res = BlockResources {
+            threads: 128,
+            regs_per_thread: 64,
+            smem_bytes: 100 * 1024,
+        };
+        let occ = occupancy(&dev, &res);
+        assert_eq!(occ.blocks_per_sm, 1);
+        assert_eq!(occ.limiter, Limiter::SharedMemory);
+    }
+
+    #[test]
+    fn unlaunchable_blocks() {
+        let dev = a100_80g();
+        for res in [
+            BlockResources { threads: 2048, regs_per_thread: 32, smem_bytes: 0 },
+            BlockResources { threads: 128, regs_per_thread: 300, smem_bytes: 0 },
+            BlockResources { threads: 128, regs_per_thread: 32, smem_bytes: 200 * 1024 },
+            BlockResources { threads: 0, regs_per_thread: 32, smem_bytes: 0 },
+        ] {
+            let occ = occupancy(&dev, &res);
+            assert_eq!(occ.blocks_per_sm, 0, "{res:?} must be unlaunchable");
+            assert_eq!(occ.limiter, Limiter::Unlaunchable);
+        }
+    }
+
+    #[test]
+    fn devices_differ_in_smem_capacity() {
+        // 60 KB double-buffered tiles: 1 block on 3090 (100 KB cap) but the
+        // A100 still fits only 2 if registers allow.
+        let res = BlockResources {
+            threads: 128,
+            regs_per_thread: 100,
+            smem_bytes: 60 * 1024,
+        };
+        assert_eq!(occupancy(&rtx3090(), &res).blocks_per_sm, 1);
+        assert_eq!(occupancy(&a100_80g(), &res).blocks_per_sm, 2);
+    }
+
+    #[test]
+    fn partial_warp_rounds_up() {
+        let dev = a100_80g();
+        let res = BlockResources {
+            threads: 33, // 2 warps
+            regs_per_thread: 32,
+            smem_bytes: 0,
+        };
+        let occ = occupancy(&dev, &res);
+        assert_eq!(occ.warps_per_sm, occ.blocks_per_sm * 2);
+    }
+}

@@ -1,0 +1,127 @@
+//! The machine roofline (paper §IV-E, Fig. 10).
+//!
+//! Attainable performance at arithmetic intensity `AI` is
+//! `min(peak_flops, AI × DRAM_bandwidth)`; the ridge point is where the two
+//! meet. Fig. 10 plots NM-SpMM and nmSPARSE kernels against the A100's
+//! NCU-locked roofline (14.7 TFLOPS FP32) — the harness reuses this type to
+//! print the same series.
+
+use crate::device::DeviceConfig;
+use serde::{Deserialize, Serialize};
+
+/// A single-ceiling roofline model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Roofline {
+    /// Compute ceiling in FLOP/s.
+    pub peak_flops: f64,
+    /// Memory ceiling slope in bytes/s.
+    pub bandwidth: f64,
+}
+
+impl Roofline {
+    /// Build from a device configuration.
+    pub fn from_device(dev: &DeviceConfig) -> Self {
+        Self {
+            peak_flops: dev.peak_fp32_flops(),
+            bandwidth: dev.dram_bw,
+        }
+    }
+
+    /// Attainable FLOP/s at arithmetic intensity `ai` (FLOPs per byte).
+    pub fn attainable(&self, ai: f64) -> f64 {
+        (ai * self.bandwidth).min(self.peak_flops)
+    }
+
+    /// Attainable TFLOPS at `ai`.
+    pub fn attainable_tflops(&self, ai: f64) -> f64 {
+        self.attainable(ai) / 1e12
+    }
+
+    /// The ridge point: AI at which the kernel stops being memory bound.
+    pub fn ridge(&self) -> f64 {
+        self.peak_flops / self.bandwidth
+    }
+
+    /// `true` when a kernel of intensity `ai` is memory bound.
+    pub fn is_memory_bound(&self, ai: f64) -> bool {
+        ai < self.ridge()
+    }
+
+    /// Fraction of the roofline a measured `flops_per_sec` achieves at `ai`.
+    pub fn utilization(&self, ai: f64, flops_per_sec: f64) -> f64 {
+        flops_per_sec / self.attainable(ai)
+    }
+
+    /// Sample `(ai, attainable_tflops)` pairs on a log grid — the series a
+    /// plotting harness draws as the roof.
+    pub fn roof_series(&self, ai_min: f64, ai_max: f64, points: usize) -> Vec<(f64, f64)> {
+        assert!(ai_min > 0.0 && ai_max > ai_min && points >= 2);
+        let step = (ai_max / ai_min).powf(1.0 / (points - 1) as f64);
+        (0..points)
+            .map(|i| {
+                let ai = ai_min * step.powi(i as i32);
+                (ai, self.attainable_tflops(ai))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{a100_80g, a100_ncu_locked, rtx4090};
+
+    #[test]
+    fn ridge_matches_device_helper() {
+        let dev = a100_80g();
+        let r = Roofline::from_device(&dev);
+        assert!((r.ridge() - dev.ridge_flops_per_byte()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn attainable_is_min_of_ceilings() {
+        let r = Roofline {
+            peak_flops: 10e12,
+            bandwidth: 1e12,
+        };
+        assert_eq!(r.attainable(5.0), 5e12); // memory side
+        assert_eq!(r.attainable(100.0), 10e12); // compute side
+        assert_eq!(r.attainable(10.0), 10e12); // exactly at ridge
+        assert!(r.is_memory_bound(9.9));
+        assert!(!r.is_memory_bound(10.1));
+    }
+
+    #[test]
+    fn ncu_locked_roof_is_14_7() {
+        let r = Roofline::from_device(&a100_ncu_locked());
+        assert!((r.attainable_tflops(1000.0) - 14.7).abs() < 0.05);
+    }
+
+    #[test]
+    fn paper_fig10_regime() {
+        // Fig. 10: at AI ≈ 14-20 (NM-SpMM at 4096^3) the locked A100 is
+        // compute bound; at AI ≈ 0.5-2 it is memory bound.
+        let r = Roofline::from_device(&a100_ncu_locked());
+        assert!(!r.is_memory_bound(14.0));
+        assert!(r.is_memory_bound(2.0));
+    }
+
+    #[test]
+    fn utilization_of_exact_roof_is_one() {
+        let r = Roofline::from_device(&rtx4090());
+        let ai = 3.0;
+        assert!((r.utilization(ai, r.attainable(ai)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roof_series_is_monotone_then_flat() {
+        let r = Roofline::from_device(&a100_80g());
+        let series = r.roof_series(0.5, 64.0, 32);
+        assert_eq!(series.len(), 32);
+        for w in series.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-9, "roof must be non-decreasing");
+        }
+        let last = series.last().unwrap();
+        assert!((last.1 - r.peak_flops / 1e12).abs() < 1e-6, "flat at peak");
+    }
+}

@@ -1,0 +1,404 @@
+//! The pipeline-aware timing model.
+//!
+//! Converts a kernel's resource shape and per-iteration event counts into
+//! cycles, reproducing the overlap structures of paper Figs. 5/6:
+//!
+//! * **Serial** main loop (V1/V2, Listing 1/3): every iteration pays
+//!   `load → barrier → compute`; with `b` blocks resident per SM the SM
+//!   interleaves one block's loads with another's compute, so the SM-level
+//!   round time is the maximum of the per-resource totals and each block's
+//!   own critical path.
+//! * **Double-buffered** main loop (V3, Listing 4): a block overlaps the
+//!   next tile's global load with the current tile's compute, so only
+//!   `max(compute, load)` plus any un-hidden latency remains on the
+//!   critical path.
+//!
+//! Within the inner kernel, register double-buffering of `At`/`Bt`
+//! (Listing 4's `SMBlock`) removes the WAR serialization between shared
+//! loads and FMAs; without it the exposure shrinks with the number of
+//! warps that can interleave (V1/V2).
+//!
+//! The model is a steady-state bound computation (processor-sharing
+//! queues), not a cycle-accurate trace — deliberately: it is deterministic,
+//! fast enough to sweep the paper's 100-point dataset, and every term maps
+//! to a sentence of the paper's own analysis.
+
+use crate::device::DeviceConfig;
+use crate::l2::{split_traffic, BlockTraffic, TrafficSplit};
+use crate::occupancy::{occupancy, BlockResources};
+use serde::{Deserialize, Serialize};
+
+/// Main-loop pipeline structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PipelineMode {
+    /// Load, `__syncthreads()`, compute — no intra-block overlap (V1/V2).
+    Serial,
+    /// Global loads for iteration `i+1` overlap compute of iteration `i`
+    /// (V3, paper Fig. 5/6 — which side hides which is emergent from the
+    /// relative magnitudes, exactly as in the paper).
+    DoubleBuffered,
+}
+
+/// Everything the timing model needs to know about one kernel launch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelProfile {
+    /// Kernel name for reports.
+    pub name: String,
+    /// Grid shape `(grid_y, grid_x)` in blocks.
+    pub grid: (usize, usize),
+    /// Per-block resource demand (threads, registers, shared memory).
+    pub resources: BlockResources,
+    /// Main-loop trip count per block (`⌈w/ws⌉`).
+    pub iters_per_block: usize,
+    /// FP32-pipe cycles per block-iteration at full-SM rate
+    /// (`ffma_per_iter / fma_per_clock_per_sm`).
+    pub comp_cycles_per_iter: f64,
+    /// Shared-memory pipe cycles per block-iteration, replays included.
+    pub lds_cycles_per_iter: f64,
+    /// Global→shared bytes per block-iteration, split by reuse class.
+    pub g2s_per_iter: BlockTraffic,
+    /// Additional *serialized* load chains per iteration (the packing
+    /// path's `col_info → As` dependency adds 1; everything else 0).
+    pub dependent_load_chains: f64,
+    /// Main-loop structure.
+    pub pipeline: PipelineMode,
+    /// Register-level double buffering of `At`/`Bt` in the inner kernel.
+    pub inner_double_buffer: bool,
+    /// Bytes of `C` written back per block in the epilogue.
+    pub stg_bytes_per_block: f64,
+    /// Useful FLOPs of the whole problem (`2·m·n·w`), for the efficiency
+    /// metric. Loads/stores of padding are *not* useful work.
+    pub useful_flops: f64,
+}
+
+/// Which resource dominates the steady-state round time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Bound {
+    /// FP32 pipe saturated.
+    Compute,
+    /// DRAM/L2 bandwidth saturated.
+    Memory,
+    /// Shared-memory pipe saturated.
+    SharedMemory,
+    /// Dependency latency exposed (occupancy too low to hide it).
+    Latency,
+}
+
+/// Timing-model output for one launch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LaunchReport {
+    /// Kernel name (copied from the profile).
+    pub name: String,
+    /// Total kernel cycles at the SM clock.
+    pub cycles: f64,
+    /// Wall time in seconds.
+    pub seconds: f64,
+    /// Useful throughput in TFLOPS.
+    pub tflops: f64,
+    /// `tflops / peak_fp32_tflops`.
+    pub efficiency: f64,
+    /// Dominant bound in the steady state.
+    pub bound: Bound,
+    /// Full waves the grid needs.
+    pub waves: usize,
+    /// Resident blocks per SM.
+    pub blocks_per_sm: usize,
+    /// DRAM vs L2 split of the load traffic.
+    pub traffic: TrafficSplit,
+    /// Per-round component times (cycles), for diagnosis.
+    pub round: RoundBreakdown,
+}
+
+/// The four competing terms of one steady-state round (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoundBreakdown {
+    /// `b × comp_cycles_per_iter` — FP32 resource bound.
+    pub compute: f64,
+    /// `b × lds_cycles_per_iter` — shared-memory resource bound.
+    pub shared: f64,
+    /// `b × load_service` — DRAM/L2 resource bound.
+    pub memory: f64,
+    /// The per-block critical path (latency + serial structure).
+    pub critical_path: f64,
+}
+
+/// Timing-model failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The block cannot be scheduled on this device at all.
+    Unlaunchable {
+        /// Explanation (which limit was exceeded).
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Unlaunchable { reason } => write!(f, "kernel unlaunchable: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Estimate the execution of `prof` on `dev`.
+pub fn estimate(dev: &DeviceConfig, prof: &KernelProfile) -> Result<LaunchReport, SimError> {
+    let occ = occupancy(dev, &prof.resources);
+    if occ.blocks_per_sm == 0 {
+        return Err(SimError::Unlaunchable {
+            reason: format!(
+                "{:?} exceeds limits of {} (smem cap {} B, {} regs/thread)",
+                prof.resources, dev.name, dev.max_shared_per_sm, dev.max_registers_per_thread
+            ),
+        });
+    }
+    let (gy, gx) = prof.grid;
+    let total_blocks = (gy * gx).max(1);
+    let wave_capacity = occ.blocks_per_sm * dev.sm_count;
+    let waves = total_blocks.div_ceil(wave_capacity);
+    let wave_blocks = total_blocks.min(wave_capacity);
+    // The hardware scheduler spreads a partial wave across ALL SMs, so
+    // small grids see full machine bandwidth/compute at reduced residency.
+    let active_sms = wave_blocks.min(dev.sm_count) as f64;
+    let b = occ
+        .blocks_per_sm
+        .min(wave_blocks.div_ceil(active_sms as usize)) as f64;
+
+    // --- Load-side service rates (per SM share of device bandwidth) ---
+    // A double-buffered kernel keeps two iteration slices in flight, so a
+    // resident block exposes the same L2 panel-sharing window as two serial
+    // blocks; reuse is evaluated over that effective wave.
+    let reuse_wave = match prof.pipeline {
+        PipelineMode::Serial => wave_blocks,
+        PipelineMode::DoubleBuffered => 2 * wave_blocks,
+    };
+    let traffic = split_traffic(dev, gy, gx, reuse_wave, &prof.g2s_per_iter, prof.iters_per_block);
+    let dram_rate_per_sm = dev.dram_bytes_per_clock() / active_sms;
+    let l2_rate_per_sm = dev.l2_bytes_per_clock() / active_sms;
+    let bytes_iter = prof.g2s_per_iter.total();
+    let (dram_iter, l2_iter) = (
+        bytes_iter * traffic.miss_fraction,
+        bytes_iter * (1.0 - traffic.miss_fraction),
+    );
+    // Per-block per-iteration global load service time.
+    let g = dram_iter / dram_rate_per_sm + l2_iter / l2_rate_per_sm;
+    // Exposed access latency per dependent chain.
+    let lat = traffic.miss_fraction * dev.dram_latency_cycles
+        + (1.0 - traffic.miss_fraction) * dev.l2_latency_cycles;
+    let lat_eff = lat * (1.0 + prof.dependent_load_chains);
+
+    // --- Inner-kernel exposure (shared-mem loads vs FMAs) ---
+    let warps = (prof.resources.threads.div_ceil(32)).max(1) as f64;
+    let xc = prof.comp_cycles_per_iter;
+    let xl = prof.lds_cycles_per_iter;
+    let x = if prof.inner_double_buffer {
+        xc.max(xl)
+    } else {
+        // WAR hazard serializes LDS→FFMA within a warp; other warps of the
+        // same block hide part of it.
+        xc.max(xl) + xc.min(xl) / warps
+    };
+
+    // --- Steady-state round time (all b resident blocks advance one iter) --
+    let sync = dev.barrier_cycles;
+    let r_comp = b * xc;
+    let r_lds = b * xl;
+    let r_mem = b * g;
+    let (round, crit) = match prof.pipeline {
+        // Serial main loop (Listing 1/3): barriers give every resident
+        // block the same iteration cadence, so blocks phase-lock and their
+        // load phases collide instead of hiding under a neighbour's compute
+        // — the convoy effect double buffering exists to break. A block
+        // finds the SM also loading with probability ≈ G/(G+X); that
+        // fraction of the lesser resource stays exposed, and the per-trip
+        // access latency sits on the critical path.
+        PipelineMode::Serial => {
+            let collision = g / (g + x).max(1e-9);
+            let base = r_comp.max(r_lds).max(r_mem);
+            // Residency desynchronizes barrier cadences enough to hide the
+            // access latency across blocks (but not the bandwidth/compute
+            // serialization the collision term charges).
+            let round = base + collision * r_comp.min(r_mem) + lat_eff / b + 2.0 * sync;
+            (round, lat_eff + g + x + 2.0 * sync)
+        }
+        // Steady-state double buffering (Listing 4): loads for iteration
+        // i+1 are issued as compute of iteration i starts, so back-to-back
+        // loads amortize the access latency — only service times compete.
+        // Latency reappears solely in the prologue.
+        PipelineMode::DoubleBuffered => {
+            let crit = (x + sync).max(g);
+            (r_comp.max(r_lds).max(r_mem).max(crit), crit)
+        }
+    };
+
+    // Attribute the round to whichever resource explains (almost) all of it.
+    // The critical path always embeds one compute and one load term, so a
+    // strict argmax would misreport compute-bound single-block-per-SM
+    // kernels as latency bound.
+    let bound = if r_mem >= 0.93 * round {
+        Bound::Memory
+    } else if r_comp >= 0.93 * round {
+        Bound::Compute
+    } else if r_lds >= 0.93 * round {
+        Bound::SharedMemory
+    } else {
+        Bound::Latency
+    };
+
+    // --- Assemble the launch ---
+    let prologue = lat_eff + g; // first tile fill
+    let epilogue = prof.stg_bytes_per_block * b / dram_rate_per_sm + lat;
+    let wave_cycles = prologue + prof.iters_per_block as f64 * round + epilogue;
+    let cycles = waves as f64 * wave_cycles / dev.sustained_efficiency;
+
+    let seconds = cycles / dev.clock_hz();
+    let tflops = if seconds > 0.0 {
+        prof.useful_flops / seconds / 1e12
+    } else {
+        0.0
+    };
+    Ok(LaunchReport {
+        name: prof.name.clone(),
+        cycles,
+        seconds,
+        tflops,
+        efficiency: tflops / dev.peak_fp32_tflops(),
+        bound,
+        waves,
+        blocks_per_sm: occ.blocks_per_sm,
+        traffic,
+        round: RoundBreakdown {
+            compute: r_comp,
+            shared: r_lds,
+            memory: r_mem,
+            critical_path: crit,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::a100_80g;
+
+    /// A dense-GEMM-shaped profile: 64x128 tile, ks=96, m=n=k=4096.
+    fn dense_profile(pipeline: PipelineMode, inner_dbuf: bool) -> KernelProfile {
+        let (ms, ns, ks) = (64usize, 128usize, 96usize);
+        let k = 4096usize;
+        let threads = ms * ns / 64; // 8x8 thread tiles
+        let smem = 4 * (ms * ks + ks * ns) * if pipeline == PipelineMode::DoubleBuffered { 2 } else { 1 };
+        KernelProfile {
+            name: "dense-test".into(),
+            grid: (4096 / ms, 4096 / ns),
+            resources: BlockResources {
+                threads,
+                regs_per_thread: 120,
+                smem_bytes: smem,
+            },
+            iters_per_block: k / ks,
+            comp_cycles_per_iter: (ms * ns * ks) as f64 / 64.0,
+            lds_cycles_per_iter: (threads * ks * (8 + 8) * 4) as f64 / 128.0,
+            g2s_per_iter: BlockTraffic {
+                a_bytes: (ms * ks * 4) as f64,
+                bcol_bytes: (ks * ns * 4) as f64,
+                private_bytes: 0.0,
+            },
+            dependent_load_chains: 0.0,
+            pipeline,
+            inner_double_buffer: inner_dbuf,
+            stg_bytes_per_block: (ms * ns * 4) as f64,
+            useful_flops: 2.0 * 4096f64.powi(3),
+        }
+    }
+
+    #[test]
+    fn tuned_dense_gemm_is_compute_bound_and_efficient() {
+        let dev = a100_80g();
+        let rep = estimate(&dev, &dense_profile(PipelineMode::DoubleBuffered, true)).unwrap();
+        assert_eq!(rep.bound, Bound::Compute);
+        assert!(
+            rep.efficiency > 0.85 && rep.efficiency <= 1.0,
+            "dense GEMM efficiency {} out of band",
+            rep.efficiency
+        );
+    }
+
+    #[test]
+    fn serial_pipeline_is_slower() {
+        let dev = a100_80g();
+        let v3 = estimate(&dev, &dense_profile(PipelineMode::DoubleBuffered, true)).unwrap();
+        let mut p1 = dense_profile(PipelineMode::Serial, false);
+        p1.resources.smem_bytes /= 2; // V1 has single buffers
+        let v1 = estimate(&dev, &p1).unwrap();
+        assert!(
+            v1.seconds > v3.seconds,
+            "serial {} must be slower than double-buffered {}",
+            v1.seconds,
+            v3.seconds
+        );
+        // But not catastrophically at compute-bound shapes (paper Fig. 7).
+        assert!(v3.seconds / v1.seconds > 0.6);
+    }
+
+    #[test]
+    fn unlaunchable_block_is_an_error() {
+        let dev = a100_80g();
+        let mut p = dense_profile(PipelineMode::Serial, false);
+        p.resources.smem_bytes = 10 * 1024 * 1024;
+        assert!(estimate(&dev, &p).is_err());
+    }
+
+    #[test]
+    fn memory_bound_profile_classified() {
+        let dev = a100_80g();
+        let mut p = dense_profile(PipelineMode::DoubleBuffered, true);
+        // Blow up the per-iteration traffic with zero-reuse bytes.
+        p.g2s_per_iter.private_bytes = 4e6;
+        let rep = estimate(&dev, &p).unwrap();
+        assert_eq!(rep.bound, Bound::Memory);
+        assert!(rep.efficiency < 0.5);
+    }
+
+    #[test]
+    fn latency_bound_small_grid() {
+        let dev = a100_80g();
+        let mut p = dense_profile(PipelineMode::Serial, false);
+        p.resources.smem_bytes /= 2;
+        p.grid = (1, 1); // single block: nothing hides latency
+        p.useful_flops = 2.0 * 64.0 * 128.0 * 4096.0;
+        let rep = estimate(&dev, &p).unwrap();
+        assert!(rep.efficiency < 0.05, "one block cannot fill a GPU");
+    }
+
+    #[test]
+    fn waves_quantize() {
+        let dev = a100_80g();
+        let mut p = dense_profile(PipelineMode::DoubleBuffered, true);
+        let rep1 = estimate(&dev, &p).unwrap();
+        // Same per-block work, slightly more blocks than a wave boundary.
+        p.grid = (rep1.blocks_per_sm * dev.sm_count / 32 + 1, 32);
+        let rep2 = estimate(&dev, &p).unwrap();
+        assert_eq!(rep2.waves, 2);
+    }
+
+    #[test]
+    fn dependent_chain_raises_critical_path() {
+        let dev = a100_80g();
+        let mut base = dense_profile(PipelineMode::Serial, false);
+        base.resources.smem_bytes /= 2;
+        let r0 = estimate(&dev, &base).unwrap();
+        base.dependent_load_chains = 1.0;
+        let r1 = estimate(&dev, &base).unwrap();
+        assert!(r1.round.critical_path > r0.round.critical_path);
+    }
+
+    #[test]
+    fn report_units_are_consistent() {
+        let dev = a100_80g();
+        let rep = estimate(&dev, &dense_profile(PipelineMode::DoubleBuffered, true)).unwrap();
+        let recomputed_tflops = 2.0 * 4096f64.powi(3) / rep.seconds / 1e12;
+        assert!((recomputed_tflops - rep.tflops).abs() / rep.tflops < 1e-9);
+        assert!((rep.seconds - rep.cycles / dev.clock_hz()).abs() < 1e-12);
+    }
+}

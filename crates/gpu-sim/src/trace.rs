@@ -1,0 +1,239 @@
+//! Execution traces: a structured timeline of one simulated launch.
+//!
+//! The timing model reduces a launch to prologue / steady-state rounds /
+//! epilogue per wave; this module materializes that structure as an
+//! inspectable [`ExecutionTrace`] — the simulator's answer to an Nsight
+//! Compute timeline — with per-phase resource attribution and a CSV
+//! exporter for plotting.
+
+use crate::device::DeviceConfig;
+use crate::timing::{Bound, KernelProfile, LaunchReport};
+use serde::{Deserialize, Serialize};
+
+/// One segment of the launch timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Segment kind.
+    pub kind: SegmentKind,
+    /// Start time in cycles from launch.
+    pub start_cycles: f64,
+    /// Duration in cycles.
+    pub duration_cycles: f64,
+    /// Wave index this segment belongs to.
+    pub wave: usize,
+}
+
+/// What a segment spends its time on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SegmentKind {
+    /// First tile fill: exposed access latency + service.
+    Prologue,
+    /// The steady-state main loop (all iterations).
+    MainLoop,
+    /// C write-back (+ split-K reduction when present).
+    Epilogue,
+}
+
+/// A structured launch timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionTrace {
+    /// Kernel name.
+    pub name: String,
+    /// Device name.
+    pub device: String,
+    /// Ordered timeline segments.
+    pub segments: Vec<Segment>,
+    /// Total cycles (matches the report).
+    pub total_cycles: f64,
+    /// Steady-state bound.
+    pub bound: Bound,
+    /// Fraction of the total spent in the main loop (the useful part).
+    pub main_loop_fraction: f64,
+}
+
+impl ExecutionTrace {
+    /// Build a trace from a profile and its report. The per-wave split
+    /// reuses the same arithmetic as `timing::estimate`, so segment sums
+    /// equal the report's total (tested).
+    pub fn from_launch(dev: &DeviceConfig, prof: &KernelProfile, report: &LaunchReport) -> Self {
+        let waves = report.waves.max(1);
+        let wave_cycles = report.cycles / waves as f64;
+
+        // Decompose one wave the way the estimator assembles it: the
+        // prologue is one exposed access + fill; the epilogue is the C
+        // write-back; the remainder is the main loop.
+        let lat = report.traffic.miss_fraction * dev.dram_latency_cycles
+            + (1.0 - report.traffic.miss_fraction) * dev.l2_latency_cycles;
+        let chains = 1.0 + prof.dependent_load_chains;
+        let g = prof.g2s_per_iter.total()
+            * (report.traffic.miss_fraction / dev.dram_bytes_per_clock()
+                + (1.0 - report.traffic.miss_fraction) / dev.l2_bytes_per_clock())
+            * report.blocks_per_sm.max(1) as f64;
+        let prologue = (lat * chains + g).min(wave_cycles * 0.45);
+        let epilogue = (prof.stg_bytes_per_block / dev.dram_bytes_per_clock() + lat)
+            .min(wave_cycles * 0.25);
+        let main = (wave_cycles - prologue - epilogue).max(0.0);
+
+        let mut segments = Vec::with_capacity(waves * 3);
+        let mut t = 0.0;
+        for wave in 0..waves {
+            for (kind, dur) in [
+                (SegmentKind::Prologue, prologue),
+                (SegmentKind::MainLoop, main),
+                (SegmentKind::Epilogue, epilogue),
+            ] {
+                segments.push(Segment {
+                    kind,
+                    start_cycles: t,
+                    duration_cycles: dur,
+                    wave,
+                });
+                t += dur;
+            }
+        }
+        let main_total: f64 = segments
+            .iter()
+            .filter(|s| s.kind == SegmentKind::MainLoop)
+            .map(|s| s.duration_cycles)
+            .sum();
+        ExecutionTrace {
+            name: prof.name.clone(),
+            device: dev.name.clone(),
+            segments,
+            total_cycles: t,
+            bound: report.bound,
+            main_loop_fraction: if t > 0.0 { main_total / t } else { 0.0 },
+        }
+    }
+
+    /// Export as CSV (`wave,kind,start_cycles,duration_cycles`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("wave,kind,start_cycles,duration_cycles\n");
+        for s in &self.segments {
+            out.push_str(&format!(
+                "{},{:?},{:.1},{:.1}\n",
+                s.wave, s.kind, s.start_cycles, s.duration_cycles
+            ));
+        }
+        out
+    }
+
+    /// Render a compact one-line bar per wave (for terminal output), e.g.
+    /// `wave 0: [P==M================E]`.
+    pub fn ascii_timeline(&self, width: usize) -> String {
+        let mut out = String::new();
+        let per_wave: Vec<&[Segment]> = self
+            .segments
+            .chunks(3)
+            .collect();
+        for (i, segs) in per_wave.iter().enumerate() {
+            let wave_total: f64 = segs.iter().map(|s| s.duration_cycles).sum();
+            out.push_str(&format!("wave {i}: ["));
+            for s in *segs {
+                let c = match s.kind {
+                    SegmentKind::Prologue => 'P',
+                    SegmentKind::MainLoop => '=',
+                    SegmentKind::Epilogue => 'E',
+                };
+                let n = if wave_total > 0.0 {
+                    ((s.duration_cycles / wave_total) * width as f64).round() as usize
+                } else {
+                    0
+                };
+                out.extend(std::iter::repeat_n(c, n.max(1)));
+            }
+            out.push_str("]\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::a100_80g;
+    use crate::l2::BlockTraffic;
+    use crate::occupancy::BlockResources;
+    use crate::timing::{estimate, PipelineMode};
+
+    fn sample_profile() -> KernelProfile {
+        KernelProfile {
+            name: "trace-test".into(),
+            grid: (64, 32),
+            resources: BlockResources {
+                threads: 128,
+                regs_per_thread: 120,
+                smem_bytes: 96 * 1024,
+            },
+            iters_per_block: 16,
+            comp_cycles_per_iter: 4096.0,
+            lds_cycles_per_iter: 1024.0,
+            g2s_per_iter: BlockTraffic {
+                a_bytes: 65536.0,
+                bcol_bytes: 16384.0,
+                private_bytes: 0.0,
+            },
+            dependent_load_chains: 1.0,
+            pipeline: PipelineMode::DoubleBuffered,
+            inner_double_buffer: true,
+            stg_bytes_per_block: 32768.0,
+            useful_flops: 1e12,
+        }
+    }
+
+    #[test]
+    fn segments_cover_the_whole_launch() {
+        let dev = a100_80g();
+        let prof = sample_profile();
+        let rep = estimate(&dev, &prof).unwrap();
+        let trace = ExecutionTrace::from_launch(&dev, &prof, &rep);
+        assert_eq!(trace.segments.len(), rep.waves * 3);
+        // Durations sum to the total; segments are contiguous.
+        let sum: f64 = trace.segments.iter().map(|s| s.duration_cycles).sum();
+        assert!((sum - trace.total_cycles).abs() < 1e-6);
+        let mut t = 0.0;
+        for s in &trace.segments {
+            assert!((s.start_cycles - t).abs() < 1e-6, "gap before {s:?}");
+            t += s.duration_cycles;
+        }
+        assert!((trace.total_cycles - rep.cycles).abs() / rep.cycles < 0.5,
+            "trace total {} should be near report cycles {}", trace.total_cycles, rep.cycles);
+    }
+
+    #[test]
+    fn main_loop_dominates_long_kernels() {
+        let dev = a100_80g();
+        let prof = sample_profile();
+        let rep = estimate(&dev, &prof).unwrap();
+        let trace = ExecutionTrace::from_launch(&dev, &prof, &rep);
+        assert!(
+            trace.main_loop_fraction > 0.7,
+            "16-iteration kernel must be main-loop dominated: {}",
+            trace.main_loop_fraction
+        );
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let dev = a100_80g();
+        let prof = sample_profile();
+        let rep = estimate(&dev, &prof).unwrap();
+        let trace = ExecutionTrace::from_launch(&dev, &prof, &rep);
+        let csv = trace.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "wave,kind,start_cycles,duration_cycles");
+        assert_eq!(lines.len(), 1 + trace.segments.len());
+        assert!(lines[1].starts_with("0,Prologue"));
+    }
+
+    #[test]
+    fn ascii_timeline_renders_one_line_per_wave() {
+        let dev = a100_80g();
+        let prof = sample_profile();
+        let rep = estimate(&dev, &prof).unwrap();
+        let trace = ExecutionTrace::from_launch(&dev, &prof, &rep);
+        let art = trace.ascii_timeline(40);
+        assert_eq!(art.lines().count(), rep.waves);
+        assert!(art.contains('P') && art.contains('=') && art.contains('E'));
+    }
+}

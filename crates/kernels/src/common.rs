@@ -1,0 +1,72 @@
+//! Small helpers shared by every simulated kernel.
+
+use gpu_sim::mem::SECTOR_BYTES;
+
+/// Grid dimensions `(grid_y, grid_x)` for an `m × n` output with
+/// `ms × ns` blocks.
+pub fn grid_dims(m: usize, n: usize, ms: usize, ns: usize) -> (usize, usize) {
+    (m.div_ceil(ms), n.div_ceil(ns))
+}
+
+/// 32-byte sectors touched by a contiguous `bytes`-long access.
+pub fn sectors_contig(bytes: usize) -> u64 {
+    bytes.div_ceil(SECTOR_BYTES) as u64
+}
+
+/// Sectors for `count` separate contiguous runs of `run_bytes` each
+/// (e.g. `count` tile columns of a k-major matrix).
+pub fn sectors_runs(count: usize, run_bytes: usize) -> u64 {
+    count as u64 * sectors_contig(run_bytes)
+}
+
+/// Scatter a block's `rows_eff × cols_eff` tile (stored row-major with
+/// stride `tile_stride`) into the output buffer.
+#[allow(clippy::too_many_arguments)] // mirrors the CUDA epilogue signature
+pub fn scatter_tile(
+    c: &mut [f32],
+    n: usize,
+    tile: &[f32],
+    tile_stride: usize,
+    row0: usize,
+    col0: usize,
+    rows_eff: usize,
+    cols_eff: usize,
+) {
+    for r in 0..rows_eff {
+        let src = &tile[r * tile_stride..r * tile_stride + cols_eff];
+        let dst = &mut c[(row0 + r) * n + col0..(row0 + r) * n + col0 + cols_eff];
+        dst.copy_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_dims_round_up() {
+        assert_eq!(grid_dims(4096, 4096, 64, 128), (64, 32));
+        assert_eq!(grid_dims(100, 100, 64, 128), (2, 1));
+        assert_eq!(grid_dims(64, 128, 64, 128), (1, 1));
+    }
+
+    #[test]
+    fn sector_math() {
+        assert_eq!(sectors_contig(1), 1);
+        assert_eq!(sectors_contig(32), 1);
+        assert_eq!(sectors_contig(33), 2);
+        assert_eq!(sectors_runs(4, 256), 32);
+    }
+
+    #[test]
+    fn scatter_places_tile() {
+        let mut c = vec![0.0f32; 4 * 4];
+        let tile = vec![1.0, 2.0, 9.0, 3.0, 4.0, 9.0]; // stride 3, 2x2 used
+        scatter_tile(&mut c, 4, &tile, 3, 1, 2, 2, 2);
+        assert_eq!(c[4 + 2], 1.0);
+        assert_eq!(c[4 + 3], 2.0);
+        assert_eq!(c[2 * 4 + 2], 3.0);
+        assert_eq!(c[2 * 4 + 3], 4.0);
+        assert_eq!(c[0], 0.0);
+    }
+}

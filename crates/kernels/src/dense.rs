@@ -1,0 +1,354 @@
+//! Hierarchically blocked, double-buffered dense GEMM — the cuBLAS
+//! stand-in for every speedup baseline in the paper's figures.
+//!
+//! Structurally this is the NM-SpMM V3 kernel with the sparsity machinery
+//! removed: no index matrix, no gather, `ws == ks`. On the simulator it
+//! reaches the ~90-95% of peak a tuned SGEMM reaches on the real parts,
+//! which is exactly the role cuBLAS plays as the "1.0×" line of Fig. 9.
+
+use crate::common::{grid_dims, scatter_tile, sectors_runs};
+use crate::params::BlockingParams;
+use crate::SimRun;
+use gpu_sim::device::DeviceConfig;
+use gpu_sim::l2::BlockTraffic;
+use gpu_sim::occupancy::BlockResources;
+use gpu_sim::stats::KernelStats;
+use gpu_sim::timing::{estimate as sim_estimate, KernelProfile, LaunchReport, PipelineMode};
+use nm_core::error::{NmError, Result};
+use nm_core::matrix::MatrixF32;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Dense-GEMM plan: blocking depth and grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DensePlan {
+    /// Table I parameters.
+    pub params: BlockingParams,
+    /// k-depth per main-loop iteration.
+    pub ks: usize,
+    /// Grid shape.
+    pub grid: (usize, usize),
+    /// Main-loop trip count.
+    pub iters: usize,
+    /// Shared-memory bytes (double-buffered tiles).
+    pub smem_bytes: usize,
+    /// Registers per thread.
+    pub regs_per_thread: usize,
+}
+
+/// The dense GEMM kernel (cuBLAS stand-in).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DenseGemmKernel {
+    /// Table I blocking parameters.
+    pub params: BlockingParams,
+}
+
+impl DenseGemmKernel {
+    /// Kernel with explicit parameters.
+    pub fn new(params: BlockingParams) -> Self {
+        Self { params }
+    }
+
+    /// Kernel with `Para_Init_Table`-selected parameters.
+    pub fn auto(m: usize, n: usize) -> Self {
+        Self {
+            params: BlockingParams::para_init_table(m, n),
+        }
+    }
+
+    /// Resolve blocking for a problem.
+    ///
+    /// Like the cuBLAS heuristics it stands in for, the planner considers
+    /// both the deepest `ks` the Eq. 4 budget admits (one resident block)
+    /// and the half-depth variant (two resident blocks, better inter-block
+    /// L2 reuse) and keeps whichever the timing model prefers.
+    pub fn plan(&self, dev: &DeviceConfig, m: usize, n: usize, k: usize) -> Result<DensePlan> {
+        self.params.validate()?;
+        let p = self.params;
+        let budget = dev.max_shared_per_sm / 2;
+        // Eq. 4 with ws = ks (dense): 4·ks·(ms + ns) ≤ budget.
+        let ks_cap = budget / (4 * (p.ms + p.ns));
+        let k_padded = k.div_ceil(32) * 32;
+        let ks_full = (ks_cap / 32 * 32).clamp(32, k_padded.max(32));
+
+        let make = |ks: usize| DensePlan {
+            params: p,
+            ks,
+            grid: grid_dims(m, n, p.ms, p.ns),
+            iters: k.div_ceil(ks).max(1),
+            smem_bytes: 2 * 4 * ks * (p.ms + p.ns), // double buffered
+            regs_per_thread: (p.mt * p.nt + 2 * (p.mt + p.nt) + 26)
+                .min(dev.max_registers_per_thread),
+        };
+        let mut best = make(ks_full);
+        let ks_half = (ks_full / 2 / 32 * 32).max(32);
+        if ks_half != ks_full {
+            let alt = make(ks_half);
+            let score = |plan: &DensePlan| {
+                let (profile, _) = self.build_profile(dev, plan, m, n, k);
+                sim_estimate(dev, &profile).map(|r| r.seconds).unwrap_or(f64::INFINITY)
+            };
+            if score(&alt) < score(&best) {
+                best = alt;
+            }
+        }
+        Ok(best)
+    }
+
+    /// Analytic estimate without data.
+    pub fn estimate(&self, dev: &DeviceConfig, m: usize, n: usize, k: usize) -> Result<LaunchReport> {
+        let plan = self.plan(dev, m, n, k)?;
+        let (profile, _) = self.build_profile(dev, &plan, m, n, k);
+        sim_estimate(dev, &profile).map_err(|e| NmError::InvalidBlocking {
+            reason: e.to_string(),
+        })
+    }
+
+    /// Functional run.
+    pub fn run(&self, dev: &DeviceConfig, a: &MatrixF32, b: &MatrixF32) -> Result<SimRun> {
+        let (m, k) = a.shape();
+        let (kb, n) = b.shape();
+        if k != kb {
+            return Err(NmError::DimensionMismatch {
+                expected: format!("B with k = {k}"),
+                found: format!("B with k = {kb}"),
+            });
+        }
+        let plan = self.plan(dev, m, n, k)?;
+        let (profile, stats) = self.build_profile(dev, &plan, m, n, k);
+        let report = sim_estimate(dev, &profile).map_err(|e| NmError::InvalidBlocking {
+            reason: e.to_string(),
+        })?;
+
+        let (gy, gx) = plan.grid;
+        let (ms, ns) = (plan.params.ms, plan.params.ns);
+        let tiles: Vec<(usize, usize, Vec<f32>)> = (0..gy * gx)
+            .into_par_iter()
+            .map(|idx| {
+                let (bi, bj) = (idx / gx, idx % gx);
+                (bi, bj, compute_block(a, b, &plan, bi, bj))
+            })
+            .collect();
+
+        let mut c = MatrixF32::zeros(m, n);
+        let cbuf = c.as_mut_slice();
+        for (bi, bj, tile) in tiles {
+            let row0 = bi * ms;
+            let col0 = bj * ns;
+            scatter_tile(cbuf, n, &tile, ns, row0, col0, ms.min(m - row0), ns.min(n - col0));
+        }
+        Ok(SimRun { c, stats, report })
+    }
+
+    fn build_profile(
+        &self,
+        dev: &DeviceConfig,
+        plan: &DensePlan,
+        m: usize,
+        n: usize,
+        k: usize,
+    ) -> (KernelProfile, KernelStats) {
+        let p = plan.params;
+        let (ms, ns, ks) = (p.ms, p.ns, plan.ks);
+        let warps = p.warps();
+
+        let a_bytes = (ks * ms * 4) as u64;
+        let b_bytes = (ks * ns * 4) as u64;
+        let fill_bytes = a_bytes + b_bytes;
+        let inner_bytes = (ks * warps * (p.mr + p.nr) * 4) as u64;
+        let lds_cycles = (fill_bytes + inner_bytes) as f64 / dev.smem_bytes_per_clock;
+
+        let ffma_iter = (ms * ns * ks) as u64;
+        let resources = BlockResources {
+            threads: p.threads(),
+            regs_per_thread: plan.regs_per_thread,
+            smem_bytes: plan.smem_bytes,
+        };
+        let (gy, gx) = plan.grid;
+        let blocks = (gy * gx) as u64;
+        let iters = plan.iters as u64;
+        let stg = (ms * ns * 4) as u64;
+
+        let profile = KernelProfile {
+            name: format!("dense GEMM [{ms}x{ns}]"),
+            grid: plan.grid,
+            resources,
+            iters_per_block: plan.iters,
+            comp_cycles_per_iter: ffma_iter as f64 / dev.fma_per_clock_per_sm(),
+            lds_cycles_per_iter: lds_cycles,
+            g2s_per_iter: BlockTraffic {
+                a_bytes: a_bytes as f64,
+                bcol_bytes: b_bytes as f64,
+                private_bytes: 0.0,
+            },
+            dependent_load_chains: 0.0,
+            pipeline: PipelineMode::DoubleBuffered,
+            inner_double_buffer: true,
+            stg_bytes_per_block: stg as f64,
+            useful_flops: 2.0 * m as f64 * n as f64 * k as f64,
+        };
+        let stats = KernelStats {
+            ffma: blocks * iters * ffma_iter,
+            ldg_bytes_a: blocks * iters * a_bytes,
+            ldg_bytes_b: blocks * iters * b_bytes,
+            stg_bytes: blocks * stg,
+            ldg_sectors: blocks * iters * (sectors_runs(ks, ms * 4) + sectors_runs(ks, ns * 4)),
+            lds_requests: blocks * iters * (fill_bytes + inner_bytes) / 128,
+            lds_replays: 0,
+            sts_requests: blocks * iters * fill_bytes / 128,
+            lds_bytes: blocks * iters * inner_bytes,
+            sts_bytes: blocks * iters * fill_bytes,
+            barriers: blocks * iters,
+            blocks,
+            main_loop_iters: blocks * iters,
+            ..Default::default()
+        };
+        (profile, stats)
+    }
+}
+
+fn compute_block(a: &MatrixF32, b: &MatrixF32, plan: &DensePlan, bi: usize, bj: usize) -> Vec<f32> {
+    let (ms, ns) = (plan.params.ms, plan.params.ns);
+    let ks = plan.ks;
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let row0 = bi * ms;
+    let col0 = bj * ns;
+    let rows_eff = ms.min(m - row0);
+    let cols_eff = ns.min(n - col0);
+
+    let mut cs = vec![0f32; ms * ns];
+    for it in 0..plan.iters {
+        let kbase = it * ks;
+        let kend = (kbase + ks).min(k);
+        for p in kbase..kend {
+            let b_row = &b.row(p)[col0..col0 + cols_eff];
+            for i in 0..rows_eff {
+                let av = a.get(row0 + i, p);
+                if av == 0.0 {
+                    continue;
+                }
+                let c_seg = &mut cs[i * ns..i * ns + cols_eff];
+                for (cv, bv) in c_seg.iter_mut().zip(b_row) {
+                    *cv += av * bv;
+                }
+            }
+        }
+    }
+    cs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::device::{a100_80g, rtx3090, rtx4090};
+    use gpu_sim::timing::Bound;
+    use nm_core::spmm::gemm_reference;
+
+    #[test]
+    fn functional_matches_reference() {
+        let dev = a100_80g();
+        let a = MatrixF32::random(100, 130, 1);
+        let b = MatrixF32::random(130, 90, 2);
+        let run = DenseGemmKernel::auto(100, 90).run(&dev, &a, &b).unwrap();
+        let expect = gemm_reference(&a, &b);
+        assert!(
+            run.c.allclose(&expect, 1e-3, 1e-4),
+            "max diff {}",
+            run.c.max_abs_diff(&expect)
+        );
+    }
+
+    #[test]
+    fn big_square_gemm_is_efficient_on_all_devices() {
+        // The cuBLAS role: ≥85% of peak at 4096^3 (paper Fig. 7: cuBLAS bar).
+        for dev in [a100_80g(), rtx3090(), rtx4090()] {
+            let rep = DenseGemmKernel::new(BlockingParams::large())
+                .estimate(&dev, 4096, 4096, 4096)
+                .unwrap();
+            // Real cuBLAS SGEMM: ~93-96% on A100, ~85-90% on 3090, and only
+            // ~73-85% on the bandwidth-starved 4090.
+            assert!(
+                rep.efficiency > 0.72,
+                "{}: dense efficiency {} too low",
+                dev.name,
+                rep.efficiency
+            );
+        }
+        let a100_eff = DenseGemmKernel::new(BlockingParams::large())
+            .estimate(&a100_80g(), 4096, 4096, 4096)
+            .unwrap()
+            .efficiency;
+        assert!(a100_eff > 0.88, "A100 dense {a100_eff} must be near peak");
+        // The A100's balanced compute/bandwidth keeps dense GEMM firmly
+        // compute bound; the 4090 straddles the ridge at this tile size —
+        // the paper's "floating-point performance significantly outpaces
+        // memory bandwidth" remark about the consumer parts.
+        let a100 = DenseGemmKernel::new(BlockingParams::large())
+            .estimate(&a100_80g(), 4096, 4096, 4096)
+            .unwrap();
+        assert_eq!(a100.bound, Bound::Compute);
+    }
+
+    #[test]
+    fn small_gemm_is_less_efficient() {
+        let dev = a100_80g();
+        let small = DenseGemmKernel::new(BlockingParams::small())
+            .estimate(&dev, 512, 512, 512)
+            .unwrap();
+        let large = DenseGemmKernel::new(BlockingParams::large())
+            .estimate(&dev, 4096, 4096, 4096)
+            .unwrap();
+        assert!(small.efficiency < large.efficiency);
+    }
+
+    #[test]
+    fn kernel_size_matching_matters() {
+        // Table II A (512^3) runs better with the small kernel than large —
+        // the Fig. 8 observation.
+        let dev = a100_80g();
+        let small = DenseGemmKernel::new(BlockingParams::small())
+            .estimate(&dev, 512, 512, 512)
+            .unwrap();
+        let large = DenseGemmKernel::new(BlockingParams::large())
+            .estimate(&dev, 512, 512, 512)
+            .unwrap();
+        assert!(
+            small.seconds < large.seconds,
+            "small kernel {} must beat large {} on a 512^3 problem",
+            small.seconds,
+            large.seconds
+        );
+    }
+
+    #[test]
+    fn estimate_equals_run_report() {
+        let dev = rtx3090();
+        let a = MatrixF32::random(256, 256, 3);
+        let b = MatrixF32::random(256, 256, 4);
+        let kern = DenseGemmKernel::new(BlockingParams::medium());
+        let run = kern.run(&dev, &a, &b).unwrap();
+        let est = kern.estimate(&dev, 256, 256, 256).unwrap();
+        assert_eq!(run.report.cycles, est.cycles);
+    }
+
+    #[test]
+    fn rejects_mismatched_shapes() {
+        let dev = a100_80g();
+        let a = MatrixF32::random(32, 64, 1);
+        let b = MatrixF32::random(32, 64, 2);
+        assert!(DenseGemmKernel::auto(32, 64).run(&dev, &a, &b).is_err());
+    }
+
+    #[test]
+    fn stats_account_all_traffic() {
+        let dev = a100_80g();
+        let a = MatrixF32::random(64, 128, 5);
+        let b = MatrixF32::random(128, 128, 6);
+        let run = DenseGemmKernel::new(BlockingParams::small()).run(&dev, &a, &b).unwrap();
+        assert!(run.stats.ffma >= (64 * 128 * 128) as u64);
+        assert!(run.stats.ldg_bytes_a > 0 && run.stats.ldg_bytes_b > 0);
+        assert_eq!(run.stats.ldg_bytes_d, 0, "dense GEMM reads no indices");
+        assert_eq!(run.stats.stg_bytes, run.stats.blocks * 32 * 32 * 4);
+    }
+}

@@ -1,0 +1,65 @@
+//! # nm-kernels — simulated GPU kernels
+//!
+//! The paper's kernels (Listings 1–4) and its comparison baselines, written
+//! against the `gpu-sim` substrate. Every kernel has two faces:
+//!
+//! * a **functional** face (`run`) that computes the real FP32 result
+//!   through the same data path the CUDA kernel takes — tile fills into
+//!   emulated shared memory, index-directed gathers, packed loads through
+//!   `col_info` — so numerics and index plumbing are tested end to end, and
+//! * an **analytic** face (`estimate`) that derives the identical event
+//!   counts from geometry alone (no data), fast enough to sweep the
+//!   100-point Llama dataset across devices; both faces share the same
+//!   profile code so they cannot drift apart.
+//!
+//! Kernels:
+//!
+//! * [`dense::DenseGemmKernel`] — hierarchically blocked, double-buffered
+//!   dense GEMM; the cuBLAS stand-in,
+//! * [`nm::NmSpmmKernel`] with [`nm::NmVersion`] `V1`/`V2`/`V3` — the
+//!   paper's step-wise optimization ladder (hierarchical blocking →
+//!   sparsity-aware packing → pipelined double buffering),
+//! * [`nmsparse::NmSparseKernel`] — the nmSPARSE VW baseline (per-window
+//!   depth, no packing, no double buffering),
+//! * [`sputnik::SputnikKernel`] — the Sputnik unstructured-SpMM baseline
+//!   (CSR row-split with uncoalesced gathers).
+//!
+//! ## Data layout note
+//!
+//! As in the reference CUDA implementation, the activation matrix `A` is
+//! assumed **k-major (column-major)** in global memory, so both the dense
+//! tile load and the packed per-column gather are fully coalesced; the
+//! functional face uses the row-major [`nm_core::MatrixF32`] for
+//! convenience (results are identical), while the traffic model accounts
+//! sectors for the k-major layout.
+
+#![warn(missing_docs)]
+
+pub mod autotune;
+pub mod common;
+pub mod dense;
+pub mod nm;
+pub mod nmsparse;
+pub mod params;
+pub mod sparse_tc;
+pub mod sputnik;
+
+pub use autotune::{tune, TuneResult};
+pub use dense::DenseGemmKernel;
+pub use nm::{NmSpmmKernel, NmVersion};
+pub use nmsparse::NmSparseKernel;
+pub use params::{Blocking, BlockingParams};
+pub use sparse_tc::SparseTensorCoreKernel;
+pub use sputnik::SputnikKernel;
+
+/// Result of a simulated kernel launch: the computed matrix, the event
+/// counts, and the timing-model report.
+#[derive(Debug, Clone)]
+pub struct SimRun {
+    /// The functional result `C[m][n]`.
+    pub c: nm_core::MatrixF32,
+    /// Aggregated event counts.
+    pub stats: gpu_sim::KernelStats,
+    /// Timing-model output.
+    pub report: gpu_sim::LaunchReport,
+}

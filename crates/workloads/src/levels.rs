@@ -1,0 +1,68 @@
+//! The benchmark sparsity levels (§IV-A) at the vector length used for the
+//! GPU experiments.
+//!
+//! The paper benchmarks 50%, 62.5%, 75% and 87.5%, plus a 0% control where
+//! `N = M = 32`. The vector length is not stated explicitly in the paper;
+//! Fig. 2 depicts four pruning windows per block column (`qs = 4`), which
+//! for the large kernel (`ns = 128`) implies `L = 32`. We adopt `L = 32`
+//! as the default and expose it as a constant so ablations can vary it.
+
+use nm_core::pattern::NmConfig;
+
+/// Default vector length for GPU-kernel experiments (see module docs).
+pub const DEFAULT_L: usize = 32;
+
+/// The 0% control: `N = M = 32` ("our code sets M = N = 32", §IV-B).
+pub fn dense_control() -> NmConfig {
+    NmConfig::new(32, 32, DEFAULT_L).expect("static config")
+}
+
+/// The four benchmarked sparsity levels at window depth `M = 16`.
+pub fn benchmark_levels() -> [NmConfig; 4] {
+    [
+        NmConfig::new(8, 16, DEFAULT_L).expect("static"),  // 50.0%
+        NmConfig::new(6, 16, DEFAULT_L).expect("static"),  // 62.5%
+        NmConfig::new(4, 16, DEFAULT_L).expect("static"),  // 75.0%
+        NmConfig::new(2, 16, DEFAULT_L).expect("static"),  // 87.5%
+    ]
+}
+
+/// The 0% control followed by the four levels — the Fig. 7/8 x-axis.
+pub fn with_dense_control() -> [NmConfig; 5] {
+    let b = benchmark_levels();
+    [dense_control(), b[0], b[1], b[2], b[3]]
+}
+
+/// Pretty label for a level, e.g. `"87.5%"`.
+pub fn label(cfg: &NmConfig) -> String {
+    format!("{:.1}%", cfg.sparsity() * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_match_paper() {
+        let got: Vec<f64> = benchmark_levels().iter().map(|c| c.sparsity()).collect();
+        assert_eq!(got, vec![0.5, 0.625, 0.75, 0.875]);
+    }
+
+    #[test]
+    fn control_is_dense() {
+        assert_eq!(dense_control().sparsity(), 0.0);
+        assert_eq!(dense_control().m, 32);
+    }
+
+    #[test]
+    fn labels_render() {
+        let l: Vec<String> = with_dense_control().iter().map(label).collect();
+        assert_eq!(l, vec!["0.0%", "50.0%", "62.5%", "75.0%", "87.5%"]);
+    }
+
+    #[test]
+    fn qs_of_large_kernel_is_four() {
+        // ns = 128 with L = 32 gives the Fig. 2 depiction of 4 windows.
+        assert_eq!(128 / DEFAULT_L, 4);
+    }
+}

@@ -1,0 +1,23 @@
+//! # nm-workloads — the paper's evaluation workloads
+//!
+//! * [`llama`] — the 100-point dataset of §IV-A: `(n, k)` tuples extracted
+//!   from the linear layers of the public Llama model family, crossed with
+//!   input sequence lengths `m ∈ {2⁸ … 2¹²}`,
+//! * [`shapes`] — Table II's small/medium/large test matrices A–F,
+//! * [`levels`] — the four benchmark sparsity levels (50%, 62.5%, 75%,
+//!   87.5%) plus the 0% control, at the vector length used throughout the
+//!   GPU experiments,
+//! * [`models`] — extended layer shapes (BERT, GPT-2-XL, Mistral-7B),
+//! * [`gen`] — seeded problem-instance generators shared by tests,
+//!   examples and the bench harness.
+
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod levels;
+pub mod llama;
+pub mod models;
+pub mod shapes;
+
+pub use gen::{ProblemInstance, ProblemSpec};
+pub use shapes::TableIiShape;

@@ -1,0 +1,148 @@
+//! The Llama linear-layer dataset of paper §IV-A.
+//!
+//! "Our dataset consists of 100 data points … extracted from linear layers
+//! in Llama models. The input sequence `m` ranges from 2⁸ to 2¹², yielding
+//! five distinct values. Each value is associated with 20 data points,
+//! where the tuples `(n, k)` are extracted from the Llama model."
+//!
+//! The Llama family's public architecture gives the layer shapes: for
+//! hidden size `h` and FFN intermediate size `f`, each transformer block
+//! contains Q/K/V/O projections (`h×h`) and the gate/up (`h×f`) and down
+//! (`f×h`) MLP weights. Across Llama-1 7B/13B/30B/65B this yields exactly
+//! 20 distinct `(n, k)` weight shapes (5 per model).
+
+use serde::Serialize;
+
+/// One Llama model's dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct LlamaModel {
+    /// Human name, e.g. `"Llama-7B"`.
+    pub name: &'static str,
+    /// Hidden size `h`.
+    pub hidden: usize,
+    /// FFN intermediate size `f`.
+    pub intermediate: usize,
+}
+
+/// The four public Llama-1 models the paper draws layers from.
+pub const LLAMA_FAMILY: [LlamaModel; 4] = [
+    LlamaModel { name: "Llama-7B", hidden: 4096, intermediate: 11008 },
+    LlamaModel { name: "Llama-13B", hidden: 5120, intermediate: 13824 },
+    LlamaModel { name: "Llama-30B", hidden: 6656, intermediate: 17920 },
+    LlamaModel { name: "Llama-65B", hidden: 8192, intermediate: 22016 },
+];
+
+/// A linear layer's weight shape: `C[m][n] = A[m][k] · B[k][n]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub struct LayerShape {
+    /// Which model the layer comes from.
+    pub model: &'static str,
+    /// Layer role, e.g. `"attn.qkvo"`.
+    pub layer: &'static str,
+    /// Output features `n`.
+    pub n: usize,
+    /// Input features `k` (reduction dimension).
+    pub k: usize,
+}
+
+/// The 20 distinct `(n, k)` weight shapes of the Llama family
+/// (5 per model: attention projection, gate, up, down, and the LM-head
+/// slice at `h × h` folded with QKVO which shares its shape).
+pub fn layer_shapes() -> Vec<LayerShape> {
+    let mut out = Vec::with_capacity(20);
+    for m in LLAMA_FAMILY {
+        let (h, f) = (m.hidden, m.intermediate);
+        out.push(LayerShape { model: m.name, layer: "attn.q/k/v/o", n: h, k: h });
+        out.push(LayerShape { model: m.name, layer: "mlp.gate", n: f, k: h });
+        out.push(LayerShape { model: m.name, layer: "mlp.up", n: f, k: h });
+        out.push(LayerShape { model: m.name, layer: "mlp.down", n: h, k: f });
+        // Fused QKV as used by inference engines: n = 3h for one GEMM.
+        out.push(LayerShape { model: m.name, layer: "attn.qkv_fused", n: 3 * h, k: h });
+    }
+    out
+}
+
+/// The five sequence lengths: `m ∈ {256, 512, 1024, 2048, 4096}`.
+pub const SEQUENCE_LENGTHS: [usize; 5] = [256, 512, 1024, 2048, 4096];
+
+/// One data point of the 100-point dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub struct DataPoint {
+    /// Index 0..100 (the x-axis of Fig. 9).
+    pub index: usize,
+    /// Sequence length `m`.
+    pub m: usize,
+    /// The layer shape providing `(n, k)`.
+    pub shape: LayerShape,
+}
+
+/// The full 100-point dataset, ordered by sequence length then layer —
+/// the x-axis ordering of Fig. 9.
+pub fn dataset() -> Vec<DataPoint> {
+    let shapes = layer_shapes();
+    let mut out = Vec::with_capacity(100);
+    let mut index = 0;
+    for &m in &SEQUENCE_LENGTHS {
+        for &shape in &shapes {
+            out.push(DataPoint { index, m, shape });
+            index += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_100_points() {
+        let d = dataset();
+        assert_eq!(d.len(), 100);
+        // Indices are 0..100 in order.
+        for (i, p) in d.iter().enumerate() {
+            assert_eq!(p.index, i);
+        }
+    }
+
+    #[test]
+    fn twenty_layer_shapes() {
+        let shapes = layer_shapes();
+        assert_eq!(shapes.len(), 20);
+        // All distinct as layer entries (gate/up legitimately share (n, k)).
+        let mut seen = std::collections::HashSet::new();
+        for s in &shapes {
+            assert!(
+                seen.insert((s.n, s.k, s.model, s.layer)),
+                "duplicate shape {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn m_values_are_powers_of_two_2e8_to_2e12() {
+        assert_eq!(SEQUENCE_LENGTHS, [1 << 8, 1 << 9, 1 << 10, 1 << 11, 1 << 12]);
+        let d = dataset();
+        for &m in &SEQUENCE_LENGTHS {
+            assert_eq!(d.iter().filter(|p| p.m == m).count(), 20);
+        }
+    }
+
+    #[test]
+    fn known_llama7b_shapes_present() {
+        let shapes = layer_shapes();
+        assert!(shapes.iter().any(|s| s.n == 4096 && s.k == 4096));
+        assert!(shapes.iter().any(|s| s.n == 11008 && s.k == 4096));
+        assert!(shapes.iter().any(|s| s.n == 4096 && s.k == 11008));
+    }
+
+    #[test]
+    fn dimensions_are_multiples_of_32() {
+        // All Llama layer dims are multiples of 32 — no padding needed for
+        // the paper's M=16/32, L≤32 configurations.
+        for s in layer_shapes() {
+            assert_eq!(s.n % 32, 0, "{s:?}");
+            assert_eq!(s.k % 32, 0, "{s:?}");
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Linear-layer shapes of additional public transformer families.
+//!
+//! The paper's dataset is Llama-only ([`crate::llama`]); serving stacks
+//! prune other families too, and their layer geometries stress different
+//! corners of the kernel space (BERT's small hidden sizes → small-kernel
+//! territory; GPT-2-XL's fused QKV → wide `n`; Mistral's grouped-query
+//! attention → tall-skinny projections). These shapes extend the sweep
+//! surface for tests and user benchmarks.
+
+use crate::llama::LayerShape;
+
+/// BERT-base and BERT-large encoder layers.
+pub fn bert_shapes() -> Vec<LayerShape> {
+    let mut out = Vec::new();
+    for (model, h) in [("BERT-base", 768usize), ("BERT-large", 1024usize)] {
+        let f = 4 * h;
+        out.push(LayerShape { model, layer: "attn.qkv_fused", n: 3 * h, k: h });
+        out.push(LayerShape { model, layer: "attn.out", n: h, k: h });
+        out.push(LayerShape { model, layer: "mlp.in", n: f, k: h });
+        out.push(LayerShape { model, layer: "mlp.out", n: h, k: f });
+    }
+    out
+}
+
+/// GPT-2 XL decoder layers.
+pub fn gpt2_xl_shapes() -> Vec<LayerShape> {
+    let h = 1600usize;
+    let f = 4 * h;
+    vec![
+        LayerShape { model: "GPT2-XL", layer: "attn.qkv_fused", n: 3 * h, k: h },
+        LayerShape { model: "GPT2-XL", layer: "attn.out", n: h, k: h },
+        LayerShape { model: "GPT2-XL", layer: "mlp.in", n: f, k: h },
+        LayerShape { model: "GPT2-XL", layer: "mlp.out", n: h, k: f },
+    ]
+}
+
+/// Mistral-7B layers (grouped-query attention: 8 KV heads of 32).
+pub fn mistral_7b_shapes() -> Vec<LayerShape> {
+    let h = 4096usize;
+    let kv = 1024usize; // 8 kv-heads × 128
+    let f = 14336usize;
+    vec![
+        LayerShape { model: "Mistral-7B", layer: "attn.q", n: h, k: h },
+        LayerShape { model: "Mistral-7B", layer: "attn.kv_fused", n: 2 * kv, k: h },
+        LayerShape { model: "Mistral-7B", layer: "attn.out", n: h, k: h },
+        LayerShape { model: "Mistral-7B", layer: "mlp.gate_up_fused", n: 2 * f, k: h },
+        LayerShape { model: "Mistral-7B", layer: "mlp.down", n: h, k: f },
+    ]
+}
+
+/// Every extended shape, across families.
+pub fn all_extended_shapes() -> Vec<LayerShape> {
+    let mut out = bert_shapes();
+    out.extend(gpt2_xl_shapes());
+    out.extend(mistral_7b_shapes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_per_family() {
+        assert_eq!(bert_shapes().len(), 8);
+        assert_eq!(gpt2_xl_shapes().len(), 4);
+        assert_eq!(mistral_7b_shapes().len(), 5);
+        assert_eq!(all_extended_shapes().len(), 17);
+    }
+
+    #[test]
+    fn dimensions_are_prunable_at_m16() {
+        // Every k must be divisible by the window depth M = 16; every n by
+        // the benchmark vector length 32 (no padding waste on real models).
+        for s in all_extended_shapes() {
+            assert_eq!(s.k % 16, 0, "{s:?}");
+            assert_eq!(s.n % 32, 0, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn known_geometries() {
+        assert!(bert_shapes().iter().any(|s| s.n == 2304 && s.k == 768));
+        assert!(gpt2_xl_shapes().iter().any(|s| s.n == 6400 && s.k == 1600));
+        assert!(mistral_7b_shapes().iter().any(|s| s.n == 28672 && s.k == 4096));
+    }
+
+    #[test]
+    fn covers_small_and_large_kernel_classes() {
+        use crate::llama::LayerShape;
+        let spans = |s: &LayerShape| s.n * 512; // footprint at m = 512
+        let shapes = all_extended_shapes();
+        assert!(shapes.iter().any(|s| spans(s) <= 512 * 1024), "small-class shape present");
+        assert!(shapes.iter().any(|s| spans(s) > 1024 * 2048), "large-class shape present");
+    }
+}

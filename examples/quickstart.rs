@@ -1,0 +1,81 @@
+//! Quickstart: prune a weight matrix to 2:4 vector-wise sparsity, multiply,
+//! verify, and simulate the GPU kernel.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use nm_spmm::analysis::strategy::Strategy;
+use nm_spmm::core::confusion;
+use nm_spmm::core::parallel::{spmm_parallel, CpuSpmmOptions};
+use nm_spmm::core::spmm::{gemm_reference, spmm_reference};
+use nm_spmm::kernels::{DenseGemmKernel, NmSpmmKernel, NmVersion};
+use nm_spmm::prelude::*;
+
+fn main() {
+    // 1. A dense layer: C[m][n] = A[m][k] · B[k][n].
+    let (m, n, k) = (256, 512, 1024);
+    let a = MatrixF32::random(m, k, 1);
+    let b = MatrixF32::random(k, n, 2);
+
+    // 2. Prune B to 2:4 sparsity with vector length 4 (50% of weights gone).
+    let cfg = NmConfig::new(2, 4, 4).expect("valid config");
+    let sb = NmSparseMatrix::prune_magnitude(&b, cfg).expect("prune");
+    println!(
+        "pruned B {}x{} at {} -> B' {}x{} + D {}x{} ({:.2}x smaller bit-packed)",
+        k,
+        n,
+        cfg,
+        sb.w(),
+        sb.cols(),
+        sb.w(),
+        sb.q(),
+        sb.compression_ratio(IndexLayout::BitPacked),
+    );
+
+    // 3. Multiply with the parallel CPU kernel and verify against Eq. (1).
+    let c = spmm_parallel(&a, &sb, &CpuSpmmOptions::default());
+    let oracle = spmm_reference(&a, &sb);
+    assert!(c.allclose(&oracle, 1e-3, 1e-4), "CPU kernel disagrees with Eq. (1)");
+    println!("CPU kernel matches the Eq. (1) oracle ✓");
+
+    // 4. How good is the approximation of the dense product?
+    let dense_c = gemm_reference(&a, &b);
+    let rep = confusion::report(&c, &dense_c);
+    println!(
+        "approximation vs dense GEMM: mean |err| {:.4}, rel. Frobenius {:.3}",
+        rep.mean_abs_error, rep.rel_frobenius
+    );
+
+    // 5. Simulate the NM-SpMM V3 kernel on an A100 against dense cuBLAS.
+    let dev = a100_80g();
+    let run = NmSpmmKernel::auto(NmVersion::V3, m, n)
+        .run(&dev, &a, &sb)
+        .expect("simulated run");
+    assert!(run.c.allclose(&oracle, 1e-3, 1e-4), "GPU kernel disagrees");
+    let dense = DenseGemmKernel::auto(m, n)
+        .estimate(&dev, m, n, k)
+        .expect("dense estimate");
+    println!(
+        "simulated {}: {:.2} TFLOPS ({:.1}% of peak), {:.2}x vs dense GEMM (ideal {:.1}x)",
+        dev.name,
+        run.report.tflops,
+        100.0 * run.report.efficiency,
+        dense.seconds / run.report.seconds,
+        cfg.ideal_speedup()
+    );
+
+    // 6. Ask the analysis model why.
+    let plan = NmSpmmKernel::auto(NmVersion::V3, m, n)
+        .plan(&dev, m, n, k, cfg)
+        .expect("plan");
+    let d = plan.decision;
+    println!(
+        "strategy: packing = {} (sparsity {:.1}% vs 70% threshold), AI = {:.1} FLOP/B, {:?}",
+        d.packing,
+        100.0 * d.sparsity,
+        d.ai_flops_per_byte,
+        d.predicted_bound,
+    );
+    let _ = Strategy::transition_sparsity(&dev, 64, 128, plan.blocking.ks);
+}

@@ -1,0 +1,85 @@
+//! The top-down performance analysis model as an interactive tool:
+//! for a problem shape and every feasible `N:16` configuration, print the
+//! Eq. (3) arithmetic intensity, the roofline classification, the strategy
+//! decision (packing? which pipeline?), and the simulated outcome — the
+//! workflow of paper §III-A.
+//!
+//! ```sh
+//! cargo run --release --example sparsity_explorer [m n k]
+//! ```
+
+use nm_spmm::analysis::ai::BlockAi;
+use nm_spmm::analysis::strategy::{PipelineHint, Strategy};
+use nm_spmm::kernels::params::BlockingParams;
+use nm_spmm::kernels::{DenseGemmKernel, NmSpmmKernel, NmVersion};
+use nm_spmm::prelude::*;
+use nm_spmm::sim::device::paper_devices;
+
+fn main() {
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let (m, n, k) = match args.as_slice() {
+        [m, n, k] => (*m, *n, *k),
+        _ => (4096, 4096, 4096),
+    };
+    println!("== sparsity explorer: m={m}, n={n}, k={k} ==\n");
+
+    for dev in paper_devices() {
+        let dense = DenseGemmKernel::auto(m, n)
+            .estimate(&dev, m, n, k)
+            .expect("dense");
+        let trans = Strategy::transition_sparsity(&dev, 64, 128, 256);
+        println!(
+            "-- {} (ridge {:.1} FLOP/B, modeled bound transition at ~{:.0}% for a 64x128 block) --",
+            dev.name,
+            dev.ridge_flops_per_byte(),
+            100.0 * trans
+        );
+        println!(
+            "{:>6} {:>9} {:>8} {:>9} {:>22} {:>10} {:>9} {:>9}",
+            "N:M", "sparsity", "AI eq3", "bound", "pipeline", "packing ρ", "eff", "speedup"
+        );
+        for nn in [16usize, 12, 8, 6, 4, 2, 1] {
+            let cfg = NmConfig::new(nn, 16, 32).expect("config");
+            let kern = NmSpmmKernel::auto(NmVersion::V3, m, n);
+            let plan = match kern.plan(&dev, m, n, k, cfg) {
+                Ok(p) => p,
+                Err(e) => {
+                    println!("{:>6} unplannable: {e}", format!("{nn}:16"));
+                    continue;
+                }
+            };
+            let d = plan.decision;
+            let rep = kern.estimate(&dev, m, n, k, cfg, None).expect("estimate");
+            let b = plan.blocking;
+            let ai = BlockAi {
+                ms: b.params.ms,
+                ns: b.params.ns,
+                ks: b.ks,
+                ws: b.ws,
+            }
+            .elements();
+            println!(
+                "{:>6} {:>8.1}% {:>8.1} {:>9} {:>22} {:>10.3} {:>8.1}% {:>8.2}x",
+                format!("{nn}:16"),
+                100.0 * cfg.sparsity(),
+                ai,
+                format!("{:?}", d.predicted_bound),
+                match d.pipeline {
+                    PipelineHint::ComputeHidesLoad => "compute hides load",
+                    PipelineHint::LoadHidesCompute => "load hides compute",
+                },
+                d.packing_ratio,
+                100.0 * rep.efficiency,
+                dense.seconds / rep.seconds,
+            );
+        }
+        println!();
+    }
+    println!("(Fig. 2's mechanism: sparsity up -> AI down -> strategy flips to packing +");
+    println!(" load-hides-compute at the 70% threshold; Table I parameters via Para_Init_Table)");
+    let p = BlockingParams::para_init_table(m, n);
+    println!("selected blocking class for this shape: {p:?}");
+}

@@ -1,0 +1,27 @@
+//! # nm-spmm — meta crate
+//!
+//! Re-exports the whole NM-SpMM workspace behind one dependency:
+//!
+//! * [`core`] — N:M vector-wise format, pruning, compression,
+//!   offline pre-processing and the parallel CPU kernels,
+//! * [`sim`] — the GPGPU simulator substrate,
+//! * [`kernels`] — simulated GPU kernels (dense GEMM, NM-SpMM
+//!   V1/V2/V3, nmSPARSE, Sputnik),
+//! * [`analysis`] — arithmetic intensity, CMAR, roofline and
+//!   the strategy advisor,
+//! * [`workloads`] — the Llama 100-point dataset and Table II
+//!   shapes.
+//!
+//! See `examples/quickstart.rs` for a guided tour.
+
+pub use gpu_sim as sim;
+pub use nm_analysis as analysis;
+pub use nm_core as core;
+pub use nm_kernels as kernels;
+pub use nm_workloads as workloads;
+
+/// One-stop prelude for examples and downstream users.
+pub mod prelude {
+    pub use gpu_sim::prelude::*;
+    pub use nm_core::prelude::*;
+}

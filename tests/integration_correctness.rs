@@ -1,0 +1,161 @@
+//! Cross-crate correctness: every execution engine in the workspace —
+//! reference Eq. (1), parallel CPU (both data paths), simulated GPU kernels
+//! (all versions and baselines) — must agree on the same problems,
+//! including ragged shapes, every paper sparsity level, and every pruning
+//! policy.
+
+use nm_spmm::core::parallel::{gemm_parallel, spmm_parallel, CpuSpmmOptions, Strategy};
+use nm_spmm::core::prune::PrunePolicy;
+use nm_spmm::core::spmm::{gemm_reference, spmm_reference};
+use nm_spmm::kernels::{DenseGemmKernel, NmSparseKernel, NmSpmmKernel, NmVersion, SputnikKernel};
+use nm_spmm::prelude::*;
+
+struct Problem {
+    a: MatrixF32,
+    b: MatrixF32,
+    sb: NmSparseMatrix,
+    oracle: MatrixF32,
+}
+
+fn problem(m: usize, n: usize, k: usize, cfg: NmConfig, policy: PrunePolicy, seed: u64) -> Problem {
+    let a = MatrixF32::random(m, k, seed);
+    let b = MatrixF32::random(k, n, seed + 1000);
+    let sb = NmSparseMatrix::prune(&b, cfg, policy).expect("prune");
+    let oracle = spmm_reference(&a, &sb);
+    Problem { a, b, sb, oracle }
+}
+
+fn assert_close(got: &MatrixF32, want: &MatrixF32, who: &str) {
+    assert!(
+        got.allclose(want, 1e-3, 1e-4),
+        "{who}: max abs diff {}",
+        got.max_abs_diff(want)
+    );
+}
+
+#[test]
+fn every_engine_agrees_on_every_paper_level() {
+    let dev = a100_80g();
+    for cfg in NmConfig::paper_levels(32) {
+        let p = problem(96, 128, 256, cfg, PrunePolicy::Magnitude, 42);
+        // CPU engines.
+        for strategy in [Strategy::NonPacking, Strategy::Packing, Strategy::Auto] {
+            let opts = CpuSpmmOptions {
+                strategy,
+                ..Default::default()
+            };
+            assert_close(
+                &spmm_parallel(&p.a, &p.sb, &opts),
+                &p.oracle,
+                &format!("cpu/{strategy:?}@{cfg}"),
+            );
+        }
+        // Simulated GPU engines.
+        for v in [NmVersion::V1, NmVersion::V2, NmVersion::V3] {
+            let run = NmSpmmKernel::auto(v, 96, 128).run(&dev, &p.a, &p.sb).expect("run");
+            assert_close(&run.c, &p.oracle, &format!("sim/{v:?}@{cfg}"));
+        }
+        assert_close(
+            &NmSparseKernel.run(&dev, &p.a, &p.sb).expect("nmsparse").c,
+            &p.oracle,
+            &format!("nmsparse@{cfg}"),
+        );
+        assert_close(
+            &SputnikKernel.run(&dev, &p.a, &p.sb).expect("sputnik").c,
+            &p.oracle,
+            &format!("sputnik@{cfg}"),
+        );
+    }
+}
+
+#[test]
+fn every_engine_agrees_on_ragged_shapes() {
+    let dev = a100_80g();
+    let cfg = NmConfig::new(4, 16, 8).expect("config");
+    for (m, n, k, seed) in [(33usize, 41usize, 57usize, 1u64), (130, 70, 250, 2), (65, 257, 129, 3)] {
+        let p = problem(m, n, k, cfg, PrunePolicy::Random { seed }, seed);
+        assert_close(
+            &spmm_parallel(&p.a, &p.sb, &CpuSpmmOptions::default()),
+            &p.oracle,
+            "cpu ragged",
+        );
+        let run = NmSpmmKernel::auto(NmVersion::V3, m, n)
+            .run(&dev, &p.a, &p.sb)
+            .expect("run");
+        assert_close(&run.c, &p.oracle, "sim ragged");
+        assert_close(
+            &SputnikKernel.run(&dev, &p.a, &p.sb).expect("sputnik").c,
+            &p.oracle,
+            "sputnik ragged",
+        );
+    }
+}
+
+#[test]
+fn all_pruning_policies_flow_through_the_stack() {
+    let dev = a100_80g();
+    let cfg = NmConfig::new(2, 16, 32).expect("config");
+    for policy in [
+        PrunePolicy::Magnitude,
+        PrunePolicy::Random { seed: 5 },
+        PrunePolicy::Strided,
+        PrunePolicy::FirstN,
+    ] {
+        let p = problem(64, 96, 192, cfg, policy, 7);
+        // Strided/FirstN produce identical window patterns — the packing
+        // path's best case — and must still be numerically exact.
+        let run = NmSpmmKernel::auto(NmVersion::V3, 64, 96)
+            .run(&dev, &p.a, &p.sb)
+            .expect("run");
+        assert_close(&run.c, &p.oracle, &format!("{policy:?}"));
+    }
+}
+
+#[test]
+fn dense_control_equals_dense_gemm_everywhere() {
+    let dev = a100_80g();
+    let cfg = NmConfig::new(32, 32, 32).expect("dense control");
+    let p = problem(64, 64, 128, cfg, PrunePolicy::Magnitude, 9);
+    let dense_oracle = gemm_reference(&p.a, &p.b);
+    assert_close(&p.oracle, &dense_oracle, "eq1 at 0% sparsity");
+    let run = NmSpmmKernel::auto(NmVersion::V3, 64, 64)
+        .run(&dev, &p.a, &p.sb)
+        .expect("run");
+    assert_close(&run.c, &dense_oracle, "sim at 0% sparsity");
+    let gemm = DenseGemmKernel::auto(64, 64).run(&dev, &p.a, &p.b).expect("gemm");
+    assert_close(&gemm.c, &dense_oracle, "dense kernel");
+    assert_close(&gemm_parallel(&p.a, &p.b), &dense_oracle, "cpu gemm");
+}
+
+#[test]
+fn kernels_work_on_all_three_devices() {
+    let cfg = NmConfig::new(4, 16, 32).expect("config");
+    let p = problem(64, 128, 256, cfg, PrunePolicy::Magnitude, 11);
+    for dev in nm_spmm::sim::device::paper_devices() {
+        let run = NmSpmmKernel::auto(NmVersion::V3, 64, 128)
+            .run(&dev, &p.a, &p.sb)
+            .unwrap_or_else(|e| panic!("{}: {e}", dev.name));
+        assert_close(&run.c, &p.oracle, &dev.name);
+        assert!(run.report.seconds > 0.0);
+        assert!(run.report.efficiency > 0.0 && run.report.efficiency <= 1.0);
+    }
+}
+
+#[test]
+fn functional_stats_match_analytic_profile() {
+    // The run() stats and the estimate() report must be built from the same
+    // per-iteration quantities: cross-check the invariant end to end.
+    let dev = a100_80g();
+    let cfg = NmConfig::new(2, 16, 32).expect("config");
+    let p = problem(128, 128, 512, cfg, PrunePolicy::Random { seed: 13 }, 13);
+    let kern = NmSpmmKernel::auto(NmVersion::V3, 128, 128);
+    let run = kern.run(&dev, &p.a, &p.sb).expect("run");
+    // FFMA count is geometry-exact: blocks * iters * ms*ns*ws.
+    let plan = kern.plan(&dev, 128, 128, 512, cfg).expect("plan");
+    let (gy, gx) = plan.grid;
+    let expect_ffma = (gy * gx * plan.iters) as u64
+        * (plan.blocking.params.ms * plan.blocking.params.ns * plan.blocking.ws) as u64;
+    assert_eq!(run.stats.ffma, expect_ffma);
+    assert_eq!(run.stats.blocks, (gy * gx) as u64);
+    assert_eq!(run.stats.main_loop_iters, (gy * gx * plan.iters) as u64);
+}

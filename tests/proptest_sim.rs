@@ -1,0 +1,194 @@
+//! Property-based tests on the simulator substrate: occupancy, the L2
+//! split, and the timing model must obey their structural invariants for
+//! arbitrary inputs.
+
+use gpu_sim::device::{a100_80g, paper_devices};
+use gpu_sim::l2::{split_traffic, BlockTraffic};
+use gpu_sim::occupancy::{occupancy, BlockResources};
+use gpu_sim::roofline::Roofline;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Occupancy never improves when a block demands more of any resource.
+    #[test]
+    fn occupancy_is_monotone_in_resources(
+        threads in 32usize..=1024,
+        regs in 16usize..=255,
+        smem_kb in 0usize..=160,
+    ) {
+        let dev = a100_80g();
+        let base = BlockResources { threads, regs_per_thread: regs, smem_bytes: smem_kb * 1024 };
+        let occ0 = occupancy(&dev, &base);
+        for bump in [
+            BlockResources { threads: (threads + 32).min(1024), ..base },
+            BlockResources { regs_per_thread: (regs + 16).min(255), ..base },
+            BlockResources { smem_bytes: (smem_kb + 8) * 1024, ..base },
+        ] {
+            let occ1 = occupancy(&dev, &bump);
+            prop_assert!(
+                occ1.blocks_per_sm <= occ0.blocks_per_sm,
+                "more demand cannot raise residency: {:?} -> {:?}",
+                occ0.blocks_per_sm,
+                occ1.blocks_per_sm
+            );
+        }
+    }
+
+    /// Resident warps never exceed the architectural slots.
+    #[test]
+    fn occupancy_respects_warp_slots(
+        threads in 1usize..=1024,
+        regs in 1usize..=255,
+        smem_kb in 0usize..=164,
+    ) {
+        for dev in paper_devices() {
+            let occ = occupancy(&dev, &BlockResources {
+                threads,
+                regs_per_thread: regs,
+                smem_bytes: smem_kb * 1024,
+            });
+            prop_assert!(occ.warps_per_sm <= dev.max_warps_per_sm);
+            prop_assert!(occ.occupancy <= 1.0 + 1e-12);
+        }
+    }
+
+    /// The L2 split conserves bytes and keeps the miss fraction in [0, 1].
+    #[test]
+    fn l2_split_conserves_bytes(
+        gy in 1usize..64,
+        gx in 1usize..64,
+        wave in 1usize..512,
+        a_kb in 0usize..256,
+        b_kb in 0usize..256,
+        p_kb in 0usize..64,
+    ) {
+        let dev = a100_80g();
+        let t = BlockTraffic {
+            a_bytes: (a_kb * 1024) as f64,
+            bcol_bytes: (b_kb * 1024) as f64,
+            private_bytes: (p_kb * 1024) as f64,
+        };
+        let s = split_traffic(&dev, gy, gx, wave, &t, 8);
+        let raw = (gy * gx) as f64 * t.total();
+        prop_assert!((0.0..=1.0).contains(&s.miss_fraction));
+        prop_assert!((s.dram_bytes + s.l2_hit_bytes - raw).abs() <= raw * 1e-9 + 1e-9);
+        prop_assert!(s.dram_bytes >= -1e-9 && s.l2_hit_bytes >= -1e-9);
+    }
+
+    /// The roofline is monotone in AI and clamps at peak.
+    #[test]
+    fn roofline_monotone(ai1 in 0.01f64..1000.0, ai2 in 0.01f64..1000.0) {
+        for dev in paper_devices() {
+            let r = Roofline::from_device(&dev);
+            let (lo, hi) = if ai1 < ai2 { (ai1, ai2) } else { (ai2, ai1) };
+            prop_assert!(r.attainable(lo) <= r.attainable(hi) + 1e-6);
+            prop_assert!(r.attainable(hi) <= r.peak_flops + 1e-6);
+        }
+    }
+}
+
+mod timing_properties {
+    use super::*;
+    use gpu_sim::l2::BlockTraffic;
+    use gpu_sim::occupancy::BlockResources;
+    use gpu_sim::timing::{estimate, KernelProfile, PipelineMode};
+
+    fn profile(
+        grid: (usize, usize),
+        iters: usize,
+        comp: f64,
+        bytes: f64,
+        pipeline: PipelineMode,
+    ) -> KernelProfile {
+        KernelProfile {
+            name: "prop".into(),
+            grid,
+            resources: BlockResources {
+                threads: 128,
+                regs_per_thread: 64,
+                smem_bytes: 32 * 1024,
+            },
+            iters_per_block: iters,
+            comp_cycles_per_iter: comp,
+            lds_cycles_per_iter: comp / 8.0,
+            g2s_per_iter: BlockTraffic {
+                a_bytes: bytes / 2.0,
+                bcol_bytes: bytes / 2.0,
+                private_bytes: 0.0,
+            },
+            dependent_load_chains: 0.0,
+            pipeline,
+            inner_double_buffer: pipeline == PipelineMode::DoubleBuffered,
+            stg_bytes_per_block: 4096.0,
+            useful_flops: 1e9,
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// More work (iterations) never takes less time.
+        #[test]
+        fn time_monotone_in_iterations(
+            iters in 1usize..64,
+            comp in 256.0f64..8192.0,
+            bytes in 1024.0f64..262144.0,
+        ) {
+            let dev = a100_80g();
+            for pipe in [PipelineMode::Serial, PipelineMode::DoubleBuffered] {
+                let t1 = estimate(&dev, &profile((16, 16), iters, comp, bytes, pipe))
+                    .unwrap()
+                    .seconds;
+                let t2 = estimate(&dev, &profile((16, 16), iters + 1, comp, bytes, pipe))
+                    .unwrap()
+                    .seconds;
+                prop_assert!(t2 >= t1, "{pipe:?}: {t2} < {t1}");
+            }
+        }
+
+        /// Double buffering never loses to the serial pipeline with
+        /// otherwise identical per-iteration quantities and resources.
+        #[test]
+        fn double_buffering_never_hurts_at_fixed_resources(
+            iters in 1usize..64,
+            comp in 256.0f64..8192.0,
+            bytes in 1024.0f64..262144.0,
+        ) {
+            let dev = a100_80g();
+            let ts = estimate(&dev, &profile((16, 16), iters, comp, bytes, PipelineMode::Serial))
+                .unwrap()
+                .seconds;
+            let td = estimate(
+                &dev,
+                &profile((16, 16), iters, comp, bytes, PipelineMode::DoubleBuffered),
+            )
+            .unwrap()
+            .seconds;
+            prop_assert!(td <= ts * 1.0001, "double buffered {td} slower than serial {ts}");
+        }
+
+        /// Reports are well-formed for arbitrary inputs.
+        #[test]
+        fn reports_are_well_formed(
+            gy in 1usize..128,
+            gx in 1usize..128,
+            iters in 1usize..128,
+            comp in 1.0f64..100000.0,
+            bytes in 0.0f64..1e7,
+        ) {
+            let dev = a100_80g();
+            let rep = estimate(
+                &dev,
+                &profile((gy, gx), iters, comp, bytes, PipelineMode::DoubleBuffered),
+            )
+            .unwrap();
+            prop_assert!(rep.seconds > 0.0 && rep.seconds.is_finite());
+            prop_assert!(rep.cycles > 0.0 && rep.cycles.is_finite());
+            prop_assert!(rep.waves >= 1);
+            prop_assert!(rep.blocks_per_sm >= 1);
+            prop_assert!((0.0..=1.0).contains(&rep.traffic.miss_fraction));
+        }
+    }
+}
