@@ -137,8 +137,20 @@ mod tests {
         // Paper §IV-E: "larger ks and ws could lead to higher arithmetic
         // intensity" (the 50%/62.5% levels are smem-capacity limited).
         let density = 0.25;
-        let ai_small = BlockAi { ms: 64, ns: 128, ks: 128, ws: (128.0 * density) as usize }.elements();
-        let ai_large = BlockAi { ms: 64, ns: 128, ks: 512, ws: (512.0 * density) as usize }.elements();
+        let ai_small = BlockAi {
+            ms: 64,
+            ns: 128,
+            ks: 128,
+            ws: (128.0 * density) as usize,
+        }
+        .elements();
+        let ai_large = BlockAi {
+            ms: 64,
+            ns: 128,
+            ks: 512,
+            ws: (512.0 * density) as usize,
+        }
+        .elements();
         assert!(ai_large > ai_small);
     }
 

@@ -80,8 +80,7 @@ pub fn best_tile(width: LdsWidth) -> (usize, usize) {
             }
             let c = cmar(mt, nt, width);
             let better = c > best_cmar + 1e-12
-                || ((c - best_cmar).abs() < 1e-12
-                    && mt.abs_diff(nt) < best.0.abs_diff(best.1));
+                || ((c - best_cmar).abs() < 1e-12 && mt.abs_diff(nt) < best.0.abs_diff(best.1));
             if better {
                 best = (mt, nt);
                 best_cmar = c;

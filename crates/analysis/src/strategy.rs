@@ -61,7 +61,12 @@ pub struct Strategy;
 impl Strategy {
     /// Decide for a block of shape `block` on `dev`, with `qs = ns/L`
     /// pruning windows per block column.
-    pub fn decide(dev: &DeviceConfig, cfg: NmConfig, block: BlockAi, qs: usize) -> StrategyDecision {
+    pub fn decide(
+        dev: &DeviceConfig,
+        cfg: NmConfig,
+        block: BlockAi,
+        qs: usize,
+    ) -> StrategyDecision {
         let sparsity = cfg.sparsity();
         let packing = cfg.class() == SparsityClass::High;
         let packing_ratio = if packing {

@@ -39,7 +39,10 @@ fn bench_cpu_spmm(c: &mut Criterion) {
     // Packing vs non-packing at high sparsity — the ablation on real iron.
     let cfg = NmConfig::new(2, 16, 32).expect("config");
     let sb = NmSparseMatrix::prune_magnitude(&b, cfg).expect("prune");
-    for (label, strategy) in [("packing", Strategy::Packing), ("non-packing", Strategy::NonPacking)] {
+    for (label, strategy) in [
+        ("packing", Strategy::Packing),
+        ("non-packing", Strategy::NonPacking),
+    ] {
         let opts = CpuSpmmOptions {
             strategy,
             ..Default::default()

@@ -26,9 +26,11 @@ fn bench_format(c: &mut Criterion) {
         ("random", PrunePolicy::Random { seed: 1 }),
         ("strided", PrunePolicy::Strided),
     ] {
-        group.bench_with_input(BenchmarkId::new("prune_compress", label), &policy, |bench, p| {
-            bench.iter(|| NmSparseMatrix::prune(&b, cfg, *p).expect("prune"))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("prune_compress", label),
+            &policy,
+            |bench, p| bench.iter(|| NmSparseMatrix::prune(&b, cfg, *p).expect("prune")),
+        );
     }
 
     let sb = NmSparseMatrix::prune_magnitude(&b, cfg).expect("prune");
@@ -36,7 +38,9 @@ fn bench_format(c: &mut Criterion) {
     group.bench_function("offline_preprocess_colinfo", |bench| {
         bench.iter(|| preprocess(&sb, 256, 128).expect("preprocess"))
     });
-    group.bench_function("index_bit_pack", |bench| bench.iter(|| sb.indices().bit_pack(cfg)));
+    group.bench_function("index_bit_pack", |bench| {
+        bench.iter(|| sb.indices().bit_pack(cfg))
+    });
     group.finish();
 }
 

@@ -35,7 +35,9 @@ fn main() {
         let plan = kern.plan(&dev, m, n, k, cfg).expect("plan");
         let ratio = expected_ratio(cfg, plan.blocking.qs);
         let packed_eff = if plan.packing {
-            kern.estimate(&dev, m, n, k, cfg, Some(ratio)).expect("v2").efficiency
+            kern.estimate(&dev, m, n, k, cfg, Some(ratio))
+                .expect("v2")
+                .efficiency
         } else {
             // Below the threshold the plan refuses packing; report the AI
             // model's prediction of what forced packing would cost: packed
@@ -54,7 +56,11 @@ fn main() {
             format!("{}:16", nn),
             pct(cfg.sparsity()),
             pct(v1.efficiency),
-            if packed_eff.is_nan() { "-".into() } else { pct(packed_eff) },
+            if packed_eff.is_nan() {
+                "-".into()
+            } else {
+                pct(packed_eff)
+            },
             row_winner.to_string(),
         ]);
     }
@@ -98,7 +104,9 @@ fn main() {
         }
     }
     t.print();
-    println!("(smaller L -> better network accuracy but larger packed footprint; Fig. 2 discussion)");
+    println!(
+        "(smaller L -> better network accuracy but larger packed footprint; Fig. 2 discussion)"
+    );
 
     println!("\n== Ablation 4: index-matrix layout traffic (4096x4096, 2:16) ==\n");
     let cfg = NmConfig::new(2, 16, 32).expect("config");
@@ -107,7 +115,10 @@ fn main() {
     let bp = d.storage_bytes(cfg, IndexLayout::BitPacked);
     for (name, layout) in [
         ("u8 row-major", IndexLayout::RowMajorU8),
-        ("u8 blocked (ws=64, qs=4)", IndexLayout::Blocked { ws: 64, qs: 4 }),
+        (
+            "u8 blocked (ws=64, qs=4)",
+            IndexLayout::Blocked { ws: 64, qs: 4 },
+        ),
         ("bit-packed (log2 M = 4)", IndexLayout::BitPacked),
     ] {
         let bytes = d.storage_bytes(cfg, layout);

@@ -64,7 +64,9 @@ fn main() {
             ws: cfg.n,
         }
         .elements();
-        let base = NmSparseKernel.estimate(&dev, m, n, k, cfg).expect("nmsparse");
+        let base = NmSparseKernel
+            .estimate(&dev, m, n, k, cfg)
+            .expect("nmsparse");
 
         t.row(&[
             label(&cfg),

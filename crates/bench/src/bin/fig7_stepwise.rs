@@ -17,7 +17,11 @@ fn main() {
     println!("== Fig. 7: step-wise optimization (m = n = k = {m}) ==\n");
 
     for dev in paper_devices() {
-        println!("-- {} (peak {:.1} TFLOPS FP32) --", dev.name, dev.peak_fp32_tflops());
+        println!(
+            "-- {} (peak {:.1} TFLOPS FP32) --",
+            dev.name,
+            dev.peak_fp32_tflops()
+        );
         let mut t = TextTable::new(&["sparsity", "V1", "V2", "V3", "cuBLAS", "V3 bound"]);
         let dense = DenseGemmKernel::new(BlockingParams::large())
             .estimate(&dev, m, n, k)

@@ -16,7 +16,10 @@ use nm_workloads::shapes::table_ii;
 
 fn main() {
     let dev = a100_80g();
-    println!("== Fig. 8: blocking-parameter kernels on Table II shapes ({}) ==\n", dev.name);
+    println!(
+        "== Fig. 8: blocking-parameter kernels on Table II shapes ({}) ==\n",
+        dev.name
+    );
 
     let mut mismatches = 0usize;
     for cfg in with_dense_control() {
@@ -32,19 +35,21 @@ fn main() {
                     .expect("estimate");
                 effs.push(rep.efficiency);
             }
-            let best = ["small", "medium", "large"]
-                [effs.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0];
+            let best = ["small", "medium", "large"][effs
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap()
+                .0];
             let expected = shape.size_class();
             if best != expected {
                 mismatches += 1;
             }
             let cublas = if cfg.sparsity() == 0.0 {
-                pct(
-                    DenseGemmKernel::auto(shape.m, shape.n)
-                        .estimate(&dev, shape.m, shape.n, shape.k)
-                        .expect("dense")
-                        .efficiency,
-                )
+                pct(DenseGemmKernel::auto(shape.m, shape.n)
+                    .estimate(&dev, shape.m, shape.n, shape.k)
+                    .expect("dense")
+                    .efficiency)
             } else {
                 "-".to_string()
             };

@@ -66,7 +66,8 @@ fn main() {
 
             let step = if full { 1 } else { 10 };
             if dev.name.starts_with("A100") {
-                let mut t = TextTable::new(&["pt", "m", "n", "k", "NM-SpMM", "nmSPARSE", "Sputnik"]);
+                let mut t =
+                    TextTable::new(&["pt", "m", "n", "k", "NM-SpMM", "nmSPARSE", "Sputnik"]);
                 for (i, p) in points.iter().enumerate().step_by(step) {
                     let (idx, a, b, c) = series[i];
                     t.row(&[

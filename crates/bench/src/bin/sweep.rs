@@ -86,7 +86,14 @@ fn main() {
     );
 
     let mut t = TextTable::new(&[
-        "sparsity", "time ms", "TFLOPS", "eff", "bound", "speedup", "energy mJ", "GF/J",
+        "sparsity",
+        "time ms",
+        "TFLOPS",
+        "eff",
+        "bound",
+        "speedup",
+        "energy mJ",
+        "GF/J",
     ]);
     for cfg in benchmark_levels() {
         let kern = NmSpmmKernel::auto(NmVersion::V3, m, n);
@@ -110,7 +117,8 @@ fn main() {
             pct(rep.efficiency),
             format!("{:?}", rep.bound),
             spd(dense.seconds / rep.seconds),
-            e.map(|e| format!("{:.2}", e.total_j() * 1e3)).unwrap_or("-".into()),
+            e.map(|e| format!("{:.2}", e.total_j() * 1e3))
+                .unwrap_or("-".into()),
             e.map(|e| format!("{:.0}", e.gflops_per_joule(spec.useful_flops())))
                 .unwrap_or("-".into()),
         ]);
@@ -131,7 +139,10 @@ fn main() {
                 format!("{:.3} ms", preset.seconds * 1e3),
                 format!("{:.3} ms", tuned.report.seconds * 1e3),
                 format!("{}x{} mt{}xnt{}", p.ms, p.ns, p.mt, p.nt),
-                format!("{:+.1}%", 100.0 * (preset.seconds / tuned.report.seconds - 1.0)),
+                format!(
+                    "{:+.1}%",
+                    100.0 * (preset.seconds / tuned.report.seconds - 1.0)
+                ),
             ]);
         }
         t.print();

@@ -4,16 +4,26 @@
 
 use gpu_sim::device::a100_80g;
 use nm_analysis::cmar::{cmar, tile_registers, LdsWidth};
+use nm_bench::spd;
 use nm_bench::TextTable;
 use nm_kernels::params::{derive_blocking, BlockingParams};
-use nm_bench::spd;
 use nm_workloads::levels::benchmark_levels;
 use nm_workloads::shapes::table_ii;
 
 fn main() {
     println!("== Table I: recommended blocking parameters ==\n");
     let mut t = TextTable::new(&[
-        "class", "ms", "ns", "mr", "nr", "mt", "nt", "threads", "warps", "CMAR(LDS.128)", "regs(tile)",
+        "class",
+        "ms",
+        "ns",
+        "mr",
+        "nr",
+        "mt",
+        "nt",
+        "threads",
+        "warps",
+        "CMAR(LDS.128)",
+        "regs(tile)",
     ]);
     for (label, p) in BlockingParams::table_i() {
         t.row(&[

@@ -16,13 +16,19 @@ fn main() {
         }
         cells
     };
-    t.row(&row("Boost Clock (MHz)", &|d| format!("{:.0}", d.clock_mhz)));
-    t.row(&row("Peak FP32 TFLOPS", &|d| format!("{:.1}", d.peak_fp32_tflops())));
+    t.row(&row("Boost Clock (MHz)", &|d| {
+        format!("{:.0}", d.clock_mhz)
+    }));
+    t.row(&row("Peak FP32 TFLOPS", &|d| {
+        format!("{:.1}", d.peak_fp32_tflops())
+    }));
     t.row(&row("Number of SMs", &|d| d.sm_count.to_string()));
     t.row(&row("Register File / SM (KB)", &|d| {
         (d.register_file_per_sm / 1024).to_string()
     }));
-    t.row(&row("FP32 Cores / SM", &|d| d.fp32_cores_per_sm.to_string()));
+    t.row(&row("FP32 Cores / SM", &|d| {
+        d.fp32_cores_per_sm.to_string()
+    }));
     t.row(&row("FP32 FLOPs / clock / SM", &|d| {
         d.fp32_flops_per_clock_per_sm.to_string()
     }));
@@ -31,7 +37,9 @@ fn main() {
     }));
     t.row(&row("L2 Cache (MB)", &|d| (d.l2_bytes >> 20).to_string()));
     t.row(&row("DRAM (GB)", &|d| (d.dram_bytes >> 30).to_string()));
-    t.row(&row("DRAM BW (GB/s)", &|d| format!("{:.0}", d.dram_bw / 1e9)));
+    t.row(&row("DRAM BW (GB/s)", &|d| {
+        format!("{:.0}", d.dram_bw / 1e9)
+    }));
     t.row(&row("Ridge (FLOP/B)", &|d| {
         format!("{:.1}", d.ridge_flops_per_byte())
     }));

@@ -141,7 +141,10 @@ mod tests {
 
     #[test]
     fn forward_matches_reference_both_paths() {
-        for cfg in [NmConfig::new(8, 16, 8).unwrap(), NmConfig::new(2, 16, 8).unwrap()] {
+        for cfg in [
+            NmConfig::new(8, 16, 8).unwrap(),
+            NmConfig::new(2, 16, 8).unwrap(),
+        ] {
             let sb = weights(cfg);
             let mult = BatchedSpmm::new(sb.clone()).unwrap();
             assert_eq!(mult.uses_packing(), cfg.sparsity() >= 0.7);

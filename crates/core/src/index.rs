@@ -209,7 +209,12 @@ mod tests {
         let d = IndexMatrix::from_vec(2, 1, vec![0, 4]);
         let err = d.validate(cfg24()).unwrap_err();
         match err {
-            NmError::CorruptIndex { row, col, value, bound } => {
+            NmError::CorruptIndex {
+                row,
+                col,
+                value,
+                bound,
+            } => {
                 assert_eq!((row, col, value, bound), (1, 0, 4, 4));
             }
             other => panic!("unexpected error {other:?}"),

@@ -59,9 +59,8 @@ pub fn pattern_stats(sb: &NmSparseMatrix) -> PatternStats {
     let mut uniform = 0u64;
 
     for wi in 0..windows_k {
-        let set_of = |j: usize| -> Vec<u8> {
-            (0..cfg.n).map(|r| d.get(wi * cfg.n + r, j)).collect()
-        };
+        let set_of =
+            |j: usize| -> Vec<u8> { (0..cfg.n).map(|r| d.get(wi * cfg.n + r, j)).collect() };
         let first = set_of(0);
         let mut all_same = true;
         for j in 0..q {
@@ -141,7 +140,10 @@ mod tests {
         assert!(stats.offset_histogram[0] > 0);
         assert!(stats.offset_histogram[8] > 0);
         assert_eq!(stats.offset_histogram[1], 0);
-        assert!(stats.offset_imbalance() > 1.0, "two spikes = very imbalanced");
+        assert!(
+            stats.offset_imbalance() > 1.0,
+            "two spikes = very imbalanced"
+        );
     }
 
     #[test]
@@ -160,7 +162,8 @@ mod tests {
     #[test]
     fn measured_ratio_tracks_pattern_structure() {
         let uniform = measured_packing_ratio(&sparse(PrunePolicy::Strided), 32, 32).unwrap();
-        let random = measured_packing_ratio(&sparse(PrunePolicy::Random { seed: 9 }), 32, 32).unwrap();
+        let random =
+            measured_packing_ratio(&sparse(PrunePolicy::Random { seed: 9 }), 32, 32).unwrap();
         assert!(
             uniform < random,
             "identical windows must pack tighter: {uniform} !< {random}"

@@ -105,10 +105,7 @@ pub fn allocate(layers: &[LayerSpec], m_window: usize, budget_fraction: f64) -> 
 
     let mut n_per_layer = vec![1usize; layers.len()];
     let mut flops: f64 = layers.iter().map(|l| l.flops_per_slot).sum();
-    let mut error: f64 = layers
-        .iter()
-        .map(|l| l.err_by_n[0])
-        .sum();
+    let mut error: f64 = layers.iter().map(|l| l.err_by_n[0]).sum();
 
     loop {
         // Best marginal: error drop per FLOP for incrementing one layer's N.
@@ -173,7 +170,10 @@ mod tests {
         for w in curve.windows(2) {
             assert!(w[1] <= w[0] + 1e-9, "curve must be non-increasing");
         }
-        assert!(curve[15].abs() < 1e-9, "keeping all M vectors loses nothing");
+        assert!(
+            curve[15].abs() < 1e-9,
+            "keeping all M vectors loses nothing"
+        );
         assert!(curve[0] > 0.0, "keeping 1 of 16 must lose something");
     }
 
@@ -184,7 +184,11 @@ mod tests {
             .map(|i| spec_from_weights(&format!("l{i}"), &b, 16, 8, 128))
             .collect();
         let alloc = allocate(&layers, 16, 0.5);
-        assert_eq!(alloc.n_per_layer, vec![8, 8, 8], "identical layers split evenly");
+        assert_eq!(
+            alloc.n_per_layer,
+            vec![8, 8, 8],
+            "identical layers split evenly"
+        );
         assert!(alloc.total_flops <= alloc.budget_flops + 1e-6);
     }
 

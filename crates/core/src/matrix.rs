@@ -155,7 +155,11 @@ impl MatrixF32 {
     /// # Panics
     /// Panics if shapes differ.
     pub fn max_abs_diff(&self, other: &Self) -> f32 {
-        assert_eq!(self.shape(), other.shape(), "shape mismatch in max_abs_diff");
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "shape mismatch in max_abs_diff"
+        );
         self.data
             .iter()
             .zip(&other.data)

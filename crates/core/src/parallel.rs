@@ -266,16 +266,46 @@ mod tests {
 
     #[test]
     fn nonpacking_matches_reference() {
-        check_against_reference(64, 128, 96, NmConfig::new(2, 4, 4).unwrap(), Strategy::NonPacking);
-        check_against_reference(33, 64, 40, NmConfig::new(6, 16, 8).unwrap(), Strategy::NonPacking);
+        check_against_reference(
+            64,
+            128,
+            96,
+            NmConfig::new(2, 4, 4).unwrap(),
+            Strategy::NonPacking,
+        );
+        check_against_reference(
+            33,
+            64,
+            40,
+            NmConfig::new(6, 16, 8).unwrap(),
+            Strategy::NonPacking,
+        );
     }
 
     #[test]
     fn packing_matches_reference() {
-        check_against_reference(64, 128, 96, NmConfig::new(2, 16, 4).unwrap(), Strategy::Packing);
-        check_against_reference(48, 256, 64, NmConfig::new(4, 16, 8).unwrap(), Strategy::Packing);
+        check_against_reference(
+            64,
+            128,
+            96,
+            NmConfig::new(2, 16, 4).unwrap(),
+            Strategy::Packing,
+        );
+        check_against_reference(
+            48,
+            256,
+            64,
+            NmConfig::new(4, 16, 8).unwrap(),
+            Strategy::Packing,
+        );
         // Packing must also be correct at moderate sparsity.
-        check_against_reference(32, 64, 64, NmConfig::new(2, 4, 4).unwrap(), Strategy::Packing);
+        check_against_reference(
+            32,
+            64,
+            64,
+            NmConfig::new(2, 4, 4).unwrap(),
+            Strategy::Packing,
+        );
     }
 
     #[test]
@@ -287,8 +317,20 @@ mod tests {
     #[test]
     fn ragged_shapes_are_handled() {
         // m not divisible by row_block, k and n needing padding.
-        check_against_reference(37, 67, 45, NmConfig::new(2, 4, 4).unwrap(), Strategy::NonPacking);
-        check_against_reference(37, 67, 45, NmConfig::new(2, 16, 4).unwrap(), Strategy::Packing);
+        check_against_reference(
+            37,
+            67,
+            45,
+            NmConfig::new(2, 4, 4).unwrap(),
+            Strategy::NonPacking,
+        );
+        check_against_reference(
+            37,
+            67,
+            45,
+            NmConfig::new(2, 16, 4).unwrap(),
+            Strategy::Packing,
+        );
     }
 
     #[test]

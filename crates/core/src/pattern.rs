@@ -119,10 +119,10 @@ impl NmConfig {
     /// vector length `l`.
     pub fn paper_levels(l: usize) -> [NmConfig; 4] {
         [
-            NmConfig { n: 8, m: 16, l },  // 50.0%
-            NmConfig { n: 6, m: 16, l },  // 62.5%
-            NmConfig { n: 4, m: 16, l },  // 75.0%
-            NmConfig { n: 2, m: 16, l },  // 87.5%
+            NmConfig { n: 8, m: 16, l }, // 50.0%
+            NmConfig { n: 6, m: 16, l }, // 62.5%
+            NmConfig { n: 4, m: 16, l }, // 75.0%
+            NmConfig { n: 2, m: 16, l }, // 87.5%
         ]
     }
 
@@ -163,12 +163,27 @@ mod tests {
 
     #[test]
     fn classification_threshold() {
-        assert_eq!(NmConfig::new(2, 4, 4).unwrap().class(), SparsityClass::Moderate);
-        assert_eq!(NmConfig::new(6, 16, 4).unwrap().class(), SparsityClass::Moderate);
-        assert_eq!(NmConfig::new(4, 16, 4).unwrap().class(), SparsityClass::High);
-        assert_eq!(NmConfig::new(2, 16, 4).unwrap().class(), SparsityClass::High);
+        assert_eq!(
+            NmConfig::new(2, 4, 4).unwrap().class(),
+            SparsityClass::Moderate
+        );
+        assert_eq!(
+            NmConfig::new(6, 16, 4).unwrap().class(),
+            SparsityClass::Moderate
+        );
+        assert_eq!(
+            NmConfig::new(4, 16, 4).unwrap().class(),
+            SparsityClass::High
+        );
+        assert_eq!(
+            NmConfig::new(2, 16, 4).unwrap().class(),
+            SparsityClass::High
+        );
         // Exactly 70% is high per the >= convention.
-        assert_eq!(NmConfig::new(3, 10, 1).unwrap().class(), SparsityClass::High);
+        assert_eq!(
+            NmConfig::new(3, 10, 1).unwrap().class(),
+            SparsityClass::High
+        );
     }
 
     #[test]

@@ -181,7 +181,11 @@ mod tests {
 
     /// A matrix engineered so that all heavy rows land in window 0.
     fn clustered(k: usize, n: usize) -> MatrixF32 {
-        MatrixF32::from_fn(k, n, |i, _| if i < 4 { 10.0 } else { 0.1 * (i as f32 + 1.0) })
+        MatrixF32::from_fn(
+            k,
+            n,
+            |i, _| if i < 4 { 10.0 } else { 0.1 * (i as f32 + 1.0) },
+        )
     }
 
     #[test]

@@ -97,7 +97,9 @@ pub fn select(b: &MatrixF32, cfg: NmConfig, policy: PrunePolicy) -> IndexMatrix 
                 }
                 PrunePolicy::Strided => {
                     let stride = cfg.m / cfg.n;
-                    (0..cfg.n).map(|r| (r * stride.max(1)).min(cfg.m - 1) as u8).collect()
+                    (0..cfg.n)
+                        .map(|r| (r * stride.max(1)).min(cfg.m - 1) as u8)
+                        .collect()
                 }
                 PrunePolicy::FirstN => (0..cfg.n as u8).collect(),
             };
@@ -211,7 +213,11 @@ mod tests {
     fn dense_n_equals_m_keeps_everything() {
         let b = MatrixF32::random(8, 8, 2);
         let c = cfg(4, 4, 4);
-        for policy in [PrunePolicy::Magnitude, PrunePolicy::FirstN, PrunePolicy::Strided] {
+        for policy in [
+            PrunePolicy::Magnitude,
+            PrunePolicy::FirstN,
+            PrunePolicy::Strided,
+        ] {
             let d = select(&b, c, policy);
             for u in 0..d.w() {
                 assert_eq!(d.get(u, 0) as usize, u % 4, "{policy:?}");

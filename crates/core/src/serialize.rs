@@ -192,7 +192,10 @@ mod tests {
         let sb = sample(3);
         let mut blob = to_bytes(&sb).to_vec();
         blob[4] = 99;
-        assert!(from_bytes(&blob).unwrap_err().to_string().contains("version"));
+        assert!(from_bytes(&blob)
+            .unwrap_err()
+            .to_string()
+            .contains("version"));
     }
 
     #[test]

@@ -167,8 +167,7 @@ impl NmSparseMatrix {
 
     /// Compressed footprint in bytes: values + indices under `layout`.
     pub fn storage_bytes(&self, layout: IndexLayout) -> usize {
-        std::mem::size_of_val(self.values.as_slice())
-            + self.indices.storage_bytes(self.cfg, layout)
+        std::mem::size_of_val(self.values.as_slice()) + self.indices.storage_bytes(self.cfg, layout)
     }
 
     /// Dense footprint in bytes of the original matrix.

@@ -25,7 +25,10 @@ use crate::sparse::NmSparseMatrix;
 pub fn gemm_reference(a: &MatrixF32, b: &MatrixF32) -> MatrixF32 {
     let (m, k) = a.shape();
     let (kb, n) = b.shape();
-    assert_eq!(k, kb, "inner dimension mismatch: A is m x {k}, B is {kb} x n");
+    assert_eq!(
+        k, kb,
+        "inner dimension mismatch: A is m x {k}, B is {kb} x n"
+    );
     let mut c = MatrixF32::zeros(m, n);
     for i in 0..m {
         let a_row = a.row(i);
@@ -155,7 +158,12 @@ mod tests {
 
     #[test]
     fn spmm_equals_gemm_on_decompressed() {
-        for (seed, c) in [(1u64, cfg(2, 4, 4)), (2, cfg(4, 16, 8)), (3, cfg(6, 16, 2)), (4, cfg(1, 8, 1))] {
+        for (seed, c) in [
+            (1u64, cfg(2, 4, 4)),
+            (2, cfg(4, 16, 8)),
+            (3, cfg(6, 16, 2)),
+            (4, cfg(1, 8, 1)),
+        ] {
             let a = MatrixF32::random(24, 32, seed);
             let b = MatrixF32::random(32, 40, seed + 100);
             let sb = NmSparseMatrix::prune(&b, c, PrunePolicy::Random { seed }).unwrap();

@@ -199,8 +199,8 @@ mod tests {
         assert_eq!(words.len(), 32);
         assert_eq!(words[0], 0);
         assert_eq!(words[8], 32); // second lane row starts one tile row down
-        // Banks repeat every row (stride 32) -> 4 distinct words per bank for
-        // the 8 banks covered.
+                                  // Banks repeat every row (stride 32) -> 4 distinct words per bank for
+                                  // the 8 banks covered.
         assert_eq!(bank_conflict_degree(&words), 4);
         // Padding does not help a 2-D lane grid where lanes read different
         // rows AND columns — banks (ly+lx) mod 32 still collide 4 ways.

@@ -146,10 +146,26 @@ mod tests {
     fn unlaunchable_blocks() {
         let dev = a100_80g();
         for res in [
-            BlockResources { threads: 2048, regs_per_thread: 32, smem_bytes: 0 },
-            BlockResources { threads: 128, regs_per_thread: 300, smem_bytes: 0 },
-            BlockResources { threads: 128, regs_per_thread: 32, smem_bytes: 200 * 1024 },
-            BlockResources { threads: 0, regs_per_thread: 32, smem_bytes: 0 },
+            BlockResources {
+                threads: 2048,
+                regs_per_thread: 32,
+                smem_bytes: 0,
+            },
+            BlockResources {
+                threads: 128,
+                regs_per_thread: 300,
+                smem_bytes: 0,
+            },
+            BlockResources {
+                threads: 128,
+                regs_per_thread: 32,
+                smem_bytes: 200 * 1024,
+            },
+            BlockResources {
+                threads: 0,
+                regs_per_thread: 32,
+                smem_bytes: 0,
+            },
         ] {
             let occ = occupancy(&dev, &res);
             assert_eq!(occ.blocks_per_sm, 0, "{res:?} must be unlaunchable");

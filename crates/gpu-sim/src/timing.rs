@@ -173,7 +173,14 @@ pub fn estimate(dev: &DeviceConfig, prof: &KernelProfile) -> Result<LaunchReport
         PipelineMode::Serial => wave_blocks,
         PipelineMode::DoubleBuffered => 2 * wave_blocks,
     };
-    let traffic = split_traffic(dev, gy, gx, reuse_wave, &prof.g2s_per_iter, prof.iters_per_block);
+    let traffic = split_traffic(
+        dev,
+        gy,
+        gx,
+        reuse_wave,
+        &prof.g2s_per_iter,
+        prof.iters_per_block,
+    );
     let dram_rate_per_sm = dev.dram_bytes_per_clock() / active_sms;
     let l2_rate_per_sm = dev.l2_bytes_per_clock() / active_sms;
     let bytes_iter = prof.g2s_per_iter.total();
@@ -287,7 +294,13 @@ mod tests {
         let (ms, ns, ks) = (64usize, 128usize, 96usize);
         let k = 4096usize;
         let threads = ms * ns / 64; // 8x8 thread tiles
-        let smem = 4 * (ms * ks + ks * ns) * if pipeline == PipelineMode::DoubleBuffered { 2 } else { 1 };
+        let smem = 4
+            * (ms * ks + ks * ns)
+            * if pipeline == PipelineMode::DoubleBuffered {
+                2
+            } else {
+                1
+            };
         KernelProfile {
             name: "dense-test".into(),
             grid: (4096 / ms, 4096 / ns),

@@ -70,8 +70,8 @@ impl ExecutionTrace {
                 + (1.0 - report.traffic.miss_fraction) / dev.l2_bytes_per_clock())
             * report.blocks_per_sm.max(1) as f64;
         let prologue = (lat * chains + g).min(wave_cycles * 0.45);
-        let epilogue = (prof.stg_bytes_per_block / dev.dram_bytes_per_clock() + lat)
-            .min(wave_cycles * 0.25);
+        let epilogue =
+            (prof.stg_bytes_per_block / dev.dram_bytes_per_clock() + lat).min(wave_cycles * 0.25);
         let main = (wave_cycles - prologue - epilogue).max(0.0);
 
         let mut segments = Vec::with_capacity(waves * 3);
@@ -122,10 +122,7 @@ impl ExecutionTrace {
     /// `wave 0: [P==M================E]`.
     pub fn ascii_timeline(&self, width: usize) -> String {
         let mut out = String::new();
-        let per_wave: Vec<&[Segment]> = self
-            .segments
-            .chunks(3)
-            .collect();
+        let per_wave: Vec<&[Segment]> = self.segments.chunks(3).collect();
         for (i, segs) in per_wave.iter().enumerate() {
             let wave_total: f64 = segs.iter().map(|s| s.duration_cycles).sum();
             out.push_str(&format!("wave {i}: ["));
@@ -196,8 +193,12 @@ mod tests {
             assert!((s.start_cycles - t).abs() < 1e-6, "gap before {s:?}");
             t += s.duration_cycles;
         }
-        assert!((trace.total_cycles - rep.cycles).abs() / rep.cycles < 0.5,
-            "trace total {} should be near report cycles {}", trace.total_cycles, rep.cycles);
+        assert!(
+            (trace.total_cycles - rep.cycles).abs() / rep.cycles < 0.5,
+            "trace total {} should be near report cycles {}",
+            trace.total_cycles,
+            rep.cycles
+        );
     }
 
     #[test]

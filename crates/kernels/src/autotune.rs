@@ -45,7 +45,14 @@ pub fn candidates(l: usize) -> Vec<BlockingParams> {
                     // Warp lane grids that give 32 lanes and divide the tile.
                     for (ly, lx) in [(4usize, 8usize), (8, 4), (2, 16), (16, 2)] {
                         let (mr, nr) = (ly * mt, lx * nt);
-                        let p = BlockingParams { ms, ns, mr, nr, mt, nt };
+                        let p = BlockingParams {
+                            ms,
+                            ns,
+                            mr,
+                            nr,
+                            mt,
+                            nt,
+                        };
                         if p.validate().is_ok() && p.threads() >= 32 && p.threads() <= 1024 {
                             out.push(p);
                         }
@@ -60,13 +67,7 @@ pub fn candidates(l: usize) -> Vec<BlockingParams> {
 }
 
 /// Exhaustively tune the V3 kernel for one problem instance.
-pub fn tune(
-    dev: &DeviceConfig,
-    m: usize,
-    n: usize,
-    k: usize,
-    cfg: NmConfig,
-) -> Result<TuneResult> {
+pub fn tune(dev: &DeviceConfig, m: usize, n: usize, k: usize, cfg: NmConfig) -> Result<TuneResult> {
     let mut board: Vec<(BlockingParams, f64, Option<LaunchReport>)> = Vec::new();
     let mut evaluated = 0usize;
     for p in candidates(cfg.l) {

@@ -86,7 +86,9 @@ impl DenseGemmKernel {
             let alt = make(ks_half);
             let score = |plan: &DensePlan| {
                 let (profile, _) = self.build_profile(dev, plan, m, n, k);
-                sim_estimate(dev, &profile).map(|r| r.seconds).unwrap_or(f64::INFINITY)
+                sim_estimate(dev, &profile)
+                    .map(|r| r.seconds)
+                    .unwrap_or(f64::INFINITY)
             };
             if score(&alt) < score(&best) {
                 best = alt;
@@ -96,7 +98,13 @@ impl DenseGemmKernel {
     }
 
     /// Analytic estimate without data.
-    pub fn estimate(&self, dev: &DeviceConfig, m: usize, n: usize, k: usize) -> Result<LaunchReport> {
+    pub fn estimate(
+        &self,
+        dev: &DeviceConfig,
+        m: usize,
+        n: usize,
+        k: usize,
+    ) -> Result<LaunchReport> {
         let plan = self.plan(dev, m, n, k)?;
         let (profile, _) = self.build_profile(dev, &plan, m, n, k);
         sim_estimate(dev, &profile).map_err(|e| NmError::InvalidBlocking {
@@ -135,7 +143,16 @@ impl DenseGemmKernel {
         for (bi, bj, tile) in tiles {
             let row0 = bi * ms;
             let col0 = bj * ns;
-            scatter_tile(cbuf, n, &tile, ns, row0, col0, ms.min(m - row0), ns.min(n - col0));
+            scatter_tile(
+                cbuf,
+                n,
+                &tile,
+                ns,
+                row0,
+                col0,
+                ms.min(m - row0),
+                ns.min(n - col0),
+            );
         }
         Ok(SimRun { c, stats, report })
     }
@@ -345,7 +362,9 @@ mod tests {
         let dev = a100_80g();
         let a = MatrixF32::random(64, 128, 5);
         let b = MatrixF32::random(128, 128, 6);
-        let run = DenseGemmKernel::new(BlockingParams::small()).run(&dev, &a, &b).unwrap();
+        let run = DenseGemmKernel::new(BlockingParams::small())
+            .run(&dev, &a, &b)
+            .unwrap();
         assert!(run.stats.ffma >= (64 * 128 * 128) as u64);
         assert!(run.stats.ldg_bytes_a > 0 && run.stats.ldg_bytes_b > 0);
         assert_eq!(run.stats.ldg_bytes_d, 0, "dense GEMM reads no indices");

@@ -23,7 +23,9 @@ use gpu_sim::device::DeviceConfig;
 use gpu_sim::l2::BlockTraffic;
 use gpu_sim::occupancy::BlockResources;
 use gpu_sim::stats::KernelStats;
-use gpu_sim::timing::{estimate as sim_estimate, KernelProfile, LaunchReport, PipelineMode, SimError};
+use gpu_sim::timing::{
+    estimate as sim_estimate, KernelProfile, LaunchReport, PipelineMode, SimError,
+};
 use nm_analysis::ai::BlockAi;
 use nm_analysis::packing::expected_ratio;
 use nm_analysis::strategy::{Strategy, StrategyDecision};
@@ -318,8 +320,7 @@ impl NmSpmmKernel {
             (ws * warps * 32) as u64
         };
         let lds_bytes_iter = inner_bytes + idx_bytes;
-        let lds_cycles_iter =
-            (fill_bytes + lds_bytes_iter) as f64 / dev.smem_bytes_per_clock;
+        let lds_cycles_iter = (fill_bytes + lds_bytes_iter) as f64 / dev.smem_bytes_per_clock;
 
         // --- Per-iteration compute ---
         let ffma_iter = (ms * ns * ws) as u64;
@@ -342,8 +343,8 @@ impl NmSpmmKernel {
         let blocks = (gy * gx * split) as u64;
         let iters_per_slice = plan.iters.div_ceil(split);
         let iters = (iters_per_slice * split) as u64; // padded slices
-        // Partial-tile write plus the epilogue reduction's read+write,
-        // amortized per block.
+                                                      // Partial-tile write plus the epilogue reduction's read+write,
+                                                      // amortized per block.
         let stg_bytes_block = if split > 1 {
             (ms * ns * 4 * 3) as u64
         } else {
@@ -549,13 +550,25 @@ mod tests {
 
     #[test]
     fn v1_matches_reference_moderate() {
-        check_version(NmVersion::V1, NmConfig::new(8, 16, 32).unwrap(), 128, 128, 256);
+        check_version(
+            NmVersion::V1,
+            NmConfig::new(8, 16, 32).unwrap(),
+            128,
+            128,
+            256,
+        );
     }
 
     #[test]
     fn v2_matches_reference_high_sparsity_packed() {
         // 87.5%: V2 takes the packing path.
-        check_version(NmVersion::V2, NmConfig::new(2, 16, 32).unwrap(), 128, 128, 512);
+        check_version(
+            NmVersion::V2,
+            NmConfig::new(2, 16, 32).unwrap(),
+            128,
+            128,
+            512,
+        );
     }
 
     #[test]
@@ -574,8 +587,20 @@ mod tests {
     #[test]
     fn ragged_problem_dimensions() {
         // m, n, k none of which are multiples of the tile sizes.
-        check_version(NmVersion::V3, NmConfig::new(4, 16, 32).unwrap(), 100, 200, 300);
-        check_version(NmVersion::V1, NmConfig::new(8, 16, 32).unwrap(), 70, 90, 130);
+        check_version(
+            NmVersion::V3,
+            NmConfig::new(4, 16, 32).unwrap(),
+            100,
+            200,
+            300,
+        );
+        check_version(
+            NmVersion::V1,
+            NmConfig::new(8, 16, 32).unwrap(),
+            70,
+            90,
+            130,
+        );
     }
 
     #[test]
@@ -592,10 +617,11 @@ mod tests {
         assert!(high.packing);
         // V1 never packs.
         let v1 = NmSpmmKernel::new(NmVersion::V1, BlockingParams::large());
-        assert!(!v1
-            .plan(&dev, 1024, 1024, 1024, NmConfig::new(2, 16, 32).unwrap())
-            .unwrap()
-            .packing);
+        assert!(
+            !v1.plan(&dev, 1024, 1024, 1024, NmConfig::new(2, 16, 32).unwrap())
+                .unwrap()
+                .packing
+        );
     }
 
     #[test]
@@ -606,9 +632,21 @@ mod tests {
         let kern = NmSpmmKernel::new(NmVersion::V3, BlockingParams::small());
         let run = kern.run(&dev, &a, &sb).unwrap();
         // Estimate with the measured packing ratio must equal the run report.
-        let layout = preprocess(&sb, kern.plan(&dev, 128, 256, 512, cfg).unwrap().blocking.ks, 32).unwrap();
+        let layout = preprocess(
+            &sb,
+            kern.plan(&dev, 128, 256, 512, cfg).unwrap().blocking.ks,
+            32,
+        )
+        .unwrap();
         let est = kern
-            .estimate(&dev, 128, 256, 512, cfg, Some(layout.col_info.mean_packing_ratio()))
+            .estimate(
+                &dev,
+                128,
+                256,
+                512,
+                cfg,
+                Some(layout.col_info.mean_packing_ratio()),
+            )
             .unwrap();
         assert!((est.seconds - run.report.seconds).abs() / run.report.seconds < 1e-9);
     }

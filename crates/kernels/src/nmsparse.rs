@@ -88,7 +88,16 @@ impl NmSparseKernel {
         for (bi, bj, tile) in tiles {
             let row0 = bi * MS;
             let col0 = bj * NS;
-            scatter_tile(cbuf, n, &tile, NS, row0, col0, MS.min(m - row0), NS.min(n - col0));
+            scatter_tile(
+                cbuf,
+                n,
+                &tile,
+                NS,
+                row0,
+                col0,
+                MS.min(m - row0),
+                NS.min(n - col0),
+            );
         }
         Ok(SimRun { c, stats, report })
     }

@@ -26,17 +26,38 @@ pub struct BlockingParams {
 impl BlockingParams {
     /// Table I "small" column.
     pub const fn small() -> Self {
-        Self { ms: 32, ns: 32, mr: 16, nr: 32, mt: 4, nt: 4 }
+        Self {
+            ms: 32,
+            ns: 32,
+            mr: 16,
+            nr: 32,
+            mt: 4,
+            nt: 4,
+        }
     }
 
     /// Table I "medium" column.
     pub const fn medium() -> Self {
-        Self { ms: 32, ns: 64, mr: 32, nr: 32, mt: 8, nt: 4 }
+        Self {
+            ms: 32,
+            ns: 64,
+            mr: 32,
+            nr: 32,
+            mt: 8,
+            nt: 4,
+        }
     }
 
     /// Table I "large" column.
     pub const fn large() -> Self {
-        Self { ms: 64, ns: 128, mr: 64, nr: 32, mt: 8, nt: 8 }
+        Self {
+            ms: 64,
+            ns: 128,
+            mr: 64,
+            nr: 32,
+            mt: 8,
+            nt: 8,
+        }
     }
 
     /// All three Table I rows with their labels, in paper order.
@@ -227,12 +248,30 @@ mod tests {
 
     #[test]
     fn para_init_matches_table_ii_classes() {
-        assert_eq!(BlockingParams::para_init_table(512, 512), BlockingParams::small());
-        assert_eq!(BlockingParams::para_init_table(512, 1024), BlockingParams::small());
-        assert_eq!(BlockingParams::para_init_table(512, 2048), BlockingParams::medium());
-        assert_eq!(BlockingParams::para_init_table(1024, 2048), BlockingParams::medium());
-        assert_eq!(BlockingParams::para_init_table(2048, 4096), BlockingParams::large());
-        assert_eq!(BlockingParams::para_init_table(4096, 4096), BlockingParams::large());
+        assert_eq!(
+            BlockingParams::para_init_table(512, 512),
+            BlockingParams::small()
+        );
+        assert_eq!(
+            BlockingParams::para_init_table(512, 1024),
+            BlockingParams::small()
+        );
+        assert_eq!(
+            BlockingParams::para_init_table(512, 2048),
+            BlockingParams::medium()
+        );
+        assert_eq!(
+            BlockingParams::para_init_table(1024, 2048),
+            BlockingParams::medium()
+        );
+        assert_eq!(
+            BlockingParams::para_init_table(2048, 4096),
+            BlockingParams::large()
+        );
+        assert_eq!(
+            BlockingParams::para_init_table(4096, 4096),
+            BlockingParams::large()
+        );
     }
 
     #[test]
@@ -252,7 +291,13 @@ mod tests {
     #[test]
     fn ks_satisfies_eq4_budget() {
         let dev = a100_80g();
-        for c in [cfg(8, 16), cfg(6, 16), cfg(4, 16), cfg(2, 16), NmConfig::new(32, 32, 32).unwrap()] {
+        for c in [
+            cfg(8, 16),
+            cfg(6, 16),
+            cfg(4, 16),
+            cfg(2, 16),
+            NmConfig::new(32, 32, 32).unwrap(),
+        ] {
             for (_, p) in BlockingParams::table_i() {
                 let b = derive_blocking(&dev, p, c, 4096, false, false).unwrap();
                 let bytes = 4 * (b.ks * p.ms + b.ws * p.ns) + b.ws * b.qs;
@@ -273,9 +318,16 @@ mod tests {
         // §IV-E observation that 75% reaches higher AI than 62.5%.
         let dev = a100_80g();
         let p = BlockingParams::large();
-        let k50 = derive_blocking(&dev, p, cfg(8, 16), 8192, false, false).unwrap().ks;
-        let k875 = derive_blocking(&dev, p, cfg(2, 16), 8192, false, false).unwrap().ks;
-        assert!(k875 > k50, "ks at 87.5% ({k875}) must exceed ks at 50% ({k50})");
+        let k50 = derive_blocking(&dev, p, cfg(8, 16), 8192, false, false)
+            .unwrap()
+            .ks;
+        let k875 = derive_blocking(&dev, p, cfg(2, 16), 8192, false, false)
+            .unwrap()
+            .ks;
+        assert!(
+            k875 > k50,
+            "ks at 87.5% ({k875}) must exceed ks at 50% ({k50})"
+        );
     }
 
     #[test]
@@ -301,9 +353,16 @@ mod tests {
     #[test]
     fn smaller_smem_devices_get_smaller_ks() {
         let p = BlockingParams::large();
-        let a = derive_blocking(&a100_80g(), p, cfg(4, 16), 8192, false, false).unwrap().ks;
-        let r = derive_blocking(&rtx3090(), p, cfg(4, 16), 8192, false, false).unwrap().ks;
-        assert!(r < a, "3090 (100KB smem) ks {r} must be below A100 (164KB) {a}");
+        let a = derive_blocking(&a100_80g(), p, cfg(4, 16), 8192, false, false)
+            .unwrap()
+            .ks;
+        let r = derive_blocking(&rtx3090(), p, cfg(4, 16), 8192, false, false)
+            .unwrap()
+            .ks;
+        assert!(
+            r < a,
+            "3090 (100KB smem) ks {r} must be below A100 (164KB) {a}"
+        );
     }
 
     #[test]

@@ -16,9 +16,8 @@
 
 use crate::common::grid_dims;
 use gpu_sim::device::DeviceConfig;
-use gpu_sim::l2::{split_traffic, BlockTraffic};
+use gpu_sim::l2::{split_traffic, BlockTraffic, TrafficSplit};
 use gpu_sim::timing::{Bound, LaunchReport, RoundBreakdown, SimError};
-use gpu_sim::l2::TrafficSplit;
 use nm_core::pattern::NmConfig;
 use serde::{Deserialize, Serialize};
 
@@ -127,7 +126,9 @@ mod tests {
             NmConfig::new(4, 8, 4).unwrap(),
             NmConfig::new(1, 4, 4).unwrap(),
         ] {
-            assert!(SparseTensorCoreKernel.estimate(&dev, 512, 512, 512, cfg).is_err());
+            assert!(SparseTensorCoreKernel
+                .estimate(&dev, 512, 512, 512, cfg)
+                .is_err());
         }
         assert!(SparseTensorCoreKernel
             .estimate(&dev, 512, 512, 512, NmConfig::new(2, 4, 1).unwrap())
@@ -153,7 +154,10 @@ mod tests {
             tc.seconds,
             ours.seconds
         );
-        assert!(tc.efficiency > 1.0, "TC throughput exceeds the CUDA-core peak");
+        assert!(
+            tc.efficiency > 1.0,
+            "TC throughput exceeds the CUDA-core peak"
+        );
     }
 
     #[test]
@@ -163,6 +167,10 @@ mod tests {
         let rep = SparseTensorCoreKernel
             .estimate(&dev, 256, 256, 16384, cfg)
             .unwrap();
-        assert_eq!(rep.bound, Bound::Memory, "skinny shapes cannot feed the TCs");
+        assert_eq!(
+            rep.bound,
+            Bound::Memory,
+            "skinny shapes cannot feed the TCs"
+        );
     }
 }

@@ -50,8 +50,7 @@ impl SputnikKernel {
         let useful_flops = 2.0 * m as f64 * n as f64 * w as f64;
 
         // --- Compute ---
-        let comp_cycles =
-            (nnz * m as f64) / (dev.fma_per_clock_per_sm() * dev.sm_count as f64);
+        let comp_cycles = (nnz * m as f64) / (dev.fma_per_clock_per_sm() * dev.sm_count as f64);
 
         // --- Memory ---
         // Raw gather volume: an m-row of A per nonzero, plus CSR metadata.
@@ -68,8 +67,8 @@ impl SputnikKernel {
         let dram_gather = (gather_raw / share).max(unique_a.min(gather_raw));
         let l2_hit_bytes = gather_raw - dram_gather;
         let dram_bytes = dram_gather + csr_bytes + c_bytes;
-        let mem_cycles = dram_bytes / dev.dram_bytes_per_clock()
-            + l2_hit_bytes / dev.l2_bytes_per_clock();
+        let mem_cycles =
+            dram_bytes / dev.dram_bytes_per_clock() + l2_hit_bytes / dev.l2_bytes_per_clock();
 
         // --- Assemble ---
         let cycles = comp_cycles.max(mem_cycles) * IMBALANCE / dev.sustained_efficiency;
@@ -221,7 +220,10 @@ mod tests {
         let t875 = SputnikKernel
             .estimate(&dev, 4096, 4096, 4096, NmConfig::new(2, 16, 32).unwrap())
             .seconds;
-        assert!(t875 < t50 / 2.5, "87.5% ({t875}) should be ≫ faster than 50% ({t50})");
+        assert!(
+            t875 < t50 / 2.5,
+            "87.5% ({t875}) should be ≫ faster than 50% ({t50})"
+        );
     }
 
     #[test]

@@ -20,10 +20,10 @@ pub fn dense_control() -> NmConfig {
 /// The four benchmarked sparsity levels at window depth `M = 16`.
 pub fn benchmark_levels() -> [NmConfig; 4] {
     [
-        NmConfig::new(8, 16, DEFAULT_L).expect("static"),  // 50.0%
-        NmConfig::new(6, 16, DEFAULT_L).expect("static"),  // 62.5%
-        NmConfig::new(4, 16, DEFAULT_L).expect("static"),  // 75.0%
-        NmConfig::new(2, 16, DEFAULT_L).expect("static"),  // 87.5%
+        NmConfig::new(8, 16, DEFAULT_L).expect("static"), // 50.0%
+        NmConfig::new(6, 16, DEFAULT_L).expect("static"), // 62.5%
+        NmConfig::new(4, 16, DEFAULT_L).expect("static"), // 75.0%
+        NmConfig::new(2, 16, DEFAULT_L).expect("static"), // 87.5%
     ]
 }
 

@@ -26,10 +26,26 @@ pub struct LlamaModel {
 
 /// The four public Llama-1 models the paper draws layers from.
 pub const LLAMA_FAMILY: [LlamaModel; 4] = [
-    LlamaModel { name: "Llama-7B", hidden: 4096, intermediate: 11008 },
-    LlamaModel { name: "Llama-13B", hidden: 5120, intermediate: 13824 },
-    LlamaModel { name: "Llama-30B", hidden: 6656, intermediate: 17920 },
-    LlamaModel { name: "Llama-65B", hidden: 8192, intermediate: 22016 },
+    LlamaModel {
+        name: "Llama-7B",
+        hidden: 4096,
+        intermediate: 11008,
+    },
+    LlamaModel {
+        name: "Llama-13B",
+        hidden: 5120,
+        intermediate: 13824,
+    },
+    LlamaModel {
+        name: "Llama-30B",
+        hidden: 6656,
+        intermediate: 17920,
+    },
+    LlamaModel {
+        name: "Llama-65B",
+        hidden: 8192,
+        intermediate: 22016,
+    },
 ];
 
 /// A linear layer's weight shape: `C[m][n] = A[m][k] · B[k][n]`.
@@ -52,12 +68,37 @@ pub fn layer_shapes() -> Vec<LayerShape> {
     let mut out = Vec::with_capacity(20);
     for m in LLAMA_FAMILY {
         let (h, f) = (m.hidden, m.intermediate);
-        out.push(LayerShape { model: m.name, layer: "attn.q/k/v/o", n: h, k: h });
-        out.push(LayerShape { model: m.name, layer: "mlp.gate", n: f, k: h });
-        out.push(LayerShape { model: m.name, layer: "mlp.up", n: f, k: h });
-        out.push(LayerShape { model: m.name, layer: "mlp.down", n: h, k: f });
+        out.push(LayerShape {
+            model: m.name,
+            layer: "attn.q/k/v/o",
+            n: h,
+            k: h,
+        });
+        out.push(LayerShape {
+            model: m.name,
+            layer: "mlp.gate",
+            n: f,
+            k: h,
+        });
+        out.push(LayerShape {
+            model: m.name,
+            layer: "mlp.up",
+            n: f,
+            k: h,
+        });
+        out.push(LayerShape {
+            model: m.name,
+            layer: "mlp.down",
+            n: h,
+            k: f,
+        });
         // Fused QKV as used by inference engines: n = 3h for one GEMM.
-        out.push(LayerShape { model: m.name, layer: "attn.qkv_fused", n: 3 * h, k: h });
+        out.push(LayerShape {
+            model: m.name,
+            layer: "attn.qkv_fused",
+            n: 3 * h,
+            k: h,
+        });
     }
     out
 }
@@ -121,7 +162,10 @@ mod tests {
 
     #[test]
     fn m_values_are_powers_of_two_2e8_to_2e12() {
-        assert_eq!(SEQUENCE_LENGTHS, [1 << 8, 1 << 9, 1 << 10, 1 << 11, 1 << 12]);
+        assert_eq!(
+            SEQUENCE_LENGTHS,
+            [1 << 8, 1 << 9, 1 << 10, 1 << 11, 1 << 12]
+        );
         let d = dataset();
         for &m in &SEQUENCE_LENGTHS {
             assert_eq!(d.iter().filter(|p| p.m == m).count(), 20);

@@ -14,10 +14,30 @@ pub fn bert_shapes() -> Vec<LayerShape> {
     let mut out = Vec::new();
     for (model, h) in [("BERT-base", 768usize), ("BERT-large", 1024usize)] {
         let f = 4 * h;
-        out.push(LayerShape { model, layer: "attn.qkv_fused", n: 3 * h, k: h });
-        out.push(LayerShape { model, layer: "attn.out", n: h, k: h });
-        out.push(LayerShape { model, layer: "mlp.in", n: f, k: h });
-        out.push(LayerShape { model, layer: "mlp.out", n: h, k: f });
+        out.push(LayerShape {
+            model,
+            layer: "attn.qkv_fused",
+            n: 3 * h,
+            k: h,
+        });
+        out.push(LayerShape {
+            model,
+            layer: "attn.out",
+            n: h,
+            k: h,
+        });
+        out.push(LayerShape {
+            model,
+            layer: "mlp.in",
+            n: f,
+            k: h,
+        });
+        out.push(LayerShape {
+            model,
+            layer: "mlp.out",
+            n: h,
+            k: f,
+        });
     }
     out
 }
@@ -27,10 +47,30 @@ pub fn gpt2_xl_shapes() -> Vec<LayerShape> {
     let h = 1600usize;
     let f = 4 * h;
     vec![
-        LayerShape { model: "GPT2-XL", layer: "attn.qkv_fused", n: 3 * h, k: h },
-        LayerShape { model: "GPT2-XL", layer: "attn.out", n: h, k: h },
-        LayerShape { model: "GPT2-XL", layer: "mlp.in", n: f, k: h },
-        LayerShape { model: "GPT2-XL", layer: "mlp.out", n: h, k: f },
+        LayerShape {
+            model: "GPT2-XL",
+            layer: "attn.qkv_fused",
+            n: 3 * h,
+            k: h,
+        },
+        LayerShape {
+            model: "GPT2-XL",
+            layer: "attn.out",
+            n: h,
+            k: h,
+        },
+        LayerShape {
+            model: "GPT2-XL",
+            layer: "mlp.in",
+            n: f,
+            k: h,
+        },
+        LayerShape {
+            model: "GPT2-XL",
+            layer: "mlp.out",
+            n: h,
+            k: f,
+        },
     ]
 }
 
@@ -40,11 +80,36 @@ pub fn mistral_7b_shapes() -> Vec<LayerShape> {
     let kv = 1024usize; // 8 kv-heads × 128
     let f = 14336usize;
     vec![
-        LayerShape { model: "Mistral-7B", layer: "attn.q", n: h, k: h },
-        LayerShape { model: "Mistral-7B", layer: "attn.kv_fused", n: 2 * kv, k: h },
-        LayerShape { model: "Mistral-7B", layer: "attn.out", n: h, k: h },
-        LayerShape { model: "Mistral-7B", layer: "mlp.gate_up_fused", n: 2 * f, k: h },
-        LayerShape { model: "Mistral-7B", layer: "mlp.down", n: h, k: f },
+        LayerShape {
+            model: "Mistral-7B",
+            layer: "attn.q",
+            n: h,
+            k: h,
+        },
+        LayerShape {
+            model: "Mistral-7B",
+            layer: "attn.kv_fused",
+            n: 2 * kv,
+            k: h,
+        },
+        LayerShape {
+            model: "Mistral-7B",
+            layer: "attn.out",
+            n: h,
+            k: h,
+        },
+        LayerShape {
+            model: "Mistral-7B",
+            layer: "mlp.gate_up_fused",
+            n: 2 * f,
+            k: h,
+        },
+        LayerShape {
+            model: "Mistral-7B",
+            layer: "mlp.down",
+            n: h,
+            k: f,
+        },
     ]
 }
 
@@ -82,7 +147,9 @@ mod tests {
     fn known_geometries() {
         assert!(bert_shapes().iter().any(|s| s.n == 2304 && s.k == 768));
         assert!(gpt2_xl_shapes().iter().any(|s| s.n == 6400 && s.k == 1600));
-        assert!(mistral_7b_shapes().iter().any(|s| s.n == 28672 && s.k == 4096));
+        assert!(mistral_7b_shapes()
+            .iter()
+            .any(|s| s.n == 28672 && s.k == 4096));
     }
 
     #[test]
@@ -90,7 +157,13 @@ mod tests {
         use crate::llama::LayerShape;
         let spans = |s: &LayerShape| s.n * 512; // footprint at m = 512
         let shapes = all_extended_shapes();
-        assert!(shapes.iter().any(|s| spans(s) <= 512 * 1024), "small-class shape present");
-        assert!(shapes.iter().any(|s| spans(s) > 1024 * 2048), "large-class shape present");
+        assert!(
+            shapes.iter().any(|s| spans(s) <= 512 * 1024),
+            "small-class shape present"
+        );
+        assert!(
+            shapes.iter().any(|s| spans(s) > 1024 * 2048),
+            "large-class shape present"
+        );
     }
 }

@@ -29,18 +29,53 @@ impl TableIiShape {
 /// Table II verbatim.
 pub fn table_ii() -> [TableIiShape; 6] {
     [
-        TableIiShape { label: 'A', m: 512, n: 512, k: 512 },
-        TableIiShape { label: 'B', m: 512, n: 1024, k: 1024 },
-        TableIiShape { label: 'C', m: 512, n: 2048, k: 2048 },
-        TableIiShape { label: 'D', m: 1024, n: 2048, k: 2048 },
-        TableIiShape { label: 'E', m: 2048, n: 4096, k: 4096 },
-        TableIiShape { label: 'F', m: 4096, n: 4096, k: 4096 },
+        TableIiShape {
+            label: 'A',
+            m: 512,
+            n: 512,
+            k: 512,
+        },
+        TableIiShape {
+            label: 'B',
+            m: 512,
+            n: 1024,
+            k: 1024,
+        },
+        TableIiShape {
+            label: 'C',
+            m: 512,
+            n: 2048,
+            k: 2048,
+        },
+        TableIiShape {
+            label: 'D',
+            m: 1024,
+            n: 2048,
+            k: 2048,
+        },
+        TableIiShape {
+            label: 'E',
+            m: 2048,
+            n: 4096,
+            k: 4096,
+        },
+        TableIiShape {
+            label: 'F',
+            m: 4096,
+            n: 4096,
+            k: 4096,
+        },
     ]
 }
 
 /// The square shape (`m = n = k = 4096`) used by Fig. 7 and Fig. 10.
 pub fn square_4096() -> TableIiShape {
-    TableIiShape { label: 'F', m: 4096, n: 4096, k: 4096 }
+    TableIiShape {
+        label: 'F',
+        m: 4096,
+        n: 4096,
+        k: 4096,
+    }
 }
 
 #[cfg(test)]

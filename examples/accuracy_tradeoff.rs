@@ -62,7 +62,9 @@ fn main() {
         }
     }
     println!("\nobservations (match the N:M literature):");
-    println!(" * magnitude pruning beats random at every level — structure-aware selection matters");
+    println!(
+        " * magnitude pruning beats random at every level — structure-aware selection matters"
+    );
     println!(" * error grows with sparsity while speedup approaches M/N — the tunable frontier");
     println!(" * smaller L gives finer selection granularity (lower error), at some kernel cost");
 }

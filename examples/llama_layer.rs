@@ -33,7 +33,11 @@ fn main() {
         "layer {} {} -> m={m}, n={n}, k={k} {}",
         shape.model,
         shape.layer,
-        if full { "(full size)" } else { "(scaled 1/4, use --full for the real layer)" }
+        if full {
+            "(full size)"
+        } else {
+            "(scaled 1/4, use --full for the real layer)"
+        }
     );
 
     let a = MatrixF32::random(m, k, 7);

@@ -36,7 +36,10 @@ fn main() {
     // 3. Multiply with the parallel CPU kernel and verify against Eq. (1).
     let c = spmm_parallel(&a, &sb, &CpuSpmmOptions::default());
     let oracle = spmm_reference(&a, &sb);
-    assert!(c.allclose(&oracle, 1e-3, 1e-4), "CPU kernel disagrees with Eq. (1)");
+    assert!(
+        c.allclose(&oracle, 1e-3, 1e-4),
+        "CPU kernel disagrees with Eq. (1)"
+    );
     println!("CPU kernel matches the Eq. (1) oracle ✓");
 
     // 4. How good is the approximation of the dense product?

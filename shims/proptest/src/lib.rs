@@ -1,0 +1,476 @@
+//! Offline stand-in for the `proptest` crate (no registry access in this
+//! build environment; see `shims/README.md`).
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`strategy::Strategy`] trait with range / tuple / [`strategy::Just`] /
+//! [`strategy::Union`] strategies and `prop_map`, the `proptest!` test
+//! macro, `prop_oneof!`, `any::<T>()`, and the `prop_assert!` family.
+//!
+//! Differences from the real crate, deliberately accepted:
+//! * no shrinking — a failing case reports its sampled arguments instead,
+//! * sampling is driven by a fixed per-test seed (derived from the test
+//!   name), so runs are deterministic and reproducible by default.
+
+use std::fmt::{self, Display};
+
+/// Failure raised by the `prop_assert!` macros inside a property body.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Build a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Per-test configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Deterministic RNG driving case generation.
+pub mod test_runner {
+    /// SplitMix64 stream seeded from the test's name.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Derive a reproducible generator from an arbitrary label.
+        pub fn deterministic(label: &str) -> Self {
+            // FNV-1a over the label, so each test gets its own stream.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in label.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            Self { state: h }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform index in `[0, n)`.
+        pub fn index(&mut self, n: usize) -> usize {
+            assert!(n > 0, "index over empty domain");
+            (self.next_u64() % n as u64) as usize
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+/// Value-generation strategies, mirroring `proptest::strategy`.
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// Type of value this strategy produces.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erase into a [`BoxedStrategy`].
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                sample: Rc::new(move |rng| self.sample(rng)),
+            }
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, T> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Type-erased strategy, the common denominator for `prop_oneof!`.
+    #[derive(Clone)]
+    pub struct BoxedStrategy<V> {
+        sample: Rc<dyn Fn(&mut TestRng) -> V>,
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn sample(&self, rng: &mut TestRng) -> V {
+            (self.sample)(rng)
+        }
+    }
+
+    /// Uniform choice between alternative strategies (`prop_oneof!`).
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// Build from a non-empty list of alternatives.
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Self { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn sample(&self, rng: &mut TestRng) -> V {
+            let i = rng.index(self.options.len());
+            self.options[i].sample(rng)
+        }
+    }
+
+    /// Full-domain strategy returned by [`any`](super::any).
+    pub struct AnyStrategy<T> {
+        _marker: PhantomData<T>,
+    }
+
+    impl<T> Default for AnyStrategy<T> {
+        fn default() -> Self {
+            Self {
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    /// Types with a canonical full-domain distribution.
+    pub trait ArbitraryValue {
+        /// Draw a value from the type's full domain.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl<T: ArbitraryValue> Strategy for AnyStrategy<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),* $(,)?) => {
+            $(
+                impl ArbitraryValue for $t {
+                    fn arbitrary(rng: &mut TestRng) -> Self {
+                        rng.next_u64() as $t
+                    }
+                }
+            )*
+        };
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl ArbitraryValue for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_range_int {
+        ($($t:ty),* $(,)?) => {
+            $(
+                impl Strategy for Range<$t> {
+                    type Value = $t;
+
+                    fn sample(&self, rng: &mut TestRng) -> $t {
+                        assert!(self.start < self.end, "empty range strategy");
+                        let span = (self.end as u128).wrapping_sub(self.start as u128);
+                        self.start.wrapping_add((rng.next_u64() as u128 % span) as $t)
+                    }
+                }
+
+                impl Strategy for RangeInclusive<$t> {
+                    type Value = $t;
+
+                    fn sample(&self, rng: &mut TestRng) -> $t {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "empty range strategy");
+                        let span = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
+                        lo.wrapping_add((rng.next_u64() as u128 % span) as $t)
+                    }
+                }
+            )*
+        };
+    }
+
+    impl_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_range_float {
+        ($($t:ty),* $(,)?) => {
+            $(
+                impl Strategy for Range<$t> {
+                    type Value = $t;
+
+                    fn sample(&self, rng: &mut TestRng) -> $t {
+                        assert!(self.start < self.end, "empty range strategy");
+                        // Cast the unit sample before scaling: casting after can
+                        // round up to exactly 1.0 in f32 and break half-openness.
+                        let unit = rng.unit_f64() as $t;
+                        let v = self.start + (self.end - self.start) * unit;
+                        if v >= self.end {
+                            self.start
+                        } else {
+                            v
+                        }
+                    }
+                }
+            )*
+        };
+    }
+
+    impl_range_float!(f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident : $idx:tt),+))*) => {
+            $(
+                impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                    type Value = ($($name::Value,)+);
+
+                    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                        ($(self.$idx.sample(rng),)+)
+                    }
+                }
+            )*
+        };
+    }
+
+    impl_tuple_strategy! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    }
+}
+
+/// Full-domain strategy for `T`, mirroring `proptest::arbitrary::any`.
+pub fn any<T: strategy::ArbitraryValue>() -> strategy::AnyStrategy<T> {
+    strategy::AnyStrategy::default()
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($option:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($option)),+
+        ])
+    };
+}
+
+/// Assert a condition inside a property, failing the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a property, failing the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` ({})\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), format!($($fmt)+), l, r
+        );
+    }};
+}
+
+/// Define property tests, mirroring `proptest::proptest!`.
+///
+/// Each property runs `config.cases` times with freshly sampled arguments;
+/// a `prop_assert!` failure panics with the case number and the sampled
+/// arguments (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@expand $config; $($rest)*);
+    };
+    (@expand $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut rng);)*
+                    let described = format!(
+                        concat!($(stringify!($arg), " = {:?}, "),*),
+                        $(&$arg),*
+                    );
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { { $body }; Ok(()) })();
+                    if let Err(err) = outcome {
+                        panic!(
+                            "property {} failed at case {}/{}:\n  {}\n  with {}",
+                            stringify!($name), case + 1, config.cases, err, described
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@expand $crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Glob-import module, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::TestRng;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_oneof, proptest, ProptestConfig};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_sample_in_bounds() {
+        let mut rng = TestRng::deterministic("shim-test");
+        let s = (1usize..5, 10u64..=20, 0.5f64..2.0);
+        for _ in 0..200 {
+            let (a, b, c) = s.sample(&mut rng);
+            assert!((1..5).contains(&a));
+            assert!((10..=20).contains(&b));
+            assert!((0.5..2.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_cover_all_arms() {
+        let mut rng = TestRng::deterministic("oneof");
+        let s = prop_oneof![Just(1u32), Just(2), any::<u32>().prop_map(|x| 3 + (x % 2))];
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[s.sample(&mut rng) as usize % 5] = true;
+        }
+        assert!(seen[1] && seen[2] && (seen[3] || seen[4]));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: sampled args respect their strategies.
+        #[test]
+        fn macro_generates_valid_cases(x in 0usize..10, y in 5u64..=6, z in 0.0f64..1.0) {
+            prop_assert!(x < 10);
+            prop_assert!(y == 5 || y == 6, "y = {}", y);
+            prop_assert!((0.0..1.0).contains(&z));
+            prop_assert_eq!(x + 1, 1 + x);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_reports_case() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn always_fails(x in 0usize..10) {
+                prop_assert!(x > 100, "x = {}", x);
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,253 @@
+//! Offline stand-in for the `rand` crate (no registry access in this build
+//! environment; see `shims/README.md`).
+//!
+//! Implements the surface this workspace uses — `StdRng::seed_from_u64`,
+//! `Rng::gen_range` on integer and float ranges, `Rng::gen`, and
+//! `SliceRandom::shuffle` — on top of xoshiro256++ seeded via SplitMix64.
+//! Streams are deterministic per seed, which is all the workspace relies on
+//! (reproducibility, not bit-compatibility with the real `rand::StdRng`).
+
+use std::ops::Range;
+
+/// Low-level entropy source: everything else derives from `next_u64`.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a small seed.
+pub trait SeedableRng: Sized {
+    /// Deterministically build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling helpers, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: Into<UniformRange<T>>,
+    {
+        let UniformRange { lo, hi } = range.into();
+        T::sample(lo, hi, self.next_u64())
+    }
+
+    /// Uniform sample of the full domain of `T` (`[0, 1)` for floats).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_bits(self.next_u64())
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A half-open `[lo, hi)` interval, converted from `Range<T>`.
+pub struct UniformRange<T> {
+    lo: T,
+    hi: T,
+}
+
+impl<T> From<Range<T>> for UniformRange<T> {
+    fn from(r: Range<T>) -> Self {
+        UniformRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+/// Types uniformly sampleable over a `[lo, hi)` interval.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Map 64 random bits into `[lo, hi)`.
+    fn sample(lo: Self, hi: Self, bits: u64) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl SampleUniform for $t {
+                fn sample(lo: Self, hi: Self, bits: u64) -> Self {
+                    assert!(lo < hi, "gen_range: empty range");
+                    let span = (hi as u128).wrapping_sub(lo as u128) as u128;
+                    lo.wrapping_add((bits as u128 % span) as $t)
+                }
+            }
+        )*
+    };
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f32 {
+    fn sample(lo: Self, hi: Self, bits: u64) -> Self {
+        assert!(lo < hi, "gen_range: empty range");
+        let unit = (bits >> 40) as f32 / (1u64 << 24) as f32; // 24-bit mantissa fill
+        lo + (hi - lo) * unit
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample(lo: Self, hi: Self, bits: u64) -> Self {
+        assert!(lo < hi, "gen_range: empty range");
+        let unit = (bits >> 11) as f64 / (1u64 << 53) as f64;
+        lo + (hi - lo) * unit
+    }
+}
+
+/// Types producible from raw random bits via [`Rng::gen`].
+pub trait Standard {
+    /// Build a value from 64 uniformly random bits.
+    fn from_bits(bits: u64) -> Self;
+}
+
+impl Standard for u64 {
+    fn from_bits(bits: u64) -> Self {
+        bits
+    }
+}
+
+impl Standard for u32 {
+    fn from_bits(bits: u64) -> Self {
+        (bits >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn from_bits(bits: u64) -> Self {
+        bits & 1 == 1
+    }
+}
+
+impl Standard for f32 {
+    fn from_bits(bits: u64) -> Self {
+        (bits >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+impl Standard for f64 {
+    fn from_bits(bits: u64) -> Self {
+        (bits >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ generator seeded through SplitMix64 — the shim's
+    /// stand-in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the canonical xoshiro seeding procedure.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence-related helpers, mirroring `rand::seq`.
+pub mod seq {
+    use super::Rng;
+
+    /// Slice shuffling, mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// Element type of the slice.
+        type Item;
+
+        /// Uniform Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen::<u64>()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen::<u64>()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.gen::<u64>()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let v: f32 = rng.gen_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&v));
+            let u: usize = rng.gen_range(0..16usize);
+            assert!(u < 16);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut xs: Vec<u32> = (0..32).collect();
+        xs.shuffle(&mut rng);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn integer_range_covers_every_value() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..256 {
+            seen[rng.gen_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,67 @@
+//! Offline stand-in for `serde_derive`: emits marker-trait impls for the
+//! `serde` shim without pulling in `syn`/`quote` (no registry access).
+//!
+//! The parser walks the raw token stream just far enough to find the type
+//! name after `struct` / `enum`. Generic type definitions are rejected with
+//! a compile error rather than silently mis-expanded — nothing in this
+//! workspace derives serde traits on a generic type.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the type identifier following `struct` or `enum`, skipping outer
+/// attributes and visibility modifiers. Returns `Err` with a description if
+/// the item shape is unsupported (e.g. generic or union types).
+fn type_name(input: TokenStream) -> Result<String, String> {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            // `#[...]` outer attribute: consume the bracket group that follows.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next();
+            }
+            TokenTree::Ident(id) => {
+                let word = id.to_string();
+                if word == "struct" || word == "enum" {
+                    let name = match iter.next() {
+                        Some(TokenTree::Ident(name)) => name.to_string(),
+                        other => return Err(format!("expected type name, found {other:?}")),
+                    };
+                    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+                        return Err(format!(
+                            "the serde shim derive does not support generic type `{name}`"
+                        ));
+                    }
+                    return Ok(name);
+                }
+                // `pub`, `pub(crate)` and similar: keep scanning.
+            }
+            _ => {}
+        }
+    }
+    Err("no `struct` or `enum` found in derive input".to_string())
+}
+
+fn expand(input: TokenStream, make_impl: impl Fn(&str) -> String) -> TokenStream {
+    match type_name(input) {
+        Ok(name) => make_impl(&name).parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error parses"),
+    }
+}
+
+/// Derive the marker `serde::Serialize` for a non-generic struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, |name| {
+        format!("impl ::serde::Serialize for {name} {{}}")
+    })
+}
+
+/// Derive the marker `serde::Deserialize` for a non-generic struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, |name| {
+        format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+    })
+}

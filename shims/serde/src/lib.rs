@@ -1,0 +1,54 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment for this workspace has no access to a crates
+//! registry, so the external dependencies declared in the manifests are
+//! backed by small local shims (see `shims/README.md`). This one covers the
+//! exact `serde` surface the workspace uses: the `Serialize` / `Deserialize`
+//! traits as derive targets on plain-old-data config and report types.
+//!
+//! Nothing in the workspace currently drives an actual serializer (there is
+//! no `serde_json` dependency; the on-disk container format in
+//! `nm_core::serialize` is hand-rolled binary). The traits are therefore
+//! markers: deriving them compiles and records the intent, and swapping this
+//! shim for the real `serde` later is a manifest-only change.
+
+/// Marker form of `serde::Serialize`.
+///
+/// Derivable via `#[derive(Serialize)]`; carries no methods because no code
+/// path in the workspace invokes a serializer.
+pub trait Serialize {}
+
+/// Marker form of `serde::Deserialize`.
+///
+/// Derivable via `#[derive(Deserialize)]`; carries no methods because no
+/// code path in the workspace invokes a deserializer.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_primitives {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl Serialize for $t {}
+            impl<'de> Deserialize<'de> for $t {}
+        )*
+    };
+}
+
+impl_primitives!(
+    bool, char, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, String
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>, C: Deserialize<'de>> Deserialize<'de>
+    for (A, B, C)
+{
+}

@@ -52,7 +52,9 @@ fn every_engine_agrees_on_every_paper_level() {
         }
         // Simulated GPU engines.
         for v in [NmVersion::V1, NmVersion::V2, NmVersion::V3] {
-            let run = NmSpmmKernel::auto(v, 96, 128).run(&dev, &p.a, &p.sb).expect("run");
+            let run = NmSpmmKernel::auto(v, 96, 128)
+                .run(&dev, &p.a, &p.sb)
+                .expect("run");
             assert_close(&run.c, &p.oracle, &format!("sim/{v:?}@{cfg}"));
         }
         assert_close(
@@ -72,7 +74,11 @@ fn every_engine_agrees_on_every_paper_level() {
 fn every_engine_agrees_on_ragged_shapes() {
     let dev = a100_80g();
     let cfg = NmConfig::new(4, 16, 8).expect("config");
-    for (m, n, k, seed) in [(33usize, 41usize, 57usize, 1u64), (130, 70, 250, 2), (65, 257, 129, 3)] {
+    for (m, n, k, seed) in [
+        (33usize, 41usize, 57usize, 1u64),
+        (130, 70, 250, 2),
+        (65, 257, 129, 3),
+    ] {
         let p = problem(m, n, k, cfg, PrunePolicy::Random { seed }, seed);
         assert_close(
             &spmm_parallel(&p.a, &p.sb, &CpuSpmmOptions::default()),
@@ -122,7 +128,9 @@ fn dense_control_equals_dense_gemm_everywhere() {
         .run(&dev, &p.a, &p.sb)
         .expect("run");
     assert_close(&run.c, &dense_oracle, "sim at 0% sparsity");
-    let gemm = DenseGemmKernel::auto(64, 64).run(&dev, &p.a, &p.b).expect("gemm");
+    let gemm = DenseGemmKernel::auto(64, 64)
+        .run(&dev, &p.a, &p.b)
+        .expect("gemm");
     assert_close(&gemm.c, &dense_oracle, "dense kernel");
     assert_close(&gemm_parallel(&p.a, &p.b), &dense_oracle, "cpu gemm");
 }

@@ -112,7 +112,9 @@ fn sparse_tensor_core_comparison_is_scoped_to_2_4() {
         NmConfig::new(2, 16, 32).expect("config"),
         NmConfig::new(6, 16, 32).expect("config"),
     ] {
-        assert!(SparseTensorCoreKernel.estimate(&dev, 1024, 1024, 1024, cfg).is_err());
+        assert!(SparseTensorCoreKernel
+            .estimate(&dev, 1024, 1024, 1024, cfg)
+            .is_err());
         assert!(NmSpmmKernel::auto(NmVersion::V3, 1024, 1024)
             .estimate(&dev, 1024, 1024, 1024, cfg, None)
             .is_ok());

@@ -94,10 +94,19 @@ fn nm_spmm_beats_both_baselines_on_the_dataset_sample() {
                 .estimate(&dev, m, n, k, cfg, None)
                 .expect("ours")
                 .seconds;
-            let nmsp = NmSparseKernel.estimate(&dev, m, n, k, cfg).expect("nmsparse").seconds;
+            let nmsp = NmSparseKernel
+                .estimate(&dev, m, n, k, cfg)
+                .expect("nmsparse")
+                .seconds;
             let sput = SputnikKernel.estimate(&dev, m, n, k, cfg).seconds;
-            assert!(ours < nmsp, "{cfg} {m}x{n}x{k}: NM-SpMM {ours} !< nmSPARSE {nmsp}");
-            assert!(ours < sput, "{cfg} {m}x{n}x{k}: NM-SpMM {ours} !< Sputnik {sput}");
+            assert!(
+                ours < nmsp,
+                "{cfg} {m}x{n}x{k}: NM-SpMM {ours} !< nmSPARSE {nmsp}"
+            );
+            assert!(
+                ours < sput,
+                "{cfg} {m}x{n}x{k}: NM-SpMM {ours} !< Sputnik {sput}"
+            );
         }
     }
 }
@@ -165,7 +174,10 @@ fn block_ai_decreases_with_sparsity_at_fixed_blocking() {
             ws: b.ws,
         }
         .flops_per_byte();
-        assert!(ai < last, "unpacked AI must fall with sparsity: {ai} !< {last}");
+        assert!(
+            ai < last,
+            "unpacked AI must fall with sparsity: {ai} !< {last}"
+        );
         last = ai;
     }
 }
@@ -180,7 +192,11 @@ fn efficiency_reports_are_well_formed() {
                 .expect("estimate");
             assert!(rep.seconds > 0.0 && rep.seconds.is_finite());
             assert!(rep.cycles > 0.0);
-            assert!((0.0..=1.0).contains(&rep.efficiency), "eff {}", rep.efficiency);
+            assert!(
+                (0.0..=1.0).contains(&rep.efficiency),
+                "eff {}",
+                rep.efficiency
+            );
             assert!(rep.waves >= 1);
             assert!(rep.blocks_per_sm >= 1);
             assert!((0.0..=1.0).contains(&rep.traffic.miss_fraction));

@@ -13,7 +13,11 @@ use proptest::prelude::*;
 
 /// Arbitrary valid (N, M, L) with M ∈ {2,4,8,16,32}, N ≤ M.
 fn arb_config() -> impl Strategy<Value = NmConfig> {
-    (0usize..5, 1usize..=32, prop_oneof![Just(1usize), Just(2), Just(4), Just(8), Just(16)])
+    (
+        0usize..5,
+        1usize..=32,
+        prop_oneof![Just(1usize), Just(2), Just(4), Just(8), Just(16)],
+    )
         .prop_map(|(mi, nraw, l)| {
             let m = 2usize << mi; // 2,4,8,16,32
             let n = 1 + (nraw - 1) % m;

@@ -1,0 +1,50 @@
+//! Smoke test: every paper sparsity level survives the full
+//! prune → compress → `spmm_reference` path on ragged shapes, agreeing
+//! with the `f64` dense oracle on the decompressed matrix.
+
+use nm_spmm::core::spmm::{gemm_reference_f64, spmm_reference};
+use nm_spmm::prelude::*;
+
+/// Ragged shapes: neither `k` a multiple of `M = 16` nor `n` a multiple of
+/// the vector length, so both axes need padding windows.
+const RAGGED_SHAPES: [(usize, usize, usize); 3] = [
+    (13, 37, 29), // (m, k, n) — everything coprime to the window sizes
+    (1, 17, 1),   // degenerate single-row / single-column
+    (21, 100, 50),
+];
+
+#[test]
+fn paper_levels_round_trip_on_ragged_shapes() {
+    for cfg in NmConfig::paper_levels(8) {
+        for (mi, (m, k, n)) in RAGGED_SHAPES.iter().copied().enumerate() {
+            assert_ne!(k % cfg.m, 0, "shape {mi} must be ragged along k");
+            let a = MatrixF32::random(m, k, 11 + mi as u64);
+            let b = MatrixF32::random(k, n, 23 + mi as u64);
+
+            let sb = NmSparseMatrix::prune_magnitude(&b, cfg)
+                .unwrap_or_else(|e| panic!("{}: prune failed on shape {mi}: {e}", cfg.label()));
+            sb.validate()
+                .unwrap_or_else(|e| panic!("{}: invalid compressed form: {e}", cfg.label()));
+
+            // The compressed form keeps exactly the advertised density on
+            // the kept entries (ragged tail windows may keep fewer).
+            let kept = k * n - sb.decompress().count_zeros();
+            let upper = (cfg.density() * (k * n) as f64 * 1.05) as usize + cfg.m * cfg.l;
+            assert!(
+                kept <= upper,
+                "{}: kept {kept} > bound {upper}",
+                cfg.label()
+            );
+
+            let via_sparse = spmm_reference(&a, &sb);
+            let oracle = gemm_reference_f64(&a, &sb.decompress());
+            assert_eq!(via_sparse.shape(), (m, n));
+            assert!(
+                via_sparse.allclose(&oracle, 1e-3, 1e-4),
+                "{}: shape {mi} ({m}x{k}x{n}) diverges from f64 oracle: max diff {}",
+                cfg.label(),
+                via_sparse.max_abs_diff(&oracle)
+            );
+        }
+    }
+}
