@@ -21,4 +21,4 @@ pub mod packing;
 pub mod strategy;
 
 pub use ai::BlockAi;
-pub use strategy::{PipelineHint, Strategy, StrategyDecision};
+pub use strategy::{PipelineHint, Strategy, StrategyDecision, SPARSITY_THRESHOLD};

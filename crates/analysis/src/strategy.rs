@@ -3,8 +3,11 @@
 //!
 //! Given a device, a sparsity configuration and a blocking plan, decide:
 //!
-//! * **packing or non-packing** — packing when sparsity ≥ 70% (the paper's
-//!   moderate/high threshold), where the `As` working set is mostly dead,
+//! * **packing or non-packing** — packing exactly when
+//!   `sparsity ≥ SPARSITY_THRESHOLD` (the paper's 70% moderate/high
+//!   boundary, owned by [`nm_core::pattern::SPARSITY_THRESHOLD`] and
+//!   re-exported here; the `≥` convention means exactly 70% packs), where
+//!   the `As` working set is mostly dead,
 //! * **which pipeline hides which** — at moderate sparsity computation
 //!   instructions mask the global→shared loads (Fig. 5); at high sparsity
 //!   the loads mask computation (Fig. 6),
@@ -17,6 +20,12 @@ use gpu_sim::device::DeviceConfig;
 use gpu_sim::roofline::Roofline;
 use nm_core::pattern::{NmConfig, SparsityClass};
 use serde::{Deserialize, Serialize};
+
+/// The moderate/high boundary this module decides against. This is the
+/// *same constant* `nm_core::pattern` uses for [`NmConfig::class`] — the
+/// decision procedure consumes it through `cfg.class()`, so the two crates
+/// cannot disagree on the convention (`≥` ⇒ high ⇒ packing).
+pub use nm_core::pattern::SPARSITY_THRESHOLD;
 
 /// Which instruction class covers the other in the software pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -68,6 +77,8 @@ impl Strategy {
         qs: usize,
     ) -> StrategyDecision {
         let sparsity = cfg.sparsity();
+        // `class()` compares against SPARSITY_THRESHOLD with `≥`; packing
+        // and the pipeline orientation both key off that one comparison.
         let packing = cfg.class() == SparsityClass::High;
         let packing_ratio = if packing {
             expected_ratio(cfg, qs)
@@ -220,6 +231,41 @@ mod tests {
         let cfg = NmConfig::new(3, 10, 32).unwrap(); // exactly 70%
         let d = Strategy::decide(&dev, cfg, block(160, 48), 4);
         assert!(d.packing);
+    }
+
+    #[test]
+    fn boundary_agrees_with_core_at_exactly_70_percent() {
+        // The 1 − N/M = 0.70 boundary, checked against BOTH crates at once:
+        // nm_core's `≥` classification and this module's packing decision
+        // must flip at the same configuration, and the constant they share
+        // is SPARSITY_THRESHOLD itself.
+        let dev = a100_80g();
+        for (n, m, expect_high) in [
+            (3usize, 10usize, true), // exactly 1 − 3/10 = 0.70 → high, packs
+            (6, 20, true),           // same ratio, different window depth
+            (31, 100, false),        // 0.69 → moderate, does not pack
+            (7, 10, false),          // 0.30 → moderate
+        ] {
+            let cfg = NmConfig::new(n, m, 32).unwrap();
+            let core_high = cfg.class() == SparsityClass::High;
+            assert_eq!(
+                core_high,
+                cfg.sparsity() >= SPARSITY_THRESHOLD,
+                "{cfg}: core classification must be the ≥ comparison"
+            );
+            assert_eq!(core_high, expect_high, "{cfg}: unexpected class");
+            let d = Strategy::decide(&dev, cfg, block(160, 48), 4);
+            assert_eq!(
+                d.packing, core_high,
+                "{cfg}: strategy packing must agree with nm_core's class"
+            );
+            let expect_pipeline = if core_high {
+                PipelineHint::LoadHidesCompute
+            } else {
+                PipelineHint::ComputeHidesLoad
+            };
+            assert_eq!(d.pipeline, expect_pipeline, "{cfg}");
+        }
     }
 
     #[test]

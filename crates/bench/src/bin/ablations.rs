@@ -13,41 +13,30 @@ use nm_analysis::packing::expected_ratio;
 use nm_bench::{pct, TextTable};
 use nm_core::index::{IndexLayout, IndexMatrix};
 use nm_core::pattern::NmConfig;
-use nm_kernels::params::BlockingParams;
-use nm_kernels::{NmSpmmKernel, NmVersion};
+use nm_kernels::Engine;
 
 fn main() {
-    let dev = a100_80g();
+    let mut engine = Engine::new(a100_80g());
     let (m, n, k) = (4096, 4096, 4096);
 
     println!("== Ablation 1: packing vs non-packing across sparsity ==\n");
+    // V2-with-packing vs V1 (never packs), same (tuned) blocking and the
+    // same serial pipeline — both estimates come from one engine plan.
     let mut t = TextTable::new(&["N:M", "sparsity", "non-packing", "packing", "winner"]);
     for nn in [14usize, 12, 10, 8, 6, 5, 4, 3, 2, 1] {
         let cfg = NmConfig::new(nn, 16, 32).expect("config");
-        // V2-with-packing-forced vs V1 (never packs), same serial pipeline.
-        let v1 = NmSpmmKernel::new(NmVersion::V1, BlockingParams::large())
-            .estimate(&dev, m, n, k, cfg, None)
-            .expect("v1");
-        // Force packing by passing the expected ratio through a V2 at any
-        // sparsity: the kernel itself would only pack above the threshold,
-        // so emulate forced packing with the packed ratio estimate.
-        let kern = NmSpmmKernel::new(NmVersion::V2, BlockingParams::large());
-        let plan = kern.plan(&dev, m, n, k, cfg).expect("plan");
-        let ratio = expected_ratio(cfg, plan.blocking.qs);
-        let packed_eff = if plan.packing {
-            kern.estimate(&dev, m, n, k, cfg, Some(ratio))
-                .expect("v2")
-                .efficiency
+        let plan = engine.plan(m, n, k, cfg).expect("plan");
+        let v1_eff = plan.estimates.nm_v1.expect("v1").efficiency;
+        // Below the threshold the strategy refuses packing, so V2 degrades
+        // to V1 and no forced-packing estimate exists.
+        let packed_eff = if plan.decision.packing {
+            plan.estimates.nm_v2.expect("v2").efficiency
         } else {
-            // Below the threshold the plan refuses packing; report the AI
-            // model's prediction of what forced packing would cost: packed
-            // bytes are ratio*ks but with the col_info dependent chain —
-            // approximate by scaling V1's load-side benefit away.
             f64::NAN
         };
         let row_winner = if packed_eff.is_nan() {
             "non-packing (by strategy)"
-        } else if packed_eff > v1.efficiency {
+        } else if packed_eff > v1_eff {
             "packing"
         } else {
             "non-packing"
@@ -55,7 +44,7 @@ fn main() {
         t.row(&[
             format!("{}:16", nn),
             pct(cfg.sparsity()),
-            pct(v1.efficiency),
+            pct(v1_eff),
             if packed_eff.is_nan() {
                 "-".into()
             } else {
@@ -70,12 +59,9 @@ fn main() {
     let mut t = TextTable::new(&["sparsity", "serial (V2)", "pipelined (V3)", "gain"]);
     for nn in [8usize, 6, 4, 2] {
         let cfg = NmConfig::new(nn, 16, 32).expect("config");
-        let v2 = NmSpmmKernel::new(NmVersion::V2, BlockingParams::large())
-            .estimate(&dev, m, n, k, cfg, None)
-            .expect("v2");
-        let v3 = NmSpmmKernel::new(NmVersion::V3, BlockingParams::large())
-            .estimate(&dev, m, n, k, cfg, None)
-            .expect("v3");
+        let plan = engine.plan(m, n, k, cfg).expect("plan");
+        let v2 = plan.estimates.nm_v2.expect("v2");
+        let v3 = plan.estimates.nm_v3.expect("v3");
         t.row(&[
             pct(cfg.sparsity()),
             pct(v2.efficiency),
@@ -89,15 +75,14 @@ fn main() {
     let mut t = TextTable::new(&["L", "qs", "expected packed ratio", "V3 efficiency"]);
     for l in [8usize, 16, 32, 64, 128] {
         let cfg = NmConfig::new(2, 16, l).expect("config");
-        let kern = NmSpmmKernel::new(NmVersion::V3, BlockingParams::large());
-        match kern.plan(&dev, m, n, k, cfg) {
+        match engine.plan(m, n, k, cfg) {
             Ok(plan) => {
-                let rep = kern.estimate(&dev, m, n, k, cfg, None).expect("estimate");
+                let qs = plan.params.ns / l;
                 t.row(&[
                     l.to_string(),
-                    plan.blocking.qs.to_string(),
-                    format!("{:.3}", expected_ratio(cfg, plan.blocking.qs)),
-                    pct(rep.efficiency),
+                    qs.to_string(),
+                    format!("{:.3}", expected_ratio(cfg, qs)),
+                    pct(plan.estimates.nm_v3.expect("v3").efficiency),
                 ]);
             }
             Err(e) => t.row(&[l.to_string(), "-".into(), "-".into(), format!("({e})")]),
@@ -143,4 +128,8 @@ fn main() {
     }
     t.print();
     println!("(the paper's 8x8 / 8x16 tiles maximize CMAR within the 255-register budget)");
+
+    // Ablations 1 and 2 share plan keys (same shape, same levels), so the
+    // engine's memo serves the overlap without re-tuning.
+    println!("\nplan cache: {}", engine.stats());
 }

@@ -3,12 +3,18 @@
 //! levels, on all three GPUs — plus the §IV-D aggregate claims
 //! (NM-SpMM ≈ 2.1× nmSPARSE overall, 1.4×–6.3× over cuBLAS).
 //!
+//! All kernel selection goes through the unified [`Engine`]: one plan per
+//! `(device, shape class, N:M)` key carries every family's estimate, and
+//! repeated shapes (Llama's `mlp.gate`/`mlp.up` share weights shapes) are
+//! cache hits rather than re-tunes — the per-device cache accounting is
+//! printed after each table.
+//!
 //! Pass `--full` to print every data point; the default prints the
 //! per-level summary and a 10-point sample of each series.
 
 use gpu_sim::device::paper_devices;
 use nm_bench::{geomean, spd, TextTable};
-use nm_kernels::{DenseGemmKernel, NmSparseKernel, NmSpmmKernel, NmVersion, SputnikKernel};
+use nm_kernels::Engine;
 use nm_workloads::levels::{benchmark_levels, label};
 use nm_workloads::llama::dataset;
 
@@ -22,6 +28,7 @@ fn main() {
 
     for dev in paper_devices() {
         println!("-- {} --", dev.name);
+        let mut engine = Engine::new(dev.clone());
         let mut summary = TextTable::new(&[
             "sparsity", "ideal", "NM-SpMM", "nmSPARSE", "Sputnik", "NM/nmSP",
         ]);
@@ -32,25 +39,16 @@ fn main() {
             let mut series: Vec<(usize, f64, f64, f64)> = Vec::new();
             for p in &points {
                 let (m, n, k) = (p.m, p.shape.n, p.shape.k);
-                let dense = DenseGemmKernel::auto(m, n)
-                    .estimate(&dev, m, n, k)
-                    .expect("dense");
-                let nm = NmSpmmKernel::auto(NmVersion::V3, m, n)
-                    .estimate(&dev, m, n, k, cfg, None)
-                    .expect("nm-spmm");
-                let base = NmSparseKernel
-                    .estimate(&dev, m, n, k, cfg)
-                    .expect("nmsparse");
-                let sp = SputnikKernel.estimate(&dev, m, n, k, cfg);
-                ours.push(dense.seconds / nm.seconds);
-                nmsp.push(dense.seconds / base.seconds);
-                sput.push(dense.seconds / sp.seconds);
-                series.push((
-                    p.index,
-                    dense.seconds / nm.seconds,
-                    dense.seconds / base.seconds,
-                    dense.seconds / sp.seconds,
-                ));
+                let plan = engine.plan(m, n, k, cfg).expect("plan");
+                let e = &plan.estimates;
+                let dense = e.dense.seconds;
+                let nm = e.nm_v3.expect("nm-spmm estimate").seconds;
+                let base = e.nmsparse.expect("nmsparse estimate").seconds;
+                let sp = e.sputnik.seconds;
+                ours.push(dense / nm);
+                nmsp.push(dense / base);
+                sput.push(dense / sp);
+                series.push((p.index, dense / nm, dense / base, dense / sp));
             }
             let (g_ours, g_nmsp, g_sput) = (geomean(&ours), geomean(&nmsp), geomean(&sput));
             summary.row(&[
@@ -87,7 +85,7 @@ fn main() {
             }
         }
         summary.print();
-        println!();
+        println!("  plan cache: {}\n", engine.stats());
     }
 
     println!("== §IV-D aggregates ==");

@@ -1,28 +1,42 @@
-//! Generic sweep CLI: estimate any problem on any modeled device.
+//! Generic sweep CLI: estimate any problem on any modeled device, or sweep
+//! a whole Llama model's layers, all through the unified planner/engine.
 //!
 //! ```sh
+//! # One shape, four sparsity levels (auto-tuned plans):
 //! cargo run --release -p nm-bench --bin sweep -- \
 //!     --m 2048 --n 11008 --k 4096 --device a100 --tune
+//!
+//! # Batched layer sweep of a whole model, with a persistent plan cache:
+//! cargo run --release -p nm-bench --bin sweep -- \
+//!     --llama 7b --seq 2048 --device a100 --cache plans.json
 //! ```
 //!
-//! Prints, for each sparsity level: the V3 kernel's time, TFLOPS,
-//! efficiency, bound, speedup vs the dense baseline, energy estimate, and
-//! (with `--tune`) the auto-tuned blocking against the Table I preset.
+//! Every kernel choice comes from [`Engine::plan`] — strategy decision plus
+//! exhaustive autotune, memoized per `(device, shape class, N:M)` key. With
+//! `--cache PATH` the memo is loaded at startup and saved on exit, so the
+//! second run of an identical sweep performs zero tuning searches (the
+//! cache accounting printed at the end proves it).
 
 use gpu_sim::device::{a100_80g, a100_ncu_locked, rtx3090, rtx4090, DeviceConfig};
 use gpu_sim::energy;
 use nm_bench::{pct, spd, TextTable};
-use nm_kernels::autotune;
-use nm_kernels::{DenseGemmKernel, NmSpmmKernel, NmVersion};
+use nm_kernels::{Engine, NmSpmmKernel, NmVersion};
 use nm_workloads::gen::{ProblemInstance, ProblemSpec};
 use nm_workloads::levels::{benchmark_levels, label};
+use nm_workloads::llama::LLAMA_FAMILY;
+use nm_workloads::sweep::{sweep_model, ExecutePolicy, SweepOptions};
 
 struct Args {
     m: usize,
     n: usize,
     k: usize,
+    shape_given: bool,
     device: DeviceConfig,
     tune: bool,
+    llama: Option<&'static str>,
+    seq: usize,
+    cache: Option<String>,
+    exec: bool,
 }
 
 fn parse_args() -> Args {
@@ -30,8 +44,13 @@ fn parse_args() -> Args {
         m: 4096,
         n: 4096,
         k: 4096,
+        shape_given: false,
         device: a100_80g(),
         tune: false,
+        llama: None,
+        seq: 2048,
+        cache: None,
+        exec: false,
     };
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -39,14 +58,21 @@ fn parse_args() -> Args {
         match argv[i].as_str() {
             "--m" => {
                 args.m = argv[i + 1].parse().expect("--m takes a number");
+                args.shape_given = true;
                 i += 2;
             }
             "--n" => {
                 args.n = argv[i + 1].parse().expect("--n takes a number");
+                args.shape_given = true;
                 i += 2;
             }
             "--k" => {
                 args.k = argv[i + 1].parse().expect("--k takes a number");
+                args.shape_given = true;
+                i += 2;
+            }
+            "--seq" => {
+                args.seq = argv[i + 1].parse().expect("--seq takes a number");
                 i += 2;
             }
             "--device" => {
@@ -59,8 +85,27 @@ fn parse_args() -> Args {
                 };
                 i += 2;
             }
+            "--llama" => {
+                let name = argv[i + 1].as_str();
+                args.llama = Some(match name {
+                    "7b" => "Llama-7B",
+                    "13b" => "Llama-13B",
+                    "30b" => "Llama-30B",
+                    "65b" => "Llama-65B",
+                    other => panic!("unknown model '{other}' (7b|13b|30b|65b)"),
+                });
+                i += 2;
+            }
+            "--cache" => {
+                args.cache = Some(argv[i + 1].clone());
+                i += 2;
+            }
             "--tune" => {
                 args.tune = true;
+                i += 1;
+            }
+            "--exec" => {
+                args.exec = true;
                 i += 1;
             }
             other => panic!("unknown flag '{other}'"),
@@ -69,15 +114,136 @@ fn parse_args() -> Args {
     args
 }
 
+fn make_engine(args: &Args) -> Engine {
+    match &args.cache {
+        Some(path) => {
+            let eng = Engine::with_cache_file(args.device.clone(), path).expect("load plan cache");
+            println!(
+                "plan cache: {} ({} entries loaded)\n",
+                path,
+                eng.stats().entries
+            );
+            eng
+        }
+        None => Engine::new(args.device.clone()),
+    }
+}
+
+fn finish(engine: &Engine) {
+    println!("\nplan cache: {}", engine.stats());
+    match engine.save() {
+        Ok(true) => println!("plan cache saved"),
+        Ok(false) => {}
+        Err(e) => eprintln!("warning: failed to save plan cache: {e}"),
+    }
+}
+
 fn main() {
     let args = parse_args();
-    let (m, n, k) = (args.m, args.n, args.k);
-    let dev = &args.device;
-    println!("== sweep: m={m} n={n} k={k} on {} ==\n", dev.name);
+    let mut engine = make_engine(&args);
+    if let Some(model_name) = args.llama {
+        // Model mode takes its shapes from the model and always tunes.
+        if args.shape_given {
+            eprintln!("warning: --m/--n/--k are ignored with --llama (shapes come from the model; use --seq for the sequence length)");
+        }
+        if args.tune {
+            eprintln!(
+                "warning: --tune is ignored with --llama (engine plans are always auto-tuned)"
+            );
+        }
+        llama_sweep(&args, &mut engine, model_name);
+    } else {
+        shape_sweep(&args, &mut engine);
+    }
+    finish(&engine);
+}
 
-    let dense = DenseGemmKernel::auto(m, n)
-        .estimate(dev, m, n, k)
-        .expect("dense estimate");
+/// Batched layer sweep of one Llama model across the benchmark levels.
+fn llama_sweep(args: &Args, engine: &mut Engine, model_name: &str) {
+    let model = LLAMA_FAMILY
+        .iter()
+        .find(|m| m.name == model_name)
+        .expect("known model");
+    let opts = SweepOptions {
+        seq_len: args.seq,
+        execute: if args.exec {
+            ExecutePolicy::Scaled(8)
+        } else {
+            ExecutePolicy::EstimateOnly
+        },
+        ..Default::default()
+    };
+    println!(
+        "== layer sweep: {} (h={}, f={}), m={} on {} ==\n",
+        model.name,
+        model.hidden,
+        model.intermediate,
+        args.seq,
+        engine.device().name
+    );
+    for cfg in benchmark_levels() {
+        let report = sweep_model(engine, model, cfg, &opts).expect("sweep");
+        println!("-- {} --", label(&cfg));
+        let mut t = TextTable::new(&[
+            "layer", "n", "k", "kernel", "blocking", "packing", "est ms", "dense ms", "speedup",
+            "cached",
+        ]);
+        for l in &report.layers {
+            let p = l.plan.params;
+            t.row(&[
+                l.layer.to_string(),
+                l.n.to_string(),
+                l.k.to_string(),
+                l.plan.choice.to_string(),
+                format!("{}x{} mt{}xnt{}", p.ms, p.ns, p.mt, p.nt),
+                if l.plan.decision.packing { "yes" } else { "no" }.to_string(),
+                format!("{:.3}", l.est_ms),
+                format!("{:.3}", l.dense_ms),
+                spd(l.speedup()),
+                if l.cache_hit { "hit" } else { "miss" }.to_string(),
+            ]);
+        }
+        t.print();
+        if args.exec {
+            let mut t =
+                TextTable::new(&["layer", "exec shape", "CPU ms", "CPU dense ms", "|sim-cpu|"]);
+            for l in &report.layers {
+                if let Some(e) = l.exec {
+                    t.row(&[
+                        l.layer.to_string(),
+                        format!("{}x{}x{}", e.m, e.n, e.k),
+                        format!("{:.1}", e.cpu_ms),
+                        format!("{:.1}", e.cpu_dense_ms),
+                        format!("{:.2e}", e.sim_vs_cpu_max_diff),
+                    ]);
+                }
+            }
+            t.print();
+        }
+        println!(
+            "model total: {:.3} ms sparse vs {:.3} ms dense = {} ({} hits / {} misses)\n",
+            report.total_est_ms(),
+            report.total_dense_ms(),
+            spd(report.total_speedup()),
+            report.cache_hits,
+            report.cache_misses,
+        );
+    }
+}
+
+/// Single-shape sweep across the benchmark levels.
+fn shape_sweep(args: &Args, engine: &mut Engine) {
+    let (m, n, k) = (args.m, args.n, args.k);
+    println!(
+        "== sweep: m={m} n={n} k={k} on {} ==\n",
+        engine.device().name
+    );
+
+    let dense = engine
+        .plan(m, n, k, benchmark_levels()[0])
+        .expect("plan")
+        .estimates
+        .dense;
     println!(
         "dense baseline: {:.3} ms, {:.2} TFLOPS ({})\n",
         dense.seconds * 1e3,
@@ -87,6 +253,7 @@ fn main() {
 
     let mut t = TextTable::new(&[
         "sparsity",
+        "kernel",
         "time ms",
         "TFLOPS",
         "eff",
@@ -96,27 +263,28 @@ fn main() {
         "GF/J",
     ]);
     for cfg in benchmark_levels() {
-        let kern = NmSpmmKernel::auto(NmVersion::V3, m, n);
-        let rep = kern.estimate(dev, m, n, k, cfg, None).expect("estimate");
-        // Energy needs event counts: run functionally on a reduced problem
-        // is wasteful — instead rebuild stats analytically via a tiny
-        // instance when shapes are huge. Use the profile-derived stats from
-        // a real run only for small problems; otherwise scale from spec.
+        let plan = engine.plan(m, n, k, cfg).expect("plan");
+        let best = plan.best();
+        // Energy needs event counts: run the chosen kernel functionally on
+        // small problems; large shapes skip it (the estimate covers time).
         let spec = ProblemSpec { m, n, k, cfg };
         let e = if m * n <= 512 * 512 {
             let inst = ProblemInstance::generate(spec, 1);
-            let run = kern.run(dev, &inst.a, &inst.b_sparse).expect("run");
-            Some(energy::estimate(dev, &run.stats, &run.report))
+            let run = engine
+                .run_plan(&plan, &inst.a, &inst.b_sparse)
+                .expect("run");
+            Some(energy::estimate(engine.device(), &run.stats, &run.report))
         } else {
             None
         };
         t.row(&[
             label(&cfg),
-            format!("{:.3}", rep.seconds * 1e3),
-            format!("{:.2}", rep.tflops),
-            pct(rep.efficiency),
-            format!("{:?}", rep.bound),
-            spd(dense.seconds / rep.seconds),
+            plan.choice.to_string(),
+            format!("{:.3}", best.seconds * 1e3),
+            format!("{:.2}", best.tflops),
+            pct(best.efficiency),
+            format!("{:?}", plan.decision.predicted_bound),
+            spd(plan.speedup_vs_dense()),
             e.map(|e| format!("{:.2}", e.total_j() * 1e3))
                 .unwrap_or("-".into()),
             e.map(|e| format!("{:.0}", e.gflops_per_joule(spec.useful_flops())))
@@ -126,23 +294,21 @@ fn main() {
     t.print();
 
     if args.tune {
-        println!("\n== auto-tuning (V3) ==\n");
+        println!("\n== auto-tuned blocking vs Table I preset (V3) ==\n");
         let mut t = TextTable::new(&["sparsity", "preset", "tuned", "tuned params", "gain"]);
         for cfg in benchmark_levels() {
+            let plan = engine.plan(m, n, k, cfg).expect("plan");
             let preset = NmSpmmKernel::auto(NmVersion::V3, m, n)
-                .estimate(dev, m, n, k, cfg, None)
+                .estimate(engine.device(), m, n, k, cfg, None)
                 .expect("preset");
-            let tuned = autotune::tune(dev, m, n, k, cfg).expect("tune");
-            let p = tuned.params;
+            let tuned = plan.estimates.nm_v3.expect("nm estimate");
+            let p = plan.params;
             t.row(&[
                 label(&cfg),
                 format!("{:.3} ms", preset.seconds * 1e3),
-                format!("{:.3} ms", tuned.report.seconds * 1e3),
+                format!("{:.3} ms", tuned.seconds * 1e3),
                 format!("{}x{} mt{}xnt{}", p.ms, p.ns, p.mt, p.nt),
-                format!(
-                    "{:+.1}%",
-                    100.0 * (preset.seconds / tuned.report.seconds - 1.0)
-                ),
+                format!("{:+.1}%", 100.0 * (preset.seconds / tuned.seconds - 1.0)),
             ]);
         }
         t.print();

@@ -147,7 +147,10 @@ mod tests {
         ] {
             let sb = weights(cfg);
             let mult = BatchedSpmm::new(sb.clone()).unwrap();
-            assert_eq!(mult.uses_packing(), cfg.sparsity() >= 0.7);
+            assert_eq!(
+                mult.uses_packing(),
+                cfg.sparsity() >= crate::pattern::SPARSITY_THRESHOLD
+            );
             let a = MatrixF32::random(24, 128, 5);
             let got = mult.forward(&a).unwrap();
             let want = spmm_reference(&a, &sb);

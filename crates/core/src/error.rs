@@ -36,6 +36,12 @@ pub enum NmError {
         /// Human-readable reason for the rejection.
         reason: String,
     },
+    /// A persistence failure: on-disk artifact I/O, or a malformed
+    /// serialized document (e.g. the JSON plan cache).
+    Persist {
+        /// Human-readable reason for the failure.
+        reason: String,
+    },
 }
 
 impl fmt::Display for NmError {
@@ -56,6 +62,9 @@ impl fmt::Display for NmError {
             ),
             NmError::InvalidBlocking { reason } => {
                 write!(f, "invalid blocking parameters: {reason}")
+            }
+            NmError::Persist { reason } => {
+                write!(f, "persistence failure: {reason}")
             }
         }
     }
@@ -98,6 +107,11 @@ mod tests {
             reason: "shared memory exceeded".into(),
         };
         assert!(e.to_string().contains("shared memory"));
+
+        let e = NmError::Persist {
+            reason: "cache file truncated".into(),
+        };
+        assert!(e.to_string().contains("cache file truncated"));
     }
 
     #[test]

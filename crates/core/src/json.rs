@@ -1,0 +1,510 @@
+//! Minimal JSON reader/writer for on-disk artifacts.
+//!
+//! The build environment has no registry access, so `serde_json` is not
+//! available (the `serde` shim provides marker traits only — see
+//! `shims/README.md`). This module covers the small surface the workspace
+//! needs for human-readable artifacts such as the kernel-plan cache: a
+//! dynamically typed [`JsonValue`], a writer that emits deterministic
+//! output (object keys in insertion order), and a strict recursive-descent
+//! parser.
+//!
+//! Numbers are carried as `f64`. Rust's float formatting produces the
+//! shortest string that parses back to the identical bit pattern, so
+//! `dump → parse` round-trips every finite value exactly; non-finite
+//! numbers are rejected at write time (JSON cannot represent them).
+
+use crate::error::{NmError, Result};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (integers are exact up to 2⁵³).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object. Keys are kept in insertion order for stable output.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object field lookup (first match); `None` on non-objects.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Like [`JsonValue::get`] but failing with a [`NmError::Persist`].
+    pub fn field(&self, key: &str) -> Result<&JsonValue> {
+        self.get(key).ok_or_else(|| NmError::Persist {
+            reason: format!("missing field `{key}`"),
+        })
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a non-negative integer.
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            JsonValue::Number(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= 2f64.powi(53) => {
+                Some(*x as usize)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Typed accessors that fail with a [`NmError::Persist`] naming the key.
+    pub fn f64_field(&self, key: &str) -> Result<f64> {
+        self.field(key)?
+            .as_f64()
+            .ok_or_else(|| type_err(key, "number"))
+    }
+
+    /// `usize` field accessor; see [`JsonValue::f64_field`].
+    pub fn usize_field(&self, key: &str) -> Result<usize> {
+        self.field(key)?
+            .as_usize()
+            .ok_or_else(|| type_err(key, "non-negative integer"))
+    }
+
+    /// String field accessor; see [`JsonValue::f64_field`].
+    pub fn str_field(&self, key: &str) -> Result<&str> {
+        self.field(key)?
+            .as_str()
+            .ok_or_else(|| type_err(key, "string"))
+    }
+
+    /// Bool field accessor; see [`JsonValue::f64_field`].
+    pub fn bool_field(&self, key: &str) -> Result<bool> {
+        self.field(key)?
+            .as_bool()
+            .ok_or_else(|| type_err(key, "bool"))
+    }
+
+    /// Serialize to a compact JSON string.
+    ///
+    /// Fails on non-finite numbers (JSON has no representation for them).
+    pub fn dump(&self) -> Result<String> {
+        let mut out = String::new();
+        self.write(&mut out)?;
+        Ok(out)
+    }
+
+    fn write(&self, out: &mut String) -> Result<()> {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Number(x) => {
+                if !x.is_finite() {
+                    return Err(NmError::Persist {
+                        reason: format!("cannot serialize non-finite number {x}"),
+                    });
+                }
+                // Rust float Display is shortest-round-trip and never uses
+                // exponent notation, so the output is valid JSON.
+                let _ = write!(out, "{x}");
+            }
+            JsonValue::String(s) => write_escaped(out, s),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out)?;
+                }
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write(out)?;
+                }
+                out.push('}');
+            }
+        }
+        Ok(())
+    }
+
+    /// Parse a JSON document. Strict: rejects trailing garbage, trailing
+    /// commas, unquoted keys and non-finite numbers.
+    pub fn parse(text: &str) -> Result<JsonValue> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after JSON document"));
+        }
+        Ok(v)
+    }
+
+    /// Convenience: an object from `(key, value)` pairs.
+    pub fn object(fields: Vec<(&str, JsonValue)>) -> JsonValue {
+        JsonValue::Object(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Convenience: a number from any unsigned integer.
+    pub fn from_usize(x: usize) -> JsonValue {
+        JsonValue::Number(x as f64)
+    }
+
+    /// Convenience: a string value.
+    pub fn from_str_value(s: &str) -> JsonValue {
+        JsonValue::String(s.to_string())
+    }
+}
+
+fn type_err(key: &str, expected: &str) -> NmError {
+    NmError::Persist {
+        reason: format!("field `{key}` is not a {expected}"),
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> NmError {
+        NmError::Persist {
+            reason: format!("JSON parse error at byte {}: {msg}", self.pos),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: JsonValue) -> Result<JsonValue> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object_value(),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(&format!("unexpected character `{}`", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object_value(&mut self) -> Result<JsonValue> {
+        self.expect(b'{')?;
+        let mut fields: Vec<(String, JsonValue)> = Vec::new();
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            if !seen.insert(key.clone()) {
+                return Err(self.err(&format!("duplicate object key `{key}`")));
+            }
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value()?;
+            fields.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return Err(self.err("truncated \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| self.err("non-UTF8 \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed for this
+                            // workspace's artifacts; reject them explicitly.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| self.err("\\u escape is not a scalar value"))?;
+                            out.push(c);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Collect the full UTF-8 sequence starting at pos-1.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9') | Some(b'.') | Some(b'e') | Some(b'E') | Some(b'+') | Some(b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        let x: f64 = text
+            .parse()
+            .map_err(|_| self.err(&format!("invalid number `{text}`")))?;
+        if !x.is_finite() {
+            return Err(self.err("number out of f64 range"));
+        }
+        Ok(JsonValue::Number(x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        for text in ["null", "true", "false", "0", "-3.5", "\"hi\""] {
+            let v = JsonValue::parse(text).unwrap();
+            assert_eq!(v.dump().unwrap(), text);
+        }
+    }
+
+    #[test]
+    fn float_round_trip_is_exact() {
+        for x in [0.1, 1e-7, 123456.789, f64::MAX, 5e-324, -0.0] {
+            let v = JsonValue::Number(x);
+            let back = JsonValue::parse(&v.dump().unwrap()).unwrap();
+            assert_eq!(back.as_f64().unwrap().to_bits(), x.to_bits(), "{x}");
+        }
+    }
+
+    #[test]
+    fn nested_document_round_trips() {
+        let text = r#"{"a":[1,2,{"b":"x"}],"c":{"d":null,"e":true},"f":-2.5}"#;
+        let v = JsonValue::parse(text).unwrap();
+        assert_eq!(v.dump().unwrap(), text);
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(v.get("c").unwrap().get("e").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let v = JsonValue::String("a\"b\\c\nd\te\u{1}é—🦀".into());
+        let dumped = v.dump().unwrap();
+        assert_eq!(JsonValue::parse(&dumped).unwrap(), v);
+        // Escaped forms parse too.
+        let parsed = JsonValue::parse(r#""A\n\t\"\\""#).unwrap();
+        assert_eq!(parsed.as_str(), Some("A\n\t\"\\"));
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let v = JsonValue::parse(" { \"a\" : [ 1 , 2 ] , \"b\" : \"x\" } \n").unwrap();
+        assert!(v.usize_field("a").is_err(), "`a` is an array, not a usize");
+        assert_eq!(v.str_field("b").unwrap(), "x");
+    }
+
+    #[test]
+    fn malformed_documents_rejected() {
+        for text in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":1,}",
+            "{'a':1}",
+            "{\"a\":1} extra",
+            "nul",
+            "\"unterminated",
+            "{\"a\":1,\"a\":2}",
+            "1e999",
+        ] {
+            assert!(JsonValue::parse(text).is_err(), "accepted: {text}");
+        }
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let v = JsonValue::parse(r#"{"n":3,"f":2.5,"s":"x","b":false}"#).unwrap();
+        assert_eq!(v.usize_field("n").unwrap(), 3);
+        assert_eq!(v.f64_field("f").unwrap(), 2.5);
+        assert_eq!(v.str_field("s").unwrap(), "x");
+        assert!(!v.bool_field("b").unwrap());
+        assert!(v.usize_field("f").is_err(), "2.5 is not a usize");
+        assert!(v.field("missing").is_err());
+        assert!(JsonValue::Number(-1.0).as_usize().is_none());
+    }
+
+    #[test]
+    fn non_finite_numbers_unserializable() {
+        assert!(JsonValue::Number(f64::NAN).dump().is_err());
+        assert!(JsonValue::Number(f64::INFINITY).dump().is_err());
+    }
+}

@@ -44,6 +44,7 @@ pub mod confusion;
 pub mod error;
 pub mod index;
 pub mod inspect;
+pub mod json;
 pub mod layerwise;
 pub mod matrix;
 pub mod parallel;
@@ -58,6 +59,7 @@ pub use batched::BatchedSpmm;
 pub use colinfo::{ColInfo, PackedLayout};
 pub use error::NmError;
 pub use index::{IndexLayout, IndexMatrix};
+pub use json::JsonValue;
 pub use matrix::MatrixF32;
 pub use pattern::NmConfig;
 pub use sparse::NmSparseMatrix;

@@ -15,6 +15,7 @@
 //! for wall-clock speedup measurements in the criterion benches.
 
 use crate::colinfo::{preprocess, PackedLayout};
+use crate::error::{NmError, Result};
 use crate::matrix::MatrixF32;
 use crate::pattern::SparsityClass;
 use crate::sparse::NmSparseMatrix;
@@ -32,11 +33,18 @@ pub enum Strategy {
 }
 
 /// Tuning knobs for [`spmm_parallel`].
+///
+/// Prefer [`CpuSpmmOptions::new`], which validates the block sizes up
+/// front. The fields stay public for struct-update syntax; a zero
+/// `row_block` smuggled in that way is not an error — it is clamped to 1 in
+/// exactly one place, [`CpuSpmmOptions::task_rows`], which every kernel
+/// entry point uses.
 #[derive(Debug, Clone, Copy)]
 pub struct CpuSpmmOptions {
     /// Data-path selection.
     pub strategy: Strategy,
-    /// C rows processed per parallel task.
+    /// C rows processed per parallel task. Zero is treated as 1 (see
+    /// [`CpuSpmmOptions::task_rows`]); [`CpuSpmmOptions::new`] rejects it.
     pub row_block: usize,
     /// k-block depth (dense rows) used by the packing path; rounded up to a
     /// multiple of `M` internally.
@@ -54,6 +62,36 @@ impl Default for CpuSpmmOptions {
             ks: 128,
             ns: 128,
         }
+    }
+}
+
+impl CpuSpmmOptions {
+    /// Validated constructor: every block size must be at least 1.
+    pub fn new(strategy: Strategy, row_block: usize, ks: usize, ns: usize) -> Result<Self> {
+        if row_block == 0 || ks == 0 || ns == 0 {
+            return Err(NmError::InvalidConfig {
+                reason: format!(
+                    "CPU SpMM block sizes must be positive \
+                     (got row_block={row_block}, ks={ks}, ns={ns})"
+                ),
+            });
+        }
+        Ok(Self {
+            strategy,
+            row_block,
+            ks,
+            ns,
+        })
+    }
+
+    /// Effective rows per parallel task: `row_block`, clamped to at least 1.
+    ///
+    /// This is the single place a zero `row_block` (possible only through a
+    /// struct literal, since [`CpuSpmmOptions::new`] rejects it) is given a
+    /// meaning.
+    #[inline]
+    pub fn task_rows(&self) -> usize {
+        self.row_block.max(1)
     }
 }
 
@@ -92,7 +130,7 @@ pub fn spmm_parallel_prepacked(
     let n = sb.cols();
     let (w, q) = (sb.w(), sb.q());
     let ci = &layout.col_info;
-    let mc = opts.row_block.max(1);
+    let mc = opts.task_rows();
 
     let mut c = MatrixF32::zeros(m, n);
     let values = sb.values();
@@ -155,7 +193,7 @@ fn spmm_nonpacking(a: &MatrixF32, sb: &NmSparseMatrix, opts: &CpuSpmmOptions) ->
     let (w, q) = (sb.w(), sb.q());
     let d = sb.indices();
     let values = sb.values();
-    let mc = opts.row_block.max(1);
+    let mc = opts.task_rows();
 
     // The gather pattern is identical for every row of A: resolve the dense
     // source column of each (u, j) pair once.
@@ -370,6 +408,34 @@ mod tests {
         let got = spmm_parallel(&a, &sb, &CpuSpmmOptions::default());
         let expect = gemm_reference(&a, &b);
         assert!(got.allclose(&expect, 1e-3, 1e-4));
+    }
+
+    #[test]
+    fn constructor_rejects_zero_blocks() {
+        assert!(CpuSpmmOptions::new(Strategy::Auto, 0, 128, 128).is_err());
+        assert!(CpuSpmmOptions::new(Strategy::Auto, 32, 0, 128).is_err());
+        assert!(CpuSpmmOptions::new(Strategy::Auto, 32, 128, 0).is_err());
+        let ok = CpuSpmmOptions::new(Strategy::Packing, 16, 64, 32).unwrap();
+        assert_eq!(ok.task_rows(), 16);
+    }
+
+    #[test]
+    fn zero_row_block_via_literal_is_clamped_once() {
+        // The documented escape hatch: a struct literal can still carry 0,
+        // and `task_rows` is the single clamp point both data paths use.
+        let opts = CpuSpmmOptions {
+            row_block: 0,
+            ..Default::default()
+        };
+        assert_eq!(opts.task_rows(), 1);
+        let cfg = NmConfig::new(2, 4, 2).unwrap();
+        let a = MatrixF32::random(5, 16, 21);
+        let b = MatrixF32::random(16, 8, 22);
+        let sb = NmSparseMatrix::prune_magnitude(&b, cfg).unwrap();
+        for strategy in [Strategy::NonPacking, Strategy::Packing] {
+            let got = spmm_parallel(&a, &sb, &CpuSpmmOptions { strategy, ..opts });
+            assert!(got.allclose(&spmm_reference(&a, &sb), 1e-3, 1e-4));
+        }
     }
 
     #[test]

@@ -4,9 +4,22 @@
 //! full valid space (power-of-two tiles, 32-lane warp grids, the Eq. 4/5
 //! shared-memory equation, the Eq. 6 register budget) and returns the
 //! fastest plan for a concrete `(device, m, n, k, N:M)` instance. The
-//! search space is small (tens of candidates) and each candidate costs one
-//! analytic estimate (~0.3 µs), so exhaustive search is instant — the same
-//! offline-tuning workflow real kernel libraries use.
+//! search space is small (a couple hundred candidates) and each candidate
+//! costs one analytic estimate (~0.3 µs), so exhaustive search is cheap —
+//! the same offline-tuning workflow real kernel libraries use.
+//!
+//! [`candidates`] guarantees a **duplicate-free** list: the enumeration
+//! walks warp lane grids `(ly, lx)`, but a [`BlockingParams`] only stores
+//! the derived `(mr, nr) = (ly·mt, lx·nt)`, so two lane grids that map to
+//! the same tuple would otherwise be counted (and evaluated, and ranked)
+//! twice — inflating [`TuneResult::evaluated`] and the leaderboard. A set
+//! keyed on the full parameter tuple filters them at the source.
+//!
+//! Callers rarely use this module directly: [`crate::plan::Planner`] runs
+//! the search once per `(device, shape-class, N:M)` key and memoizes the
+//! winner in a [`crate::plan::PlanCache`] (optionally persisted to JSON by
+//! [`crate::engine::Engine`]), so repeated sweeps over the same shapes are
+//! O(1) lookups instead of re-searches.
 
 use crate::nm::{NmSpmmKernel, NmVersion};
 use crate::params::BlockingParams;
@@ -15,6 +28,7 @@ use gpu_sim::timing::LaunchReport;
 use nm_core::error::{NmError, Result};
 use nm_core::pattern::NmConfig;
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
 
 /// Result of an auto-tuning run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -32,7 +46,13 @@ pub struct TuneResult {
 
 /// Enumerate every structurally valid candidate for the given `L`
 /// (`ns` must be a multiple of the vector length).
+///
+/// The returned list is sorted and **contains no duplicates**: distinct
+/// `(ly, lx)` lane grids that collapse to the same
+/// `(ms, ns, mr, nr, mt, nt)` tuple are emitted once (a `BlockingParams`
+/// cannot tell them apart, so evaluating both would only double-count).
 pub fn candidates(l: usize) -> Vec<BlockingParams> {
+    let mut seen = HashSet::new();
     let mut out = Vec::new();
     for ms in [32usize, 64, 128] {
         for ns in [32usize, 64, 128, 256] {
@@ -53,7 +73,11 @@ pub fn candidates(l: usize) -> Vec<BlockingParams> {
                             mt,
                             nt,
                         };
-                        if p.validate().is_ok() && p.threads() >= 32 && p.threads() <= 1024 {
+                        if p.validate().is_ok()
+                            && p.threads() >= 32
+                            && p.threads() <= 1024
+                            && seen.insert((ms, ns, mr, nr, mt, nt))
+                        {
                             out.push(p);
                         }
                     }
@@ -62,7 +86,6 @@ pub fn candidates(l: usize) -> Vec<BlockingParams> {
         }
     }
     out.sort_by_key(|p| (p.ms, p.ns, p.mt, p.nt, p.mr, p.nr));
-    out.dedup();
     out
 }
 
@@ -164,5 +187,41 @@ mod tests {
         let cands = candidates(128);
         assert!(cands.iter().all(|p| p.ns % 128 == 0));
         assert!(!cands.is_empty());
+    }
+
+    #[test]
+    fn candidates_are_unique() {
+        // Regression guard for the duplicate-candidate bug: two lane grids
+        // mapping onto one (ms, ns, mr, nr, mt, nt) tuple must yield ONE
+        // candidate, or `evaluated` and the leaderboard double-count it.
+        for l in [8usize, 16, 32, 64, 128] {
+            let cands = candidates(l);
+            let unique: HashSet<(usize, usize, usize, usize, usize, usize)> = cands
+                .iter()
+                .map(|p| (p.ms, p.ns, p.mr, p.nr, p.mt, p.nt))
+                .collect();
+            assert_eq!(
+                unique.len(),
+                cands.len(),
+                "L={l}: candidate list contains duplicates"
+            );
+        }
+    }
+
+    #[test]
+    fn evaluated_is_bounded_by_unique_candidates() {
+        // `evaluated` counts only launchable candidates, each exactly once.
+        let dev = a100_80g();
+        let cfg = NmConfig::new(4, 16, 32).unwrap();
+        let t = tune(&dev, 2048, 2048, 2048, cfg).unwrap();
+        let cands = candidates(cfg.l);
+        assert!(
+            t.evaluated <= cands.len(),
+            "evaluated {} exceeds the {} unique candidates",
+            t.evaluated,
+            cands.len()
+        );
+        // The leaderboard (winner excluded) can never exceed evaluated − 1.
+        assert!(t.leaderboard.len() < t.evaluated);
     }
 }

@@ -1,0 +1,234 @@
+//! The execution engine: a [`Planner`] with file-backed persistence and
+//! functional dispatch.
+//!
+//! [`Engine`] is the one object bench bins, examples and the layer-sweep
+//! driver hold: it plans through the shared [`PlanCache`], optionally
+//! hydrates that cache from a JSON file at startup and writes it back on
+//! [`Engine::save`], and can execute a problem functionally through
+//! whichever simulated kernel the plan chose. Repeated sweeps over the
+//! same shapes become O(1) lookups; [`Engine::stats`] reports the
+//! hit/miss/entry counts so a sweep can prove its cache behaved.
+
+use crate::nm::{NmSpmmKernel, NmVersion};
+use crate::nmsparse::NmSparseKernel;
+use crate::plan::{KernelChoice, Plan, PlanCache, Planner};
+use crate::sputnik::SputnikKernel;
+use crate::SimRun;
+use gpu_sim::device::DeviceConfig;
+use nm_core::error::Result;
+use nm_core::matrix::MatrixF32;
+use nm_core::pattern::NmConfig;
+use nm_core::sparse::NmSparseMatrix;
+use std::path::{Path, PathBuf};
+
+/// Cache-effectiveness counters for one engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Plans currently memoized.
+    pub entries: usize,
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that required a full strategy + autotune run.
+    pub misses: u64,
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} plans cached, {} hits / {} misses",
+            self.entries, self.hits, self.misses
+        )
+    }
+}
+
+/// Planner + persistence + functional dispatch for one device.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    planner: Planner,
+    cache_path: Option<PathBuf>,
+}
+
+impl Engine {
+    /// Engine with an empty in-memory cache and no backing file.
+    pub fn new(dev: DeviceConfig) -> Self {
+        Self {
+            planner: Planner::new(dev),
+            cache_path: None,
+        }
+    }
+
+    /// Engine backed by a JSON cache file: hydrated from `path` when the
+    /// file exists (a malformed file is an error, not silently ignored),
+    /// and written back by [`Engine::save`].
+    pub fn with_cache_file(dev: DeviceConfig, path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let cache = if path.exists() {
+            PlanCache::load(&path)?
+        } else {
+            PlanCache::new()
+        };
+        Ok(Self {
+            planner: Planner::with_cache(dev, cache),
+            cache_path: Some(path),
+        })
+    }
+
+    /// The device this engine plans for.
+    pub fn device(&self) -> &DeviceConfig {
+        self.planner.device()
+    }
+
+    /// Plan a problem (cached).
+    pub fn plan(&mut self, m: usize, n: usize, k: usize, cfg: NmConfig) -> Result<Plan> {
+        self.planner.plan(m, n, k, cfg)
+    }
+
+    /// Current cache counters.
+    pub fn stats(&self) -> CacheStats {
+        let c = self.planner.cache();
+        CacheStats {
+            entries: c.len(),
+            hits: c.hits(),
+            misses: c.misses(),
+        }
+    }
+
+    /// Read access to the underlying cache.
+    pub fn cache(&self) -> &PlanCache {
+        self.planner.cache()
+    }
+
+    /// Write the cache back to its backing file. Returns `false` (and
+    /// writes nothing) when the engine has no backing file.
+    pub fn save(&self) -> Result<bool> {
+        match &self.cache_path {
+            Some(path) => {
+                self.planner.cache().save(path)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Plan and functionally execute `C = A ⊛ (B′, D)` through the chosen
+    /// simulated kernel.
+    pub fn execute(&mut self, a: &MatrixF32, sb: &NmSparseMatrix) -> Result<SimRun> {
+        let (m, k) = a.shape();
+        let n = sb.cols();
+        debug_assert_eq!(k, sb.k(), "caller passes matching operands");
+        let plan = self.plan(m, n, k, sb.cfg())?;
+        self.run_plan(&plan, a, sb)
+    }
+
+    /// Functionally execute an already computed plan on concrete operands.
+    ///
+    /// The operands need not match the plan's shape class — the kernel
+    /// re-derives its grid from the actual dimensions — which lets callers
+    /// (e.g. the layer-sweep driver) plan at full model size but execute a
+    /// scaled-down instance without touching the cache again.
+    ///
+    /// Kernels without a functional face fall back to NM-SpMM V3 with the
+    /// plan's tuned blocking: `Dense` (needs a dense `B` operand) and
+    /// `SparseTc` (analytic model only) — the numerics are identical, only
+    /// the event counts differ from the analytic winner.
+    pub fn run_plan(&self, plan: &Plan, a: &MatrixF32, sb: &NmSparseMatrix) -> Result<SimRun> {
+        let dev = self.planner.device();
+        match plan.choice {
+            KernelChoice::NmSparse => NmSparseKernel.run(dev, a, sb),
+            KernelChoice::Sputnik => SputnikKernel.run(dev, a, sb),
+            choice => {
+                let version = choice.nm_version().unwrap_or(NmVersion::V3);
+                NmSpmmKernel::new(version, plan.params).run(dev, a, sb)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::device::a100_80g;
+    use nm_core::prune::PrunePolicy;
+    use nm_core::spmm::spmm_reference;
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("nm-spmm-engine-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn engine_plans_and_counts() {
+        let mut eng = Engine::new(a100_80g());
+        let cfg = NmConfig::new(4, 16, 32).unwrap();
+        eng.plan(1024, 1024, 1024, cfg).unwrap();
+        eng.plan(1024, 1024, 1024, cfg).unwrap();
+        let s = eng.stats();
+        assert_eq!((s.entries, s.hits, s.misses), (1, 1, 1));
+        assert!(s.to_string().contains("1 hits"));
+    }
+
+    #[test]
+    fn execute_matches_reference_through_chosen_kernel() {
+        let mut eng = Engine::new(a100_80g());
+        for (round, cfg) in [
+            NmConfig::new(8, 16, 32).unwrap(),
+            NmConfig::new(2, 16, 32).unwrap(),
+            NmConfig::new(8, 16, 32).unwrap(), // repeat: planned from cache
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let a = MatrixF32::random(96, 256, 3);
+            let b = MatrixF32::random(256, 128, 4);
+            let sb = NmSparseMatrix::prune(&b, cfg, PrunePolicy::Random { seed: 5 }).unwrap();
+            let run = eng.execute(&a, &sb).unwrap();
+            let expect = spmm_reference(&a, &sb);
+            assert!(
+                run.c.allclose(&expect, 1e-3, 1e-4),
+                "round {round} {cfg}: max diff {}",
+                run.c.max_abs_diff(&expect)
+            );
+        }
+        let s = eng.stats();
+        assert_eq!((s.entries, s.hits, s.misses), (2, 1, 2));
+    }
+
+    #[test]
+    fn save_and_reload_through_backing_file() {
+        let path = tmp_path("roundtrip.json");
+        let _ = std::fs::remove_file(&path);
+        let cfg = NmConfig::new(2, 16, 32).unwrap();
+
+        let mut eng = Engine::with_cache_file(a100_80g(), &path).unwrap();
+        let plan = eng.plan(512, 512, 512, cfg).unwrap();
+        assert_eq!(eng.stats().misses, 1);
+        assert!(eng.save().unwrap());
+
+        let mut warm = Engine::with_cache_file(a100_80g(), &path).unwrap();
+        let replay = warm.plan(512, 512, 512, cfg).unwrap();
+        let s = warm.stats();
+        assert_eq!(
+            (s.hits, s.misses),
+            (1, 0),
+            "reloaded engine must serve the plan from disk"
+        );
+        assert_eq!(plan, replay);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unbacked_engine_save_is_a_noop() {
+        let eng = Engine::new(a100_80g());
+        assert!(!eng.save().unwrap());
+    }
+
+    #[test]
+    fn malformed_backing_file_is_an_error() {
+        let path = tmp_path("malformed.json");
+        std::fs::write(&path, "not json").unwrap();
+        assert!(Engine::with_cache_file(a100_80g(), &path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

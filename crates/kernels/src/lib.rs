@@ -24,6 +24,15 @@
 //! * [`sputnik::SputnikKernel`] — the Sputnik unstructured-SpMM baseline
 //!   (CSR row-split with uncoalesced gathers).
 //!
+//! The five families are unified behind the [`plan::Planner`] /
+//! [`engine::Engine`] subsystem: `Planner::plan` runs the §III-A strategy
+//! decision plus the exhaustive autotune once per
+//! `(device, shape class, N:M)` key and memoizes the winning [`plan::Plan`]
+//! in a JSON-serializable [`plan::PlanCache`]; `Engine` adds file-backed
+//! persistence and functional dispatch to the chosen kernel. Bench bins
+//! and the `nm-workloads` layer-sweep driver consume that API instead of
+//! hand-wiring kernel selection.
+//!
 //! ## Data layout note
 //!
 //! As in the reference CUDA implementation, the activation matrix `A` is
@@ -38,17 +47,21 @@
 pub mod autotune;
 pub mod common;
 pub mod dense;
+pub mod engine;
 pub mod nm;
 pub mod nmsparse;
 pub mod params;
+pub mod plan;
 pub mod sparse_tc;
 pub mod sputnik;
 
 pub use autotune::{tune, TuneResult};
 pub use dense::DenseGemmKernel;
+pub use engine::{CacheStats, Engine};
 pub use nm::{NmSpmmKernel, NmVersion};
 pub use nmsparse::NmSparseKernel;
 pub use params::{Blocking, BlockingParams};
+pub use plan::{KernelChoice, Plan, PlanCache, PlanKey, Planner};
 pub use sparse_tc::SparseTensorCoreKernel;
 pub use sputnik::SputnikKernel;
 

@@ -1,0 +1,1022 @@
+//! The unified kernel planner: one entry point that picks a kernel family,
+//! tunes its blocking, and memoizes the result.
+//!
+//! The paper's end-to-end workflow (§IV, Fig. 9, Table I) is: given a
+//! device, a problem shape and an N:M configuration, run the §III-A/III-C
+//! decision procedure, pick the best kernel version and blocking plan, then
+//! sweep whole models. Before this module every bench bin re-derived that
+//! selection by hand and [`crate::autotune`] re-searched from scratch on
+//! every call. [`Planner::plan`] does it once per [`PlanKey`] —
+//! `(device, shape class, N:M)` — and memoizes the finished [`Plan`] in a
+//! [`PlanCache`], which serializes to JSON (via `nm_core::json`; the
+//! offline `serde` shim has no serializer) so tuning survives across
+//! processes. Cache hits and misses are counted, mirroring the offline
+//! tuning-then-lookup workflow of real sparse kernel libraries (NMSPARSE;
+//! Yang et al., *Design Principles for Sparse Matrix Multiplication on the
+//! GPU*).
+//!
+//! Shapes are keyed by **class**, not raw dimensions: every dimension is
+//! padded up to the 32-element granularity the kernels themselves pad to,
+//! so a `100×200×300` problem and a `128×224×320` one share the
+//! `128×224×320` key and therefore the same plan. The plan is computed
+//! *from the padded dimensions*, making `key → plan` a pure function —
+//! equal keys can never observe different plans.
+
+use crate::autotune;
+use crate::dense::DenseGemmKernel;
+use crate::nm::{NmSpmmKernel, NmVersion};
+use crate::nmsparse::NmSparseKernel;
+use crate::params::BlockingParams;
+use crate::sparse_tc::SparseTensorCoreKernel;
+use crate::sputnik::SputnikKernel;
+use gpu_sim::device::DeviceConfig;
+use gpu_sim::timing::LaunchReport;
+use nm_analysis::strategy::{PipelineHint, PredictedBound, StrategyDecision};
+use nm_core::error::{NmError, Result};
+use nm_core::json::JsonValue;
+use nm_core::pattern::NmConfig;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Kernel-dimension padding granularity used for shape classes.
+const CLASS_GRANULE: usize = 32;
+
+#[inline]
+fn pad_dim(d: usize) -> usize {
+    d.max(1).div_ceil(CLASS_GRANULE) * CLASS_GRANULE
+}
+
+/// Deterministic fingerprint of every timing-relevant [`DeviceConfig`]
+/// parameter (FNV-1a over a canonical rendering). Part of the cache key,
+/// so plans computed against an edited device model — same marketing name,
+/// different silicon — can never replay as stale hits. Changes to the
+/// timing-model *code* are not fingerprinted; bump [`CACHE_FORMAT_VERSION`]
+/// for those.
+fn device_fingerprint(dev: &DeviceConfig) -> String {
+    let canon = format!(
+        "{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}",
+        dev.clock_mhz,
+        dev.sm_count,
+        dev.fp32_cores_per_sm,
+        dev.fp32_flops_per_clock_per_sm,
+        dev.register_file_per_sm,
+        dev.max_registers_per_thread,
+        dev.l1_shared_per_sm,
+        dev.max_shared_per_sm,
+        dev.l2_bytes,
+        dev.dram_bytes,
+        dev.dram_bw,
+        dev.l2_bw_ratio,
+        dev.max_warps_per_sm,
+        dev.max_blocks_per_sm,
+        dev.max_threads_per_block,
+        dev.smem_bytes_per_clock,
+        dev.dram_latency_cycles,
+        dev.l2_latency_cycles,
+        dev.barrier_cycles,
+        dev.sustained_efficiency,
+    );
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in canon.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    format!("{h:016x}")
+}
+
+/// Cache key: device identity, shape class and sparsity configuration.
+///
+/// `m`, `n`, `k` are stored **padded** to [`CLASS_GRANULE`]; plans are
+/// computed from these padded dimensions, so equal keys yield equal plans.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PlanKey {
+    /// Device name (from [`DeviceConfig::name`]).
+    pub device: String,
+    /// Fingerprint of the device's timing-relevant parameters — see
+    /// [`device_fingerprint`].
+    pub device_fp: String,
+    /// Padded output rows.
+    pub m: usize,
+    /// Padded output columns.
+    pub n: usize,
+    /// Padded reduction depth.
+    pub k: usize,
+    /// Vectors kept per pruning window (`N`).
+    pub n_keep: usize,
+    /// Pruning-window depth (`M`).
+    pub m_win: usize,
+    /// Vector length (`L`).
+    pub l: usize,
+}
+
+impl PlanKey {
+    /// Key for a concrete problem instance.
+    pub fn new(dev: &DeviceConfig, m: usize, n: usize, k: usize, cfg: NmConfig) -> Self {
+        Self {
+            device: dev.name.clone(),
+            device_fp: device_fingerprint(dev),
+            m: pad_dim(m),
+            n: pad_dim(n),
+            k: pad_dim(k),
+            n_keep: cfg.n,
+            m_win: cfg.m,
+            l: cfg.l,
+        }
+    }
+
+    /// The sparsity configuration the key encodes.
+    pub fn cfg(&self) -> Result<NmConfig> {
+        NmConfig::new(self.n_keep, self.m_win, self.l)
+    }
+}
+
+impl std::fmt::Display for PlanKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} {}x{}x{} {}:{}(L={})",
+            self.device, self.m, self.n, self.k, self.n_keep, self.m_win, self.l
+        )
+    }
+}
+
+/// The kernel family a [`Plan`] selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KernelChoice {
+    /// Dense GEMM (the cuBLAS stand-in) — chosen when sparsity cannot pay.
+    Dense,
+    /// NM-SpMM V1: hierarchical blocking only.
+    NmV1,
+    /// NM-SpMM V2: V1 + sparsity-aware packing.
+    NmV2,
+    /// NM-SpMM V3: V2 + pipelined double buffering (the paper's kernel).
+    NmV3,
+    /// The nmSPARSE VW baseline.
+    NmSparse,
+    /// The Sputnik unstructured-SpMM baseline.
+    Sputnik,
+    /// Sparse tensor cores (2:4 element-wise only).
+    SparseTc,
+}
+
+impl KernelChoice {
+    /// Stable identifier used in the JSON cache.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KernelChoice::Dense => "dense",
+            KernelChoice::NmV1 => "nm_v1",
+            KernelChoice::NmV2 => "nm_v2",
+            KernelChoice::NmV3 => "nm_v3",
+            KernelChoice::NmSparse => "nmsparse",
+            KernelChoice::Sputnik => "sputnik",
+            KernelChoice::SparseTc => "sparse_tc",
+        }
+    }
+
+    /// Inverse of [`KernelChoice::name`].
+    pub fn from_name(name: &str) -> Result<Self> {
+        Ok(match name {
+            "dense" => KernelChoice::Dense,
+            "nm_v1" => KernelChoice::NmV1,
+            "nm_v2" => KernelChoice::NmV2,
+            "nm_v3" => KernelChoice::NmV3,
+            "nmsparse" => KernelChoice::NmSparse,
+            "sputnik" => KernelChoice::Sputnik,
+            "sparse_tc" => KernelChoice::SparseTc,
+            other => {
+                return Err(NmError::Persist {
+                    reason: format!("unknown kernel choice `{other}`"),
+                })
+            }
+        })
+    }
+
+    /// The NM-SpMM version this choice corresponds to, if any.
+    pub fn nm_version(&self) -> Option<NmVersion> {
+        match self {
+            KernelChoice::NmV1 => Some(NmVersion::V1),
+            KernelChoice::NmV2 => Some(NmVersion::V2),
+            KernelChoice::NmV3 => Some(NmVersion::V3),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for KernelChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            KernelChoice::Dense => "dense GEMM",
+            KernelChoice::NmV1 => "NM-SpMM V1",
+            KernelChoice::NmV2 => "NM-SpMM V2",
+            KernelChoice::NmV3 => "NM-SpMM V3",
+            KernelChoice::NmSparse => "nmSPARSE",
+            KernelChoice::Sputnik => "Sputnik",
+            KernelChoice::SparseTc => "sparse tensor cores",
+        })
+    }
+}
+
+/// Compact, serializable summary of one kernel's timing estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EstimateSummary {
+    /// Wall time in seconds.
+    pub seconds: f64,
+    /// Useful throughput in TFLOPS.
+    pub tflops: f64,
+    /// Fraction of the device's FP32 peak.
+    pub efficiency: f64,
+}
+
+impl From<&LaunchReport> for EstimateSummary {
+    fn from(r: &LaunchReport) -> Self {
+        Self {
+            seconds: r.seconds,
+            tflops: r.tflops,
+            efficiency: r.efficiency,
+        }
+    }
+}
+
+/// Per-family timing estimates for one [`PlanKey`].
+///
+/// `dense` and `sputnik` always estimate; the others are `None` when the
+/// family cannot launch this configuration (e.g. sparse tensor cores on
+/// anything but 2:4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelEstimates {
+    /// The cuBLAS stand-in (the "1.0×" baseline of Fig. 9).
+    pub dense: EstimateSummary,
+    /// NM-SpMM V1 with the tuned blocking.
+    pub nm_v1: Option<EstimateSummary>,
+    /// NM-SpMM V2 with the tuned blocking.
+    pub nm_v2: Option<EstimateSummary>,
+    /// NM-SpMM V3 with the tuned blocking.
+    pub nm_v3: Option<EstimateSummary>,
+    /// The nmSPARSE VW baseline.
+    pub nmsparse: Option<EstimateSummary>,
+    /// The Sputnik CSR baseline.
+    pub sputnik: EstimateSummary,
+    /// Sparse tensor cores (2:4 only).
+    pub sparse_tc: Option<EstimateSummary>,
+}
+
+impl KernelEstimates {
+    /// The estimate for one family, if available.
+    pub fn get(&self, choice: KernelChoice) -> Option<EstimateSummary> {
+        match choice {
+            KernelChoice::Dense => Some(self.dense),
+            KernelChoice::NmV1 => self.nm_v1,
+            KernelChoice::NmV2 => self.nm_v2,
+            KernelChoice::NmV3 => self.nm_v3,
+            KernelChoice::NmSparse => self.nmsparse,
+            KernelChoice::Sputnik => Some(self.sputnik),
+            KernelChoice::SparseTc => self.sparse_tc,
+        }
+    }
+}
+
+/// A fully resolved execution plan for one `(device, shape class, N:M)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Plan {
+    /// The key this plan answers.
+    pub key: PlanKey,
+    /// Fastest kernel family under the timing model.
+    pub choice: KernelChoice,
+    /// Auto-tuned Table I blocking for the NM-SpMM family.
+    pub params: BlockingParams,
+    /// Candidates the exhaustive search evaluated (0 when tuning was
+    /// impossible and `params` fell back to `Para_Init_Table`).
+    pub evaluated: usize,
+    /// The §III-A decision (packing, pipeline orientation, roofline bound).
+    pub decision: StrategyDecision,
+    /// Per-family timing estimates.
+    pub estimates: KernelEstimates,
+}
+
+impl Plan {
+    /// The winning family's estimate.
+    pub fn best(&self) -> EstimateSummary {
+        self.estimates
+            .get(self.choice)
+            .expect("choice always has an estimate")
+    }
+
+    /// Estimated speedup of the chosen kernel over the dense baseline.
+    pub fn speedup_vs_dense(&self) -> f64 {
+        self.estimates.dense.seconds / self.best().seconds
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        let p = self.params;
+        format!(
+            "{} via {} [{}x{} mt{}xnt{}]{} — {:.3} ms, {:.2}x vs dense",
+            self.key,
+            self.choice,
+            p.ms,
+            p.ns,
+            p.mt,
+            p.nt,
+            if self.decision.packing {
+                ", packing"
+            } else {
+                ""
+            },
+            self.best().seconds * 1e3,
+            self.speedup_vs_dense(),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON encoding (hand-rolled: the offline serde shim has no serializer).
+// ---------------------------------------------------------------------------
+
+fn est_to_json(e: &EstimateSummary) -> JsonValue {
+    JsonValue::object(vec![
+        ("seconds", JsonValue::Number(e.seconds)),
+        ("tflops", JsonValue::Number(e.tflops)),
+        ("efficiency", JsonValue::Number(e.efficiency)),
+    ])
+}
+
+fn est_from_json(v: &JsonValue) -> Result<EstimateSummary> {
+    Ok(EstimateSummary {
+        seconds: v.f64_field("seconds")?,
+        tflops: v.f64_field("tflops")?,
+        efficiency: v.f64_field("efficiency")?,
+    })
+}
+
+fn opt_est_to_json(e: &Option<EstimateSummary>) -> JsonValue {
+    match e {
+        Some(e) => est_to_json(e),
+        None => JsonValue::Null,
+    }
+}
+
+fn opt_est_from_json(v: &JsonValue) -> Result<Option<EstimateSummary>> {
+    match v {
+        JsonValue::Null => Ok(None),
+        other => Ok(Some(est_from_json(other)?)),
+    }
+}
+
+fn plan_to_json(plan: &Plan) -> JsonValue {
+    let k = &plan.key;
+    let p = &plan.params;
+    let d = &plan.decision;
+    let e = &plan.estimates;
+    JsonValue::object(vec![
+        (
+            "key",
+            JsonValue::object(vec![
+                ("device", JsonValue::from_str_value(&k.device)),
+                ("device_fp", JsonValue::from_str_value(&k.device_fp)),
+                ("m", JsonValue::from_usize(k.m)),
+                ("n", JsonValue::from_usize(k.n)),
+                ("k", JsonValue::from_usize(k.k)),
+                ("n_keep", JsonValue::from_usize(k.n_keep)),
+                ("m_win", JsonValue::from_usize(k.m_win)),
+                ("l", JsonValue::from_usize(k.l)),
+            ]),
+        ),
+        ("choice", JsonValue::from_str_value(plan.choice.name())),
+        (
+            "params",
+            JsonValue::object(vec![
+                ("ms", JsonValue::from_usize(p.ms)),
+                ("ns", JsonValue::from_usize(p.ns)),
+                ("mr", JsonValue::from_usize(p.mr)),
+                ("nr", JsonValue::from_usize(p.nr)),
+                ("mt", JsonValue::from_usize(p.mt)),
+                ("nt", JsonValue::from_usize(p.nt)),
+            ]),
+        ),
+        ("evaluated", JsonValue::from_usize(plan.evaluated)),
+        (
+            "decision",
+            JsonValue::object(vec![
+                ("packing", JsonValue::Bool(d.packing)),
+                (
+                    "pipeline",
+                    JsonValue::from_str_value(match d.pipeline {
+                        PipelineHint::ComputeHidesLoad => "compute_hides_load",
+                        PipelineHint::LoadHidesCompute => "load_hides_compute",
+                    }),
+                ),
+                (
+                    "bound",
+                    JsonValue::from_str_value(match d.predicted_bound {
+                        PredictedBound::Compute => "compute",
+                        PredictedBound::Memory => "memory",
+                    }),
+                ),
+                ("ai_flops_per_byte", JsonValue::Number(d.ai_flops_per_byte)),
+                ("packing_ratio", JsonValue::Number(d.packing_ratio)),
+                ("sparsity", JsonValue::Number(d.sparsity)),
+            ]),
+        ),
+        (
+            "estimates",
+            JsonValue::object(vec![
+                ("dense", est_to_json(&e.dense)),
+                ("nm_v1", opt_est_to_json(&e.nm_v1)),
+                ("nm_v2", opt_est_to_json(&e.nm_v2)),
+                ("nm_v3", opt_est_to_json(&e.nm_v3)),
+                ("nmsparse", opt_est_to_json(&e.nmsparse)),
+                ("sputnik", est_to_json(&e.sputnik)),
+                ("sparse_tc", opt_est_to_json(&e.sparse_tc)),
+            ]),
+        ),
+    ])
+}
+
+fn plan_from_json(v: &JsonValue) -> Result<Plan> {
+    let kv = v.field("key")?;
+    let key = PlanKey {
+        device: kv.str_field("device")?.to_string(),
+        device_fp: kv.str_field("device_fp")?.to_string(),
+        m: kv.usize_field("m")?,
+        n: kv.usize_field("n")?,
+        k: kv.usize_field("k")?,
+        n_keep: kv.usize_field("n_keep")?,
+        m_win: kv.usize_field("m_win")?,
+        l: kv.usize_field("l")?,
+    };
+    let choice = KernelChoice::from_name(v.str_field("choice")?)?;
+    let pv = v.field("params")?;
+    let params = BlockingParams {
+        ms: pv.usize_field("ms")?,
+        ns: pv.usize_field("ns")?,
+        mr: pv.usize_field("mr")?,
+        nr: pv.usize_field("nr")?,
+        mt: pv.usize_field("mt")?,
+        nt: pv.usize_field("nt")?,
+    };
+    params.validate()?;
+    let dv = v.field("decision")?;
+    let decision = StrategyDecision {
+        packing: dv.bool_field("packing")?,
+        pipeline: match dv.str_field("pipeline")? {
+            "compute_hides_load" => PipelineHint::ComputeHidesLoad,
+            "load_hides_compute" => PipelineHint::LoadHidesCompute,
+            other => {
+                return Err(NmError::Persist {
+                    reason: format!("unknown pipeline hint `{other}`"),
+                })
+            }
+        },
+        predicted_bound: match dv.str_field("bound")? {
+            "compute" => PredictedBound::Compute,
+            "memory" => PredictedBound::Memory,
+            other => {
+                return Err(NmError::Persist {
+                    reason: format!("unknown bound `{other}`"),
+                })
+            }
+        },
+        ai_flops_per_byte: dv.f64_field("ai_flops_per_byte")?,
+        packing_ratio: dv.f64_field("packing_ratio")?,
+        sparsity: dv.f64_field("sparsity")?,
+    };
+    let ev = v.field("estimates")?;
+    let estimates = KernelEstimates {
+        dense: est_from_json(ev.field("dense")?)?,
+        nm_v1: opt_est_from_json(ev.field("nm_v1")?)?,
+        nm_v2: opt_est_from_json(ev.field("nm_v2")?)?,
+        nm_v3: opt_est_from_json(ev.field("nm_v3")?)?,
+        nmsparse: opt_est_from_json(ev.field("nmsparse")?)?,
+        sputnik: est_from_json(ev.field("sputnik")?)?,
+        sparse_tc: opt_est_from_json(ev.field("sparse_tc")?)?,
+    };
+    // A plan whose chosen family has no estimate would panic later in
+    // `Plan::best`; a (hand-edited or corrupted) document that encodes one
+    // is malformed, not merely surprising.
+    if estimates.get(choice).is_none() {
+        return Err(NmError::Persist {
+            reason: format!(
+                "plan for `{key}` chooses `{}` but carries no estimate for it",
+                choice.name()
+            ),
+        });
+    }
+    Ok(Plan {
+        key,
+        choice,
+        params,
+        evaluated: v.usize_field("evaluated")?,
+        decision,
+        estimates,
+    })
+}
+
+/// Version tag written into cache files; bump on schema changes.
+const CACHE_FORMAT_VERSION: usize = 1;
+
+/// In-memory memo of finished [`Plan`]s with hit/miss accounting and JSON
+/// persistence.
+#[derive(Debug, Default, Clone)]
+pub struct PlanCache {
+    entries: HashMap<PlanKey, Plan>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PlanCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of memoized plans.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no plans.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookups that found a plan (since construction or load).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that missed.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Counted lookup: bumps the hit or miss counter.
+    pub fn lookup(&mut self, key: &PlanKey) -> Option<&Plan> {
+        if self.entries.contains_key(key) {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        self.entries.get(key)
+    }
+
+    /// Uncounted lookup.
+    pub fn peek(&self, key: &PlanKey) -> Option<&Plan> {
+        self.entries.get(key)
+    }
+
+    /// Store a plan under its own key.
+    pub fn insert(&mut self, plan: Plan) {
+        self.entries.insert(plan.key.clone(), plan);
+    }
+
+    /// Iterate over memoized plans (unspecified order).
+    pub fn plans(&self) -> impl Iterator<Item = &Plan> {
+        self.entries.values()
+    }
+
+    /// Serialize every entry to a JSON document (deterministic order:
+    /// entries are sorted by key).
+    pub fn to_json(&self) -> Result<String> {
+        let mut plans: Vec<&Plan> = self.entries.values().collect();
+        plans.sort_by_key(|p| {
+            (
+                p.key.device.clone(),
+                p.key.device_fp.clone(),
+                p.key.m,
+                p.key.n,
+                p.key.k,
+                p.key.n_keep,
+                p.key.m_win,
+                p.key.l,
+            )
+        });
+        let doc = JsonValue::object(vec![
+            ("format", JsonValue::from_str_value("nm-spmm plan cache")),
+            ("version", JsonValue::from_usize(CACHE_FORMAT_VERSION)),
+            (
+                "entries",
+                JsonValue::Array(plans.into_iter().map(plan_to_json).collect()),
+            ),
+        ]);
+        doc.dump()
+    }
+
+    /// Parse a cache from the JSON produced by [`PlanCache::to_json`].
+    /// Hit/miss counters start at zero.
+    pub fn from_json(text: &str) -> Result<Self> {
+        let doc = JsonValue::parse(text)?;
+        if doc.str_field("format")? != "nm-spmm plan cache" {
+            return Err(NmError::Persist {
+                reason: "not a plan-cache document".into(),
+            });
+        }
+        let version = doc.usize_field("version")?;
+        if version != CACHE_FORMAT_VERSION {
+            return Err(NmError::Persist {
+                reason: format!(
+                    "plan-cache version {version} unsupported (expected {CACHE_FORMAT_VERSION})"
+                ),
+            });
+        }
+        let mut cache = Self::new();
+        let entries = doc
+            .field("entries")?
+            .as_array()
+            .ok_or_else(|| NmError::Persist {
+                reason: "`entries` is not an array".into(),
+            })?;
+        for entry in entries {
+            cache.insert(plan_from_json(entry)?);
+        }
+        Ok(cache)
+    }
+
+    /// Write the cache to a file.
+    pub fn save(&self, path: &std::path::Path) -> Result<()> {
+        let json = self.to_json()?;
+        std::fs::write(path, json).map_err(|e| NmError::Persist {
+            reason: format!("writing {}: {e}", path.display()),
+        })
+    }
+
+    /// Read a cache from a file written by [`PlanCache::save`].
+    pub fn load(path: &std::path::Path) -> Result<Self> {
+        let text = std::fs::read_to_string(path).map_err(|e| NmError::Persist {
+            reason: format!("reading {}: {e}", path.display()),
+        })?;
+        Self::from_json(&text)
+    }
+}
+
+/// The unified planner: strategy decision + exhaustive autotune, memoized.
+#[derive(Debug, Clone)]
+pub struct Planner {
+    dev: DeviceConfig,
+    cache: PlanCache,
+}
+
+impl Planner {
+    /// Planner for one device with an empty cache.
+    pub fn new(dev: DeviceConfig) -> Self {
+        Self {
+            dev,
+            cache: PlanCache::new(),
+        }
+    }
+
+    /// Planner seeded with a previously built (e.g. loaded) cache.
+    pub fn with_cache(dev: DeviceConfig, cache: PlanCache) -> Self {
+        Self { dev, cache }
+    }
+
+    /// The device this planner plans for.
+    pub fn device(&self) -> &DeviceConfig {
+        &self.dev
+    }
+
+    /// Read access to the memo.
+    pub fn cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// Surrender the memo (for persistence).
+    pub fn into_cache(self) -> PlanCache {
+        self.cache
+    }
+
+    /// Plan a problem: cache lookup first, full strategy + autotune on miss.
+    ///
+    /// Deterministic: equal `(device, shape class, N:M)` keys always return
+    /// equal plans, whether computed or replayed from the cache.
+    pub fn plan(&mut self, m: usize, n: usize, k: usize, cfg: NmConfig) -> Result<Plan> {
+        let key = PlanKey::new(&self.dev, m, n, k, cfg);
+        if let Some(plan) = self.cache.lookup(&key) {
+            return Ok(plan.clone());
+        }
+        let plan = compute_plan(&self.dev, key)?;
+        self.cache.insert(plan.clone());
+        Ok(plan)
+    }
+}
+
+/// The pure `key → plan` function: everything below operates on the padded
+/// class dimensions so equal keys can never diverge.
+fn compute_plan(dev: &DeviceConfig, key: PlanKey) -> Result<Plan> {
+    let cfg = key.cfg()?;
+    let (m, n, k) = (key.m, key.n, key.k);
+
+    // Dense baseline is mandatory — without it no speedup is defined.
+    let dense: EstimateSummary = (&DenseGemmKernel::auto(m, n).estimate(dev, m, n, k)?).into();
+
+    // Exhaustive search over the valid blocking space for V3 (the paper's
+    // kernel); fall back to the Para_Init_Table preset when the space is
+    // empty (e.g. an L no supported ns is a multiple of).
+    let (params, evaluated, nm_v3) = match autotune::tune(dev, m, n, k, cfg) {
+        Ok(t) => (t.params, t.evaluated, Some((&t.report).into())),
+        Err(_) => {
+            let preset = BlockingParams::para_init_table(m, n);
+            let rep = NmSpmmKernel::new(NmVersion::V3, preset)
+                .estimate(dev, m, n, k, cfg, None)
+                .ok();
+            (preset, 0, rep.as_ref().map(EstimateSummary::from))
+        }
+    };
+
+    // The strategy decision for the winning blocking. When even the preset
+    // cannot launch, fall back to a plain Strategy::decide on the Table I
+    // geometry so the plan still records the paper's packing/pipeline call.
+    let decision = match NmSpmmKernel::new(NmVersion::V3, params).plan(dev, m, n, k, cfg) {
+        Ok(p) => p.decision,
+        Err(_) => {
+            let block = nm_analysis::ai::BlockAi {
+                ms: params.ms,
+                ns: params.ns,
+                ks: cfg.m.max(32),
+                ws: cfg.n.max(1) * cfg.m.max(32) / cfg.m.max(1),
+            };
+            nm_analysis::strategy::Strategy::decide(dev, cfg, block, (params.ns / cfg.l).max(1))
+        }
+    };
+
+    // Step-wise versions at the same tuned blocking (Fig. 7's ladder).
+    let nm_v1 = NmSpmmKernel::new(NmVersion::V1, params)
+        .estimate(dev, m, n, k, cfg, None)
+        .ok()
+        .as_ref()
+        .map(EstimateSummary::from);
+    let nm_v2 = NmSpmmKernel::new(NmVersion::V2, params)
+        .estimate(dev, m, n, k, cfg, None)
+        .ok()
+        .as_ref()
+        .map(EstimateSummary::from);
+
+    // Comparison baselines.
+    let nmsparse = NmSparseKernel
+        .estimate(dev, m, n, k, cfg)
+        .ok()
+        .as_ref()
+        .map(EstimateSummary::from);
+    let sputnik: EstimateSummary = (&SputnikKernel.estimate(dev, m, n, k, cfg)).into();
+    let sparse_tc = SparseTensorCoreKernel
+        .estimate(dev, m, n, k, cfg)
+        .ok()
+        .as_ref()
+        .map(EstimateSummary::from);
+
+    let estimates = KernelEstimates {
+        dense,
+        nm_v1,
+        nm_v2,
+        nm_v3,
+        nmsparse,
+        sputnik,
+        sparse_tc,
+    };
+
+    // Fastest family wins. Only families with an estimate compete; strict
+    // `<` means ties keep the earlier entry, and NM-SpMM is listed first,
+    // so an exact tie against any baseline (dense included) keeps the
+    // paper's kernel.
+    let mut choice = KernelChoice::Dense;
+    let mut best = f64::INFINITY;
+    for cand in [
+        KernelChoice::NmV3,
+        KernelChoice::NmSparse,
+        KernelChoice::Sputnik,
+        KernelChoice::SparseTc,
+        KernelChoice::Dense,
+    ] {
+        if let Some(e) = estimates.get(cand) {
+            if e.seconds < best {
+                best = e.seconds;
+                choice = cand;
+            }
+        }
+    }
+
+    Ok(Plan {
+        key,
+        choice,
+        params,
+        evaluated,
+        decision,
+        estimates,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::device::{a100_80g, rtx4090};
+
+    fn cfg(n: usize, m: usize) -> NmConfig {
+        NmConfig::new(n, m, 32).unwrap()
+    }
+
+    #[test]
+    fn shape_class_pads_to_32() {
+        let dev = a100_80g();
+        let a = PlanKey::new(&dev, 100, 200, 300, cfg(4, 16));
+        assert_eq!((a.m, a.n, a.k), (128, 224, 320));
+        let b = PlanKey::new(&dev, 128, 224, 320, cfg(4, 16));
+        assert_eq!(a, b, "shapes in the same class share a key");
+        let c = PlanKey::new(&dev, 129, 224, 320, cfg(4, 16));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn planner_hits_cache_on_identical_key() {
+        let mut planner = Planner::new(a100_80g());
+        let first = planner.plan(512, 512, 512, cfg(4, 16)).unwrap();
+        assert_eq!(planner.cache().hits(), 0);
+        assert_eq!(planner.cache().misses(), 1);
+        // Same class (padding makes 500 ≡ 512 is false — 500 pads to 512).
+        let second = planner.plan(500, 500, 500, cfg(4, 16)).unwrap();
+        assert_eq!(planner.cache().hits(), 1, "same class must hit");
+        assert_eq!(planner.cache().misses(), 1);
+        assert_eq!(first, second, "cache replay must be byte-identical");
+        assert_eq!(planner.cache().len(), 1);
+    }
+
+    #[test]
+    fn plan_is_deterministic_for_fixed_key() {
+        let dev = rtx4090();
+        for level in [cfg(8, 16), cfg(2, 16)] {
+            let a = Planner::new(dev.clone())
+                .plan(1024, 2048, 4096, level)
+                .unwrap();
+            let b = Planner::new(dev.clone())
+                .plan(1024, 2048, 4096, level)
+                .unwrap();
+            assert_eq!(a, b, "{level}: fresh planners must agree");
+        }
+    }
+
+    #[test]
+    fn tuned_plan_beats_or_matches_preset() {
+        let mut planner = Planner::new(a100_80g());
+        let plan = planner.plan(4096, 4096, 4096, cfg(2, 16)).unwrap();
+        assert!(plan.evaluated > 100, "search must be exhaustive");
+        let preset = NmSpmmKernel::auto(NmVersion::V3, 4096, 4096)
+            .estimate(&a100_80g(), 4096, 4096, 4096, cfg(2, 16), None)
+            .unwrap();
+        let tuned = plan.estimates.nm_v3.unwrap();
+        assert!(tuned.seconds <= preset.seconds * 1.0001);
+    }
+
+    #[test]
+    fn high_sparsity_plan_packs_and_picks_nm() {
+        let mut planner = Planner::new(a100_80g());
+        let plan = planner.plan(4096, 4096, 4096, cfg(2, 16)).unwrap();
+        assert!(plan.decision.packing);
+        assert_eq!(plan.choice, KernelChoice::NmV3);
+        assert!(plan.speedup_vs_dense() > 1.0);
+        assert!(!plan.summary().is_empty());
+    }
+
+    #[test]
+    fn sparse_tc_only_estimated_for_2_4() {
+        let mut planner = Planner::new(a100_80g());
+        let p24 = planner
+            .plan(1024, 1024, 1024, NmConfig::new(2, 4, 32).unwrap())
+            .unwrap();
+        assert!(p24.estimates.sparse_tc.is_some());
+        let p216 = planner.plan(1024, 1024, 1024, cfg(2, 16)).unwrap();
+        assert!(p216.estimates.sparse_tc.is_none());
+    }
+
+    #[test]
+    fn cache_json_round_trips_exactly() {
+        let mut planner = Planner::new(a100_80g());
+        for level in [
+            cfg(8, 16),
+            cfg(4, 16),
+            cfg(2, 16),
+            NmConfig::new(2, 4, 32).unwrap(),
+        ] {
+            planner.plan(512, 1024, 2048, level).unwrap();
+            planner.plan(256, 256, 256, level).unwrap();
+        }
+        let cache = planner.into_cache();
+        let json = cache.to_json().unwrap();
+        let reloaded = PlanCache::from_json(&json).unwrap();
+        assert_eq!(reloaded.len(), cache.len());
+        for plan in cache.plans() {
+            assert_eq!(
+                reloaded.peek(&plan.key),
+                Some(plan),
+                "{} must survive the round trip bit-exactly",
+                plan.key
+            );
+        }
+        // Serialization is deterministic.
+        assert_eq!(json, reloaded.to_json().unwrap());
+    }
+
+    #[test]
+    fn reloaded_cache_serves_hits_without_recompute() {
+        let dev = a100_80g();
+        let mut planner = Planner::new(dev.clone());
+        let original = planner.plan(512, 512, 2048, cfg(4, 16)).unwrap();
+        let json = planner.cache().to_json().unwrap();
+
+        let reloaded = PlanCache::from_json(&json).unwrap();
+        let mut warm = Planner::with_cache(dev, reloaded);
+        let replay = warm.plan(512, 512, 2048, cfg(4, 16)).unwrap();
+        assert_eq!(warm.cache().hits(), 1, "reload must hit");
+        assert_eq!(warm.cache().misses(), 0);
+        assert_eq!(original, replay);
+    }
+
+    #[test]
+    fn malformed_cache_documents_rejected() {
+        assert!(PlanCache::from_json("{}").is_err());
+        assert!(PlanCache::from_json("[]").is_err());
+        assert!(PlanCache::from_json(
+            r#"{"format":"nm-spmm plan cache","version":99,"entries":[]}"#
+        )
+        .is_err());
+        assert!(
+            PlanCache::from_json(r#"{"format":"something else","version":1,"entries":[]}"#)
+                .is_err()
+        );
+        // Empty but well-formed is fine.
+        let empty =
+            PlanCache::from_json(r#"{"format":"nm-spmm plan cache","version":1,"entries":[]}"#)
+                .unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn edited_device_model_invalidates_cached_plans() {
+        // Same marketing name, different silicon: the fingerprint must
+        // force a miss instead of replaying stale estimates.
+        let mut dev = a100_80g();
+        let level = cfg(4, 16);
+        let mut planner = Planner::new(dev.clone());
+        planner.plan(1024, 1024, 1024, level).unwrap();
+        let cache = planner.into_cache();
+
+        dev.dram_bw *= 2.0;
+        // The handed-over cache keeps its counters (unlike a JSON reload,
+        // which zeroes them): one miss from the population pass above.
+        let mut warm = Planner::with_cache(dev, cache);
+        warm.plan(1024, 1024, 1024, level).unwrap();
+        assert_eq!(warm.cache().hits(), 0, "stale plan must not replay");
+        assert_eq!(warm.cache().misses(), 2);
+        assert_eq!(warm.cache().len(), 2, "both fingerprints coexist");
+    }
+
+    #[test]
+    fn choice_without_estimate_is_rejected_at_load() {
+        // A document whose chosen family carries a null estimate would
+        // panic in Plan::best; loading must fail instead.
+        let mut planner = Planner::new(a100_80g());
+        let plan = planner.plan(256, 256, 256, cfg(2, 16)).unwrap();
+        assert!(
+            plan.estimates.sparse_tc.is_none(),
+            "test setup: 2:16 has no sparse-TC estimate"
+        );
+        let json = planner.cache().to_json().unwrap();
+        let needle = format!("\"choice\":\"{}\"", plan.choice.name());
+        let corrupted = json.replace(&needle, "\"choice\":\"sparse_tc\"");
+        let err = PlanCache::from_json(&corrupted).unwrap_err();
+        assert!(
+            err.to_string().contains("no estimate"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn tie_against_dense_keeps_the_nm_kernel() {
+        // Dense N = M config: V3 and dense model the same computation, so
+        // their estimates can tie; the NM kernel must win the tie per the
+        // documented resolution order (NM listed first).
+        let mut planner = Planner::new(a100_80g());
+        let plan = planner
+            .plan(4096, 4096, 4096, NmConfig::new(32, 32, 32).unwrap())
+            .unwrap();
+        let v3 = plan.estimates.nm_v3.unwrap();
+        if v3.seconds <= plan.estimates.dense.seconds {
+            assert_eq!(plan.choice, KernelChoice::NmV3);
+        } else {
+            assert_eq!(plan.choice, KernelChoice::Dense);
+        }
+    }
+
+    #[test]
+    fn kernel_choice_names_round_trip() {
+        for c in [
+            KernelChoice::Dense,
+            KernelChoice::NmV1,
+            KernelChoice::NmV2,
+            KernelChoice::NmV3,
+            KernelChoice::NmSparse,
+            KernelChoice::Sputnik,
+            KernelChoice::SparseTc,
+        ] {
+            assert_eq!(KernelChoice::from_name(c.name()).unwrap(), c);
+        }
+        assert!(KernelChoice::from_name("cublas").is_err());
+    }
+}

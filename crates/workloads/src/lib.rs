@@ -9,7 +9,10 @@
 //!   GPU experiments,
 //! * [`models`] — extended layer shapes (BERT, GPT-2-XL, Mistral-7B),
 //! * [`gen`] — seeded problem-instance generators shared by tests,
-//!   examples and the bench harness.
+//!   examples and the bench harness,
+//! * [`sweep`] — the batched layer-sweep driver: a whole model's layers
+//!   through the `nm-kernels` planner/engine, with per-layer reports and
+//!   plan-cache accounting.
 
 #![warn(missing_docs)]
 
@@ -18,6 +21,8 @@ pub mod levels;
 pub mod llama;
 pub mod models;
 pub mod shapes;
+pub mod sweep;
 
 pub use gen::{ProblemInstance, ProblemSpec};
 pub use shapes::TableIiShape;
+pub use sweep::{sweep_model, ExecutePolicy, LayerReport, SweepOptions, SweepReport};

@@ -1,0 +1,387 @@
+//! Batched layer sweep: drive a whole model's linear layers through the
+//! unified kernel planner.
+//!
+//! This is the serving-shaped loop the ROADMAP asks for: given an
+//! [`Engine`] (device + plan cache) and one Llama model, plan every linear
+//! layer at a fixed sequence length, optionally execute each layer
+//! functionally — through the *simulated* kernel the plan chose **and**
+//! through the real multi-threaded CPU path (`nm_core::parallel`), cross
+//! checking the numerics — and emit a per-layer report: chosen kernel,
+//! tuned blocking, estimated seconds and speedup over the dense baseline.
+//!
+//! Because the planner memoizes by `(device, shape class, N:M)`, sweeping
+//! a model exercises the cache naturally — Llama's `mlp.gate` and `mlp.up`
+//! share one weight shape, and repeated sweeps (more sequence lengths,
+//! more sparsity levels, a reloaded cache file) hit without re-tuning.
+//! [`SweepReport`] carries the hit/miss delta so callers can prove it.
+
+use nm_core::error::Result;
+use nm_core::matrix::MatrixF32;
+use nm_core::parallel::{gemm_parallel, spmm_parallel, CpuSpmmOptions, Strategy};
+use nm_core::pattern::NmConfig;
+use nm_core::sparse::NmSparseMatrix;
+use nm_kernels::engine::Engine;
+use nm_kernels::plan::Plan;
+use std::time::Instant;
+
+use crate::llama::{layer_shapes, LayerShape, LlamaModel};
+
+/// Whether (and at what size) the sweep runs layers functionally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutePolicy {
+    /// Analytic estimates only — plans every layer, executes nothing.
+    EstimateOnly,
+    /// Execute each layer with every dimension divided by the given factor
+    /// (clamped to a sane floor), keeping the sweep interactive while still
+    /// running real numerics end to end.
+    Scaled(usize),
+    /// Execute at full layer size (minutes of CPU time for big models).
+    Full,
+}
+
+impl ExecutePolicy {
+    fn divisor(&self) -> Option<usize> {
+        match self {
+            ExecutePolicy::EstimateOnly => None,
+            ExecutePolicy::Scaled(d) => Some((*d).max(1)),
+            ExecutePolicy::Full => Some(1),
+        }
+    }
+}
+
+/// Knobs for [`sweep_model`].
+#[derive(Debug, Clone, Copy)]
+pub struct SweepOptions {
+    /// Input sequence length `m` shared by every layer.
+    pub seq_len: usize,
+    /// Functional-execution policy.
+    pub execute: ExecutePolicy,
+    /// Seed for the generated operands (execution only).
+    pub seed: u64,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        Self {
+            seq_len: 512,
+            execute: ExecutePolicy::EstimateOnly,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Functional-execution measurements for one layer.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecReport {
+    /// Executed dimensions (scaled per [`ExecutePolicy`]).
+    pub m: usize,
+    /// Executed output columns.
+    pub n: usize,
+    /// Executed reduction depth.
+    pub k: usize,
+    /// Wall time of the CPU sparse path, milliseconds.
+    pub cpu_ms: f64,
+    /// Wall time of the CPU dense GEMM baseline, milliseconds.
+    pub cpu_dense_ms: f64,
+    /// Max |sim − cpu| over the output — the cross-check that the chosen
+    /// simulated kernel and the CPU path compute the same matrix.
+    pub sim_vs_cpu_max_diff: f32,
+}
+
+/// One layer's row in the sweep report.
+#[derive(Debug, Clone)]
+pub struct LayerReport {
+    /// Which layer (e.g. `"mlp.gate"`).
+    pub layer: &'static str,
+    /// Full-size output rows (the sequence length).
+    pub m: usize,
+    /// Full-size output columns.
+    pub n: usize,
+    /// Full-size reduction depth.
+    pub k: usize,
+    /// The resolved plan (chosen kernel, tuned blocking, decision).
+    pub plan: Plan,
+    /// Whether the plan came out of the cache.
+    pub cache_hit: bool,
+    /// Estimated milliseconds of the chosen kernel at full size.
+    pub est_ms: f64,
+    /// Estimated milliseconds of the dense baseline at full size.
+    pub dense_ms: f64,
+    /// Functional measurements, when execution was requested.
+    pub exec: Option<ExecReport>,
+}
+
+impl LayerReport {
+    /// Estimated speedup of the chosen kernel over dense.
+    pub fn speedup(&self) -> f64 {
+        self.dense_ms / self.est_ms
+    }
+}
+
+/// Result of sweeping one model at one sparsity level.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Device the engine planned for.
+    pub device: String,
+    /// Model name.
+    pub model: &'static str,
+    /// Sparsity configuration.
+    pub cfg: NmConfig,
+    /// Sequence length.
+    pub seq_len: usize,
+    /// Per-layer rows, in [`layer_shapes`] order.
+    pub layers: Vec<LayerReport>,
+    /// Plan-cache hits attributable to this sweep's planning pass.
+    pub cache_hits: u64,
+    /// Plan-cache misses attributable to this sweep's planning pass.
+    pub cache_misses: u64,
+}
+
+impl SweepReport {
+    /// Sum of estimated chosen-kernel milliseconds across layers.
+    pub fn total_est_ms(&self) -> f64 {
+        self.layers.iter().map(|l| l.est_ms).sum()
+    }
+
+    /// Sum of estimated dense milliseconds across layers.
+    pub fn total_dense_ms(&self) -> f64 {
+        self.layers.iter().map(|l| l.dense_ms).sum()
+    }
+
+    /// Whole-model estimated speedup over dense.
+    pub fn total_speedup(&self) -> f64 {
+        self.total_dense_ms() / self.total_est_ms()
+    }
+}
+
+/// The linear layers of one model, in dataset order.
+pub fn model_layers(model: &LlamaModel) -> Vec<LayerShape> {
+    layer_shapes()
+        .into_iter()
+        .filter(|s| s.model == model.name)
+        .collect()
+}
+
+/// Scale a dimension down by `div`, keeping the 32-element kernel granule
+/// and a floor large enough for every Table I blocking. `div == 1`
+/// ([`ExecutePolicy::Full`]) returns the dimension untouched; the scaled
+/// result never exceeds the original rounded up to the granule.
+fn scaled_dim(d: usize, div: usize) -> usize {
+    if div <= 1 {
+        return d;
+    }
+    let padded = d.max(1).div_ceil(32) * 32;
+    ((d / div).max(64).div_ceil(32) * 32).min(padded)
+}
+
+/// Plan (and per [`SweepOptions::execute`], run) every linear layer of
+/// `model` through the engine at one sparsity level.
+pub fn sweep_model(
+    engine: &mut Engine,
+    model: &LlamaModel,
+    cfg: NmConfig,
+    opts: &SweepOptions,
+) -> Result<SweepReport> {
+    let shapes = model_layers(model);
+    let before = engine.stats();
+
+    // Planning pass: full-size shapes, O(1) on cache hits.
+    let mut layers = Vec::with_capacity(shapes.len());
+    for shape in &shapes {
+        let hits_before = engine.stats().hits;
+        let plan = engine.plan(opts.seq_len, shape.n, shape.k, cfg)?;
+        let cache_hit = engine.stats().hits > hits_before;
+        let est_ms = plan.best().seconds * 1e3;
+        let dense_ms = plan.estimates.dense.seconds * 1e3;
+        layers.push(LayerReport {
+            layer: shape.layer,
+            m: opts.seq_len,
+            n: shape.n,
+            k: shape.k,
+            plan,
+            cache_hit,
+            est_ms,
+            dense_ms,
+            exec: None,
+        });
+    }
+    let after = engine.stats();
+
+    // Execution pass: real numerics through the chosen simulated kernel
+    // and the CPU path, at (possibly scaled) dimensions. Runs via
+    // `run_plan`, so it does not touch the cache counters above.
+    if let Some(div) = opts.execute.divisor() {
+        for (row, shape) in layers.iter_mut().zip(&shapes) {
+            let (me, ne, ke) = (
+                scaled_dim(opts.seq_len, div),
+                scaled_dim(shape.n, div),
+                scaled_dim(shape.k, div),
+            );
+            let a = MatrixF32::random(me, ke, opts.seed);
+            let bd = MatrixF32::random(ke, ne, opts.seed ^ 1);
+            let sb = NmSparseMatrix::prune_magnitude(&bd, cfg)?;
+
+            // CPU sparse path, steered by the plan's packing decision.
+            let cpu_opts = CpuSpmmOptions {
+                strategy: if row.plan.decision.packing {
+                    Strategy::Packing
+                } else {
+                    Strategy::NonPacking
+                },
+                ..Default::default()
+            };
+            let t0 = Instant::now();
+            let c_cpu = spmm_parallel(&a, &sb, &cpu_opts);
+            let cpu_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+            let t0 = Instant::now();
+            let _ = gemm_parallel(&a, &bd);
+            let cpu_dense_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+            // Simulated kernel, functional face.
+            let run = engine.run_plan(&row.plan, &a, &sb)?;
+            row.exec = Some(ExecReport {
+                m: me,
+                n: ne,
+                k: ke,
+                cpu_ms,
+                cpu_dense_ms,
+                sim_vs_cpu_max_diff: run.c.max_abs_diff(&c_cpu),
+            });
+        }
+    }
+
+    Ok(SweepReport {
+        device: engine.device().name.clone(),
+        model: model.name,
+        cfg,
+        seq_len: opts.seq_len,
+        layers,
+        cache_hits: after.hits - before.hits,
+        cache_misses: after.misses - before.misses,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::llama::LLAMA_FAMILY;
+    use gpu_sim::device::a100_80g;
+
+    fn small_opts(execute: ExecutePolicy) -> SweepOptions {
+        SweepOptions {
+            seq_len: 256,
+            execute,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn sweep_reports_every_layer_with_dense_speedup() {
+        let mut eng = Engine::new(a100_80g());
+        let cfg = NmConfig::new(2, 16, 32).unwrap();
+        let report = sweep_model(
+            &mut eng,
+            &LLAMA_FAMILY[0],
+            cfg,
+            &small_opts(ExecutePolicy::EstimateOnly),
+        )
+        .unwrap();
+        assert_eq!(report.layers.len(), 5, "five linear shapes per model");
+        for l in &report.layers {
+            assert!(l.est_ms > 0.0 && l.dense_ms > 0.0, "{}", l.layer);
+            assert!(
+                l.speedup() > 1.0,
+                "{} at 87.5% must beat dense, got {:.2}x",
+                l.layer,
+                l.speedup()
+            );
+        }
+        assert!(report.total_speedup() > 1.0);
+        assert_eq!(report.model, "Llama-7B");
+        assert_eq!(report.device, "A100 80G PCIe");
+    }
+
+    #[test]
+    fn gate_and_up_share_a_plan_cache_entry() {
+        let mut eng = Engine::new(a100_80g());
+        let cfg = NmConfig::new(4, 16, 32).unwrap();
+        let report = sweep_model(
+            &mut eng,
+            &LLAMA_FAMILY[0],
+            cfg,
+            &small_opts(ExecutePolicy::EstimateOnly),
+        )
+        .unwrap();
+        // mlp.gate and mlp.up have identical (n, k): exactly one hit.
+        assert_eq!(report.cache_hits, 1, "gate/up must share a shape class");
+        assert_eq!(report.cache_misses, 4);
+        let hit_layers: Vec<&str> = report
+            .layers
+            .iter()
+            .filter(|l| l.cache_hit)
+            .map(|l| l.layer)
+            .collect();
+        assert_eq!(hit_layers, vec!["mlp.up"]);
+
+        // A second sweep of the same model is all hits.
+        let again = sweep_model(
+            &mut eng,
+            &LLAMA_FAMILY[0],
+            cfg,
+            &small_opts(ExecutePolicy::EstimateOnly),
+        )
+        .unwrap();
+        assert_eq!(again.cache_hits, 5);
+        assert_eq!(again.cache_misses, 0);
+    }
+
+    #[test]
+    fn scaled_execution_cross_checks_sim_against_cpu() {
+        let mut eng = Engine::new(a100_80g());
+        let cfg = NmConfig::new(2, 16, 32).unwrap();
+        let report = sweep_model(
+            &mut eng,
+            &LLAMA_FAMILY[0],
+            cfg,
+            &small_opts(ExecutePolicy::Scaled(64)),
+        )
+        .unwrap();
+        for l in &report.layers {
+            let e = l.exec.expect("execution requested");
+            assert!(e.m >= 64 && e.n >= 64 && e.k >= 64);
+            assert!(e.m % 32 == 0 && e.n % 32 == 0 && e.k % 32 == 0);
+            assert!(e.cpu_ms > 0.0 && e.cpu_dense_ms > 0.0);
+            assert!(
+                e.sim_vs_cpu_max_diff < 1e-2,
+                "{}: simulated kernel and CPU path disagree by {}",
+                l.layer,
+                e.sim_vs_cpu_max_diff
+            );
+        }
+        // Execution must not have perturbed the planning-pass accounting.
+        assert_eq!(report.cache_misses as usize + report.cache_hits as usize, 5);
+    }
+
+    #[test]
+    fn scaled_dim_full_is_exact_and_scaled_is_bounded() {
+        // Full (div = 1) must not inflate ragged dims.
+        assert_eq!(scaled_dim(100, 1), 100);
+        assert_eq!(scaled_dim(31, 1), 31);
+        // Scaled keeps the floor/granule but never exceeds the padded
+        // original.
+        assert_eq!(scaled_dim(4096, 64), 64);
+        assert_eq!(scaled_dim(100, 2), 64);
+        assert_eq!(scaled_dim(32, 8), 32);
+        assert_eq!(scaled_dim(11008, 8), 1376);
+    }
+
+    #[test]
+    fn model_layers_filters_by_model() {
+        for m in &LLAMA_FAMILY {
+            let layers = model_layers(m);
+            assert_eq!(layers.len(), 5);
+            assert!(layers.iter().all(|s| s.model == m.name));
+        }
+    }
+}

@@ -12,7 +12,7 @@
 use nm_spmm::core::confusion::total_confusion;
 use nm_spmm::core::parallel::{gemm_parallel, spmm_parallel, CpuSpmmOptions};
 use nm_spmm::core::spmm::gemm_reference_f64;
-use nm_spmm::kernels::{DenseGemmKernel, NmSpmmKernel, NmVersion};
+use nm_spmm::kernels::Engine;
 use nm_spmm::prelude::*;
 use nm_spmm::workloads::levels::{benchmark_levels, label};
 use nm_spmm::workloads::llama::layer_shapes;
@@ -42,15 +42,19 @@ fn main() {
 
     let a = MatrixF32::random(m, k, 7);
     let b = MatrixF32::random(k, n, 8);
-    let dev = a100_80g();
+    // The engine owns kernel selection: one plan per (shape class, N:M)
+    // carries the tuned blocking and every family's estimate.
+    let mut engine = Engine::new(a100_80g());
 
     // Dense baselines.
     let t0 = Instant::now();
     let dense_cpu = gemm_parallel(&a, &b);
     let dense_wall = t0.elapsed();
-    let dense_sim = DenseGemmKernel::auto(m, n)
-        .estimate(&dev, m, n, k)
-        .expect("dense sim");
+    let dense_sim = engine
+        .plan(m, n, k, benchmark_levels()[0])
+        .expect("plan")
+        .estimates
+        .dense;
     println!(
         "dense: CPU {:.1} ms, simulated A100 {:.3} ms ({:.1}% of peak)\n",
         dense_wall.as_secs_f64() * 1e3,
@@ -60,31 +64,32 @@ fn main() {
 
     let oracle = gemm_reference_f64(&a, &b);
     println!(
-        "{:>9} {:>7} {:>12} {:>12} {:>10} {:>10} {:>12}",
+        "{:>9} {:>7} {:>12} {:>12} {:>10} {:>10} {:>12}  kernel",
         "sparsity", "ideal", "CPU ms", "CPU speedup", "A100 ms", "A100 spd", "mean |err|"
     );
     for cfg in benchmark_levels() {
         let sb = NmSparseMatrix::prune_magnitude(&b, cfg).expect("prune");
+        let plan = engine.plan(m, n, k, cfg).expect("plan");
         let t0 = Instant::now();
         let c = spmm_parallel(&a, &sb, &CpuSpmmOptions::default());
         let wall = t0.elapsed();
-        let sim = NmSpmmKernel::auto(NmVersion::V3, m, n)
-            .estimate(&dev, m, n, k, cfg, None)
-            .expect("sim");
+        let sim = plan.best();
         let err = total_confusion(&c, &oracle);
         println!(
-            "{:>9} {:>6.1}x {:>11.1}m {:>11.2}x {:>9.3}m {:>9.2}x {:>12.5}",
+            "{:>9} {:>6.1}x {:>11.1}m {:>11.2}x {:>9.3}m {:>9.2}x {:>12.5}  {}",
             label(&cfg),
             cfg.ideal_speedup(),
             wall.as_secs_f64() * 1e3,
             dense_wall.as_secs_f64() / wall.as_secs_f64(),
             sim.seconds * 1e3,
-            dense_sim.seconds / sim.seconds,
-            err
+            plan.speedup_vs_dense(),
+            err,
+            plan.choice,
         );
         // The sparse result must agree with dense wherever B survived:
         // cheap structural sanity check on one run.
         assert_eq!(c.shape(), dense_cpu.shape());
     }
     println!("\n(accuracy degrades as sparsity rises — the tradeoff the N:M literature tunes)");
+    println!("plan cache after the sweep: {}", engine.stats());
 }
