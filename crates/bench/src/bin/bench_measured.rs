@@ -1,0 +1,531 @@
+//! Measured-performance harness: the native CPU V1→V3 ladder against the
+//! scalar reference, on real wall clocks.
+//!
+//! Unlike the other bins (which regenerate the paper's figures from the
+//! *timing model*), this one executes every kernel for real through the
+//! [`nm_kernels::backend`] subsystem, cross-checks the numerics, and emits
+//! a `BENCH_pr.json` trajectory file — the repo's measured performance
+//! record, consumed by the `perf-smoke` CI gate.
+//!
+//! ```sh
+//! # Full sweep (Fig. 7 / Table II shapes, ~a minute of CPU time):
+//! cargo run --release -p nm-bench --bin bench_measured
+//!
+//! # CI smoke: small shapes, compare against the checked-in baseline and
+//! # fail on any >25% regression of a kernel's speedup-vs-reference
+//! # (a machine-neutral ratio — absolute GFLOP/s differ across runners):
+//! cargo run --release -p nm-bench --bin bench_measured -- \
+//!     --quick --out BENCH_pr.json --check-against BENCH_baseline.json
+//! ```
+//!
+//! Exit codes: `0` success, `1` regression against the baseline,
+//! `2` usage / numeric-mismatch / I/O failure.
+
+use gpu_sim::device::a100_80g;
+use nm_bench::{spd, TextTable};
+use nm_core::json::JsonValue;
+use nm_core::matrix::MatrixF32;
+use nm_core::pattern::NmConfig;
+use nm_core::prune::PrunePolicy;
+use nm_core::sparse::NmSparseMatrix;
+use nm_core::spmm::spmm_reference;
+use nm_kernels::{spmm_cpu_prepared, CpuPrepared, CpuTiling, Engine, NmVersion};
+use std::time::Instant;
+
+/// One benchmarked problem.
+struct Shape {
+    label: &'static str,
+    m: usize,
+    n: usize,
+    k: usize,
+    cfg: NmConfig,
+}
+
+fn cfg(n: usize, m: usize) -> NmConfig {
+    NmConfig::new(n, m, 32).expect("valid config")
+}
+
+/// The full sweep: Fig. 7's 4096³ square at the acceptance sparsity plus a
+/// spread of Table II sizes and one Llama-proportioned projection.
+fn full_shapes() -> Vec<Shape> {
+    vec![
+        Shape {
+            label: "A-512-50",
+            m: 512,
+            n: 512,
+            k: 512,
+            cfg: cfg(8, 16),
+        },
+        Shape {
+            label: "A-512-75",
+            m: 512,
+            n: 512,
+            k: 512,
+            cfg: cfg(2, 8),
+        },
+        Shape {
+            label: "A-512-87",
+            m: 512,
+            n: 512,
+            k: 512,
+            cfg: cfg(2, 16),
+        },
+        Shape {
+            label: "C-2048-75",
+            m: 512,
+            n: 2048,
+            k: 2048,
+            cfg: cfg(2, 8),
+        },
+        Shape {
+            label: "D-2048-87",
+            m: 1024,
+            n: 2048,
+            k: 2048,
+            cfg: cfg(2, 16),
+        },
+        Shape {
+            label: "llama-proj-75",
+            m: 512,
+            n: 4096,
+            k: 4096,
+            cfg: cfg(2, 8),
+        },
+        Shape {
+            label: "F-4096-75",
+            m: 4096,
+            n: 4096,
+            k: 4096,
+            cfg: cfg(2, 8),
+        },
+    ]
+}
+
+/// The CI smoke sweep: seconds, not minutes.
+fn quick_shapes() -> Vec<Shape> {
+    vec![
+        Shape {
+            label: "A-512-75",
+            m: 512,
+            n: 512,
+            k: 512,
+            cfg: cfg(2, 8),
+        },
+        Shape {
+            label: "quick-768-87",
+            m: 256,
+            n: 768,
+            k: 768,
+            cfg: cfg(2, 16),
+        },
+        Shape {
+            label: "quick-512-50",
+            m: 256,
+            n: 512,
+            k: 512,
+            cfg: cfg(8, 16),
+        },
+    ]
+}
+
+/// Measured seconds (best of an adaptive rep count) for one kernel run.
+fn time_best<F: FnMut() -> f64>(mut run_once: F) -> f64 {
+    let mut best = run_once();
+    let mut spent = best;
+    // Small problems repeat until ~0.4 s of total time; big ones run once.
+    while spent < 0.4 && best < 0.15 {
+        let t = run_once();
+        best = best.min(t);
+        spent += t;
+    }
+    best
+}
+
+struct KernelResult {
+    seconds: f64,
+    gflops: f64,
+}
+
+struct ShapeResult {
+    label: &'static str,
+    m: usize,
+    n: usize,
+    k: usize,
+    cfg: NmConfig,
+    /// `reference`, `cpu_v1`, `cpu_v2`, `cpu_v3` in that order.
+    kernels: Vec<(&'static str, KernelResult)>,
+}
+
+impl ShapeResult {
+    fn get(&self, name: &str) -> &KernelResult {
+        &self
+            .kernels
+            .iter()
+            .find(|(n, _)| *n == name)
+            .expect("known kernel")
+            .1
+    }
+
+    fn speedup_vs_ref(&self, name: &str) -> f64 {
+        self.get("reference").seconds / self.get(name).seconds
+    }
+}
+
+fn bench_shape(engine: &mut Engine, shape: &Shape, seed: u64) -> Result<ShapeResult, String> {
+    let Shape { label, m, n, k, .. } = *shape;
+    let c = shape.cfg;
+    let plan = engine
+        .plan(m, n, k, c)
+        .map_err(|e| format!("{label}: planning failed: {e}"))?;
+
+    let a = MatrixF32::random(m, k, seed);
+    let b = MatrixF32::random(k, n, seed ^ 0x5eed);
+    let sb = NmSparseMatrix::prune(&b, c, PrunePolicy::Magnitude)
+        .map_err(|e| format!("{label}: prune failed: {e}"))?;
+    let useful = 2.0 * m as f64 * n as f64 * sb.w() as f64;
+
+    // The scalar reference is both the baseline and the numeric oracle.
+    let mut expect = None;
+    let ref_s = time_best(|| {
+        let t0 = Instant::now();
+        let c_ref = spmm_reference(&a, &sb);
+        let dt = t0.elapsed().as_secs_f64();
+        expect = Some(c_ref);
+        dt
+    });
+    let expect = expect.expect("reference ran");
+
+    let mut kernels = vec![(
+        "reference",
+        KernelResult {
+            seconds: ref_s,
+            gflops: useful / ref_s / 1e9,
+        },
+    )];
+
+    // The plan's auto-tuned blocking drives the CPU tiles; the offline
+    // staging (CpuPrepared) is built once per version and amortized across
+    // the timing reps, exactly as the CpuBackend accounts it.
+    let tiling = CpuTiling::derive(plan.params, c, k)
+        .map_err(|e| format!("{label}: blocking cannot drive the CPU tiles: {e}"))?;
+
+    for (name, version) in [
+        ("cpu_v1", NmVersion::V1),
+        ("cpu_v2", NmVersion::V2),
+        ("cpu_v3", NmVersion::V3),
+    ] {
+        let prep = CpuPrepared::new(version, &sb, tiling)
+            .map_err(|e| format!("{label}: {name} preparation failed: {e}"))?;
+        let mut out = None;
+        let mut failure = None;
+        let secs = time_best(|| {
+            let t0 = Instant::now();
+            match spmm_cpu_prepared(&a, &sb, &prep) {
+                Ok(c_got) => {
+                    let dt = t0.elapsed().as_secs_f64();
+                    out = Some(c_got);
+                    dt
+                }
+                Err(e) => {
+                    failure = Some(format!("{label}: {name} failed: {e}"));
+                    f64::INFINITY // ends the rep loop immediately
+                }
+            }
+        });
+        if let Some(failure) = failure {
+            return Err(failure);
+        }
+        let got = out.expect("kernel ran");
+        if !got.allclose(&expect, 1e-3, 1e-4) {
+            return Err(format!(
+                "{label}: {name} disagrees with the reference (max diff {})",
+                got.max_abs_diff(&expect)
+            ));
+        }
+        kernels.push((
+            name,
+            KernelResult {
+                seconds: secs,
+                gflops: useful / secs / 1e9,
+            },
+        ));
+    }
+
+    Ok(ShapeResult {
+        label,
+        m,
+        n,
+        k,
+        cfg: c,
+        kernels,
+    })
+}
+
+fn results_to_json(results: &[ShapeResult], mode: &str, device: &str) -> JsonValue {
+    let shapes = results
+        .iter()
+        .map(|r| {
+            let kernels = r
+                .kernels
+                .iter()
+                .map(|(name, kr)| {
+                    let mut fields = vec![
+                        ("seconds", JsonValue::Number(kr.seconds)),
+                        ("gflops", JsonValue::Number(kr.gflops)),
+                    ];
+                    if *name != "reference" {
+                        fields.push(("speedup_vs_ref", JsonValue::Number(r.speedup_vs_ref(name))));
+                    }
+                    (*name, JsonValue::object(fields))
+                })
+                .collect::<Vec<_>>();
+            JsonValue::object(vec![
+                ("label", JsonValue::from_str_value(r.label)),
+                ("m", JsonValue::from_usize(r.m)),
+                ("n", JsonValue::from_usize(r.n)),
+                ("k", JsonValue::from_usize(r.k)),
+                ("n_keep", JsonValue::from_usize(r.cfg.n)),
+                ("m_win", JsonValue::from_usize(r.cfg.m)),
+                ("l", JsonValue::from_usize(r.cfg.l)),
+                ("sparsity", JsonValue::Number(r.cfg.sparsity())),
+                ("kernels", JsonValue::object(kernels)),
+                (
+                    "stepwise",
+                    JsonValue::object(vec![
+                        ("v1_over_ref", JsonValue::Number(r.speedup_vs_ref("cpu_v1"))),
+                        (
+                            "v2_over_v1",
+                            JsonValue::Number(r.get("cpu_v1").seconds / r.get("cpu_v2").seconds),
+                        ),
+                        (
+                            "v3_over_v2",
+                            JsonValue::Number(r.get("cpu_v2").seconds / r.get("cpu_v3").seconds),
+                        ),
+                        ("v3_over_ref", JsonValue::Number(r.speedup_vs_ref("cpu_v3"))),
+                    ]),
+                ),
+            ])
+        })
+        .collect();
+    JsonValue::object(vec![
+        (
+            "format",
+            JsonValue::from_str_value("nm-spmm measured bench"),
+        ),
+        ("version", JsonValue::from_usize(1)),
+        ("mode", JsonValue::from_str_value(mode)),
+        ("plan_device", JsonValue::from_str_value(device)),
+        (
+            "threads",
+            JsonValue::from_usize(std::thread::available_parallelism().map_or(1, |p| p.get())),
+        ),
+        ("shapes", JsonValue::Array(shapes)),
+    ])
+}
+
+/// Compare against a baseline document; returns human-readable regression
+/// lines (empty = gate passes).
+///
+/// The gated metric is each CPU kernel's **speedup over the same-run
+/// reference** (`speedup_vs_ref`), not absolute GFLOP/s: the ratio divides
+/// out the host's per-core throughput, so a baseline recorded on one
+/// machine remains meaningful on a different CI runner. Shapes or kernels
+/// the baseline does not know are skipped, but a check that ends up
+/// comparing **nothing** is itself a failure — otherwise a renamed shape
+/// set would silently disarm the gate.
+fn check_against(results: &[ShapeResult], baseline: &JsonValue, threshold: f64) -> Vec<String> {
+    let mut regressions = Vec::new();
+    let mut compared = 0usize;
+    let Some(base_shapes) = baseline.get("shapes").and_then(|s| s.as_array()) else {
+        return vec!["baseline has no `shapes` array".into()];
+    };
+    for r in results {
+        let Some(base) = base_shapes
+            .iter()
+            .find(|s| s.str_field("label").ok() == Some(r.label))
+        else {
+            println!("  (baseline has no shape `{}` — skipped)", r.label);
+            continue;
+        };
+        let Ok(base_kernels) = base.field("kernels") else {
+            continue;
+        };
+        for (name, _) in &r.kernels {
+            if *name == "reference" {
+                continue; // the reference *is* the normalizer
+            }
+            let Some(base_speedup) = base_kernels
+                .get(name)
+                .and_then(|k| k.get("speedup_vs_ref"))
+                .and_then(|v| v.as_f64())
+            else {
+                continue;
+            };
+            compared += 1;
+            let measured = r.speedup_vs_ref(name);
+            let floor = base_speedup * (1.0 - threshold);
+            if measured < floor {
+                regressions.push(format!(
+                    "{} / {name}: {measured:.2}x vs reference < {floor:.2}x \
+                     (baseline {base_speedup:.2}x − {:.0}%)",
+                    r.label,
+                    threshold * 100.0
+                ));
+            }
+        }
+    }
+    if compared == 0 {
+        regressions.push(
+            "no (shape, kernel) pair overlaps the baseline — the gate compared nothing; \
+             regenerate BENCH_baseline.json for the current shape set"
+                .into(),
+        );
+    }
+    regressions
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_measured [--quick] [--out PATH] [--check-against PATH] \
+         [--threshold F] [--seed N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out = String::from("BENCH_pr.json");
+    let mut check: Option<String> = None;
+    let mut threshold = 0.25f64;
+    let mut seed = 42u64;
+
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                i += 1;
+                out = argv.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            "--check-against" => {
+                i += 1;
+                check = Some(argv.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--threshold" => {
+                i += 1;
+                threshold = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                i += 1;
+                seed = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let shapes = if quick { quick_shapes() } else { full_shapes() };
+    let mode = if quick { "quick" } else { "full" };
+    // Plans come from the A100 model: the auto-tuned blocking (not the
+    // timing estimate) is what drives the CPU tile sizes.
+    let mut engine = Engine::new(a100_80g());
+
+    println!(
+        "== measured CPU ladder ({mode} mode, {} shapes) ==\n",
+        shapes.len()
+    );
+    let mut results = Vec::new();
+    for shape in &shapes {
+        print!(
+            "{:>14}  {}x{}x{} {} ... ",
+            shape.label,
+            shape.m,
+            shape.n,
+            shape.k,
+            shape.cfg.label()
+        );
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        match bench_shape(&mut engine, shape, seed) {
+            Ok(r) => {
+                println!(
+                    "ref {:.3}s  V3 {} ({:.2} GFLOP/s)",
+                    r.get("reference").seconds,
+                    spd(r.speedup_vs_ref("cpu_v3")),
+                    r.get("cpu_v3").gflops
+                );
+                results.push(r);
+            }
+            Err(e) => {
+                eprintln!("FAILED\nnumeric/planning failure: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut t = TextTable::new(&[
+        "shape", "N:M", "ref GF/s", "V1 GF/s", "V2 GF/s", "V3 GF/s", "V1/ref", "V2/V1", "V3/V2",
+        "V3/ref",
+    ]);
+    for r in &results {
+        t.row(&[
+            r.label.to_string(),
+            r.cfg.label(),
+            format!("{:.2}", r.get("reference").gflops),
+            format!("{:.2}", r.get("cpu_v1").gflops),
+            format!("{:.2}", r.get("cpu_v2").gflops),
+            format!("{:.2}", r.get("cpu_v3").gflops),
+            spd(r.speedup_vs_ref("cpu_v1")),
+            spd(r.get("cpu_v1").seconds / r.get("cpu_v2").seconds),
+            spd(r.get("cpu_v2").seconds / r.get("cpu_v3").seconds),
+            spd(r.speedup_vs_ref("cpu_v3")),
+        ]);
+    }
+    println!();
+    t.print();
+
+    let doc = results_to_json(&results, mode, &engine.device().name);
+    let json = doc.dump().expect("results serialize");
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(2);
+    }
+    println!("\nwrote {out}");
+
+    if let Some(path) = check {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read baseline {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let baseline = match JsonValue::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("malformed baseline {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        println!(
+            "checking against {path} (threshold {:.0}%):",
+            threshold * 100.0
+        );
+        let regressions = check_against(&results, &baseline, threshold);
+        if regressions.is_empty() {
+            println!("  no regressions — gate passes");
+        } else {
+            for r in &regressions {
+                eprintln!("  REGRESSION: {r}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

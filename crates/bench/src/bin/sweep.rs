@@ -20,7 +20,7 @@
 use gpu_sim::device::{a100_80g, a100_ncu_locked, rtx3090, rtx4090, DeviceConfig};
 use gpu_sim::energy;
 use nm_bench::{pct, spd, TextTable};
-use nm_kernels::{Engine, NmSpmmKernel, NmVersion};
+use nm_kernels::{BackendKind, Engine, NmSpmmKernel, NmVersion};
 use nm_workloads::gen::{ProblemInstance, ProblemSpec};
 use nm_workloads::levels::{benchmark_levels, label};
 use nm_workloads::llama::LLAMA_FAMILY;
@@ -271,9 +271,11 @@ fn shape_sweep(args: &Args, engine: &mut Engine) {
         let e = if m * n <= 512 * 512 {
             let inst = ProblemInstance::generate(spec, 1);
             let run = engine
-                .run_plan(&plan, &inst.a, &inst.b_sparse)
+                .run_plan(&plan, &inst.a, &inst.b_sparse, BackendKind::Sim)
                 .expect("run");
-            Some(energy::estimate(engine.device(), &run.stats, &run.report))
+            let stats = run.stats.expect("sim backend counts events");
+            let report = run.report.expect("sim backend reports timing");
+            Some(energy::estimate(engine.device(), &stats, &report))
         } else {
             None
         };

@@ -1,0 +1,316 @@
+//! Execution backends: one trait, two ways to run a plan.
+//!
+//! A [`Plan`](crate::plan::Plan) records *what* to run — kernel family and
+//! auto-tuned blocking. [`ExecBackend`] decides *where*:
+//!
+//! * [`SimBackend`] — the original path: the functional face of the
+//!   simulated GPU kernels (tile fills into emulated shared memory,
+//!   index-directed gathers), producing event counts and a timing-model
+//!   report alongside the numerics.
+//! * [`CpuBackend`] — the native path: the paper's V1→V3 ladder executed
+//!   for real on the host ([`crate::cpu`]), with the plan's blocking
+//!   parameters driving the CPU tile sizes.
+//!
+//! Every backend returns an [`ExecRun`]: the computed matrix, the
+//! **measured wall-clock time** of the execution, and the plan's simulated
+//! estimate for the same kernel family, so callers can put model time and
+//! real time side by side. [`BackendKind`] is the cheap copyable selector
+//! [`Engine`](crate::engine::Engine) takes; [`BackendKind::instantiate`]
+//! turns it into a boxed backend for dynamic dispatch.
+
+use nm_core::error::{NmError, Result};
+use nm_core::matrix::MatrixF32;
+use nm_core::sparse::NmSparseMatrix;
+
+use crate::cpu::{spmm_cpu_prepared, CpuPrepared, CpuTiling};
+use crate::nm::{NmSpmmKernel, NmVersion};
+use crate::nmsparse::NmSparseKernel;
+use crate::plan::{EstimateSummary, KernelChoice, Plan};
+use crate::sputnik::SputnikKernel;
+use crate::SimRun;
+use gpu_sim::device::DeviceConfig;
+use std::time::Instant;
+
+/// Which execution backend to run a plan through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// The simulated GPU kernels (functional face + timing model).
+    Sim,
+    /// The native CPU ladder at the given optimization step.
+    Cpu(NmVersion),
+}
+
+impl BackendKind {
+    /// Every backend, simulator first, then the CPU ladder in step order.
+    pub fn all() -> [BackendKind; 4] {
+        [
+            BackendKind::Sim,
+            BackendKind::Cpu(NmVersion::V1),
+            BackendKind::Cpu(NmVersion::V2),
+            BackendKind::Cpu(NmVersion::V3),
+        ]
+    }
+
+    /// Stable identifier (`sim`, `cpu_v1`, `cpu_v2`, `cpu_v3`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackendKind::Sim => "sim",
+            BackendKind::Cpu(NmVersion::V1) => "cpu_v1",
+            BackendKind::Cpu(NmVersion::V2) => "cpu_v2",
+            BackendKind::Cpu(NmVersion::V3) => "cpu_v3",
+        }
+    }
+
+    /// Inverse of [`BackendKind::name`].
+    pub fn from_name(name: &str) -> Result<Self> {
+        Self::all()
+            .into_iter()
+            .find(|b| b.name() == name)
+            .ok_or_else(|| NmError::Persist {
+                reason: format!("unknown backend `{name}`"),
+            })
+    }
+
+    /// Box the backend this selector names.
+    pub fn instantiate(&self) -> Box<dyn ExecBackend> {
+        match self {
+            BackendKind::Sim => Box::new(SimBackend),
+            BackendKind::Cpu(v) => Box::new(CpuBackend::new(*v)),
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BackendKind::Sim => "simulated GPU",
+            BackendKind::Cpu(NmVersion::V1) => "native CPU V1",
+            BackendKind::Cpu(NmVersion::V2) => "native CPU V2",
+            BackendKind::Cpu(NmVersion::V3) => "native CPU V3",
+        })
+    }
+}
+
+/// The result of executing a plan through a backend.
+#[derive(Debug, Clone)]
+pub struct ExecRun {
+    /// The computed matrix `C[m][n]`.
+    pub c: MatrixF32,
+    /// The backend that produced it.
+    pub backend: BackendKind,
+    /// Measured wall-clock seconds of the execution (host time; for the
+    /// simulator this is the cost of the functional emulation, not the
+    /// modeled GPU latency — that lives in `estimate`). The CPU backend's
+    /// offline preparation ([`crate::cpu::CpuPrepared`]) happens before
+    /// the clock starts, so this covers the online kernel only.
+    pub wall_seconds: f64,
+    /// The plan's simulated estimate for the kernel family this backend
+    /// ran (`None` when the plan carries no estimate for it).
+    pub estimate: Option<EstimateSummary>,
+    /// Simulated event counts; only the [`SimBackend`] produces them.
+    pub stats: Option<gpu_sim::KernelStats>,
+    /// The simulated timing-model report; only the [`SimBackend`]
+    /// produces one.
+    pub report: Option<gpu_sim::LaunchReport>,
+}
+
+impl ExecRun {
+    /// Measured useful throughput in GFLOP/s, given the problem's useful
+    /// flop count (`2·m·n·w`).
+    pub fn gflops(&self, useful_flops: f64) -> f64 {
+        useful_flops / self.wall_seconds / 1e9
+    }
+}
+
+/// A way to execute a resolved plan on concrete operands.
+pub trait ExecBackend {
+    /// The selector this backend answers to.
+    fn kind(&self) -> BackendKind;
+
+    /// Execute `C = A ⊛ (B′, D)` under `plan` on `dev`.
+    ///
+    /// Implementations must return structured errors (never panic) when the
+    /// plan's blocking cannot drive this backend.
+    fn run(
+        &self,
+        dev: &DeviceConfig,
+        plan: &Plan,
+        a: &MatrixF32,
+        sb: &NmSparseMatrix,
+    ) -> Result<ExecRun>;
+}
+
+/// The simulated-GPU backend (the pre-existing `Engine::execute` path).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimBackend;
+
+impl ExecBackend for SimBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Sim
+    }
+
+    /// Kernels without a functional face fall back to NM-SpMM V3 with the
+    /// plan's tuned blocking: `Dense` (needs a dense `B` operand) and
+    /// `SparseTc` (analytic model only) — the numerics are identical, only
+    /// the event counts differ from the analytic winner.
+    fn run(
+        &self,
+        dev: &DeviceConfig,
+        plan: &Plan,
+        a: &MatrixF32,
+        sb: &NmSparseMatrix,
+    ) -> Result<ExecRun> {
+        // The family actually executed — for `Dense`/`SparseTc` plans the
+        // fallback runs NM-SpMM V3, and `estimate` must describe the same
+        // family the wall clock measured. Everything below dispatches on
+        // `executed` only.
+        let has_functional_face =
+            matches!(plan.choice, KernelChoice::NmSparse | KernelChoice::Sputnik)
+                || plan.choice.nm_version().is_some();
+        let executed = if has_functional_face {
+            plan.choice
+        } else {
+            KernelChoice::NmV3
+        };
+        let t0 = Instant::now();
+        let SimRun { c, stats, report } = match executed {
+            KernelChoice::NmSparse => NmSparseKernel.run(dev, a, sb),
+            KernelChoice::Sputnik => SputnikKernel.run(dev, a, sb),
+            choice => {
+                let version = choice.nm_version().unwrap_or(NmVersion::V3);
+                NmSpmmKernel::new(version, plan.params).run(dev, a, sb)
+            }
+        }?;
+        let wall_seconds = t0.elapsed().as_secs_f64();
+        Ok(ExecRun {
+            c,
+            backend: BackendKind::Sim,
+            wall_seconds,
+            estimate: plan.estimates.get(executed),
+            stats: Some(stats),
+            report: Some(report),
+        })
+    }
+}
+
+/// The native CPU backend at one step of the V1→V3 ladder.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuBackend {
+    version: NmVersion,
+}
+
+impl CpuBackend {
+    /// Backend for one ladder step.
+    pub fn new(version: NmVersion) -> Self {
+        Self { version }
+    }
+
+    /// The ladder step this backend executes.
+    pub fn version(&self) -> NmVersion {
+        self.version
+    }
+}
+
+impl ExecBackend for CpuBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Cpu(self.version)
+    }
+
+    /// Executes the ladder natively with tile sizes derived from the plan's
+    /// auto-tuned blocking ([`CpuTiling::derive`]). A blocking that cannot
+    /// drive the CPU tiles — e.g. `ns` not a multiple of the operand's
+    /// vector length `L` — is a structured [`NmError::InvalidBlocking`].
+    ///
+    /// The offline staging ([`CpuPrepared`]) runs before the wall clock
+    /// starts, so `wall_seconds` measures the online kernel only — the
+    /// same accounting the paper uses for its `col_info` pre-processing.
+    fn run(
+        &self,
+        _dev: &DeviceConfig,
+        plan: &Plan,
+        a: &MatrixF32,
+        sb: &NmSparseMatrix,
+    ) -> Result<ExecRun> {
+        let tiling = CpuTiling::derive(plan.params, sb.cfg(), sb.k())?;
+        let prep = CpuPrepared::new(self.version, sb, tiling)?;
+        let estimate = plan.estimates.get(match self.version {
+            NmVersion::V1 => KernelChoice::NmV1,
+            NmVersion::V2 => KernelChoice::NmV2,
+            NmVersion::V3 => KernelChoice::NmV3,
+        });
+        let t0 = Instant::now();
+        let c = spmm_cpu_prepared(a, sb, &prep)?;
+        let wall_seconds = t0.elapsed().as_secs_f64();
+        Ok(ExecRun {
+            c,
+            backend: BackendKind::Cpu(self.version),
+            wall_seconds,
+            estimate,
+            stats: None,
+            report: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Planner;
+    use gpu_sim::device::a100_80g;
+    use nm_core::pattern::NmConfig;
+    use nm_core::prune::PrunePolicy;
+    use nm_core::spmm::spmm_reference;
+
+    #[test]
+    fn backend_names_round_trip() {
+        for kind in BackendKind::all() {
+            assert_eq!(BackendKind::from_name(kind.name()).unwrap(), kind);
+            assert_eq!(kind.instantiate().kind(), kind);
+            assert!(!kind.to_string().is_empty());
+        }
+        assert!(BackendKind::from_name("tpu").is_err());
+    }
+
+    #[test]
+    fn every_backend_matches_the_reference() {
+        let dev = a100_80g();
+        let cfg = NmConfig::new(2, 8, 32).unwrap();
+        let plan = Planner::new(dev.clone()).plan(96, 256, 192, cfg).unwrap();
+        let a = MatrixF32::random(96, 192, 11);
+        let b = MatrixF32::random(192, 256, 12);
+        let sb = NmSparseMatrix::prune(&b, cfg, PrunePolicy::Random { seed: 13 }).unwrap();
+        let expect = spmm_reference(&a, &sb);
+        for kind in BackendKind::all() {
+            let run = kind.instantiate().run(&dev, &plan, &a, &sb).unwrap();
+            assert!(
+                run.c.allclose(&expect, 1e-3, 1e-4),
+                "{kind}: max diff {}",
+                run.c.max_abs_diff(&expect)
+            );
+            assert!(run.wall_seconds > 0.0, "{kind}: wall clock must tick");
+            assert_eq!(run.backend, kind);
+            assert_eq!(run.stats.is_some(), kind == BackendKind::Sim);
+            assert_eq!(run.report.is_some(), kind == BackendKind::Sim);
+            assert!(run.estimate.is_some(), "{kind}: NM estimates exist here");
+            assert!(run.gflops(2.0 * 96.0 * 256.0 * 48.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn cpu_backend_rejects_unalignable_blocking_with_structured_error() {
+        // L = 48 divides no autotune candidate, so the plan falls back to
+        // the Para_Init_Table preset whose ns is not a multiple of L; the
+        // CPU backend must refuse with InvalidBlocking, not panic.
+        let dev = a100_80g();
+        let cfg = NmConfig::new(2, 16, 48).unwrap();
+        let plan = Planner::new(dev.clone()).plan(64, 96, 96, cfg).unwrap();
+        assert!(!plan.params.ns.is_multiple_of(48), "setup: preset expected");
+        let a = MatrixF32::random(64, 96, 1);
+        let b = MatrixF32::random(96, 96, 2);
+        let sb = NmSparseMatrix::prune_magnitude(&b, cfg).unwrap();
+        let err = CpuBackend::new(NmVersion::V3)
+            .run(&dev, &plan, &a, &sb)
+            .unwrap_err();
+        assert!(matches!(err, NmError::InvalidBlocking { .. }), "{err}");
+    }
+}

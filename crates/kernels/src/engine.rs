@@ -1,19 +1,18 @@
 //! The execution engine: a [`Planner`] with file-backed persistence and
-//! functional dispatch.
+//! backend dispatch.
 //!
 //! [`Engine`] is the one object bench bins, examples and the layer-sweep
 //! driver hold: it plans through the shared [`PlanCache`], optionally
 //! hydrates that cache from a JSON file at startup and writes it back on
-//! [`Engine::save`], and can execute a problem functionally through
-//! whichever simulated kernel the plan chose. Repeated sweeps over the
-//! same shapes become O(1) lookups; [`Engine::stats`] reports the
-//! hit/miss/entry counts so a sweep can prove its cache behaved.
+//! [`Engine::save`], and can execute a problem through any
+//! [`ExecBackend`](crate::backend::ExecBackend) — the simulated GPU
+//! kernels or the native CPU V1→V3 ladder — with the plan's auto-tuned
+//! blocking driving both. Repeated sweeps over the same shapes become O(1)
+//! lookups; [`Engine::stats`] reports the hit/miss/entry counts so a sweep
+//! can prove its cache behaved.
 
-use crate::nm::{NmSpmmKernel, NmVersion};
-use crate::nmsparse::NmSparseKernel;
-use crate::plan::{KernelChoice, Plan, PlanCache, Planner};
-use crate::sputnik::SputnikKernel;
-use crate::SimRun;
+use crate::backend::{BackendKind, ExecRun};
+use crate::plan::{Plan, PlanCache, Planner};
 use gpu_sim::device::DeviceConfig;
 use nm_core::error::Result;
 use nm_core::matrix::MatrixF32;
@@ -111,37 +110,49 @@ impl Engine {
         }
     }
 
-    /// Plan and functionally execute `C = A ⊛ (B′, D)` through the chosen
-    /// simulated kernel.
-    pub fn execute(&mut self, a: &MatrixF32, sb: &NmSparseMatrix) -> Result<SimRun> {
+    /// Plan and execute `C = A ⊛ (B′, D)` through an **explicit** backend:
+    /// [`BackendKind::Sim`] runs the chosen simulated kernel,
+    /// [`BackendKind::Cpu`] runs the native ladder with the plan's blocking
+    /// driving the CPU tile sizes. The returned [`ExecRun`] carries the
+    /// measured wall-clock time alongside the plan's simulated estimate.
+    ///
+    /// # Errors
+    /// Propagates planning failures, and — for the CPU backend — a
+    /// structured [`nm_core::error::NmError::InvalidBlocking`] (never a
+    /// panic) when the plan's blocking cannot drive the CPU tiles.
+    pub fn execute(
+        &mut self,
+        a: &MatrixF32,
+        sb: &NmSparseMatrix,
+        backend: BackendKind,
+    ) -> Result<ExecRun> {
         let (m, k) = a.shape();
         let n = sb.cols();
         debug_assert_eq!(k, sb.k(), "caller passes matching operands");
         let plan = self.plan(m, n, k, sb.cfg())?;
-        self.run_plan(&plan, a, sb)
+        self.run_plan(&plan, a, sb, backend)
     }
 
-    /// Functionally execute an already computed plan on concrete operands.
+    /// Execute an already computed plan on concrete operands through an
+    /// explicit backend.
     ///
-    /// The operands need not match the plan's shape class — the kernel
-    /// re-derives its grid from the actual dimensions — which lets callers
-    /// (e.g. the layer-sweep driver) plan at full model size but execute a
-    /// scaled-down instance without touching the cache again.
-    ///
-    /// Kernels without a functional face fall back to NM-SpMM V3 with the
-    /// plan's tuned blocking: `Dense` (needs a dense `B` operand) and
-    /// `SparseTc` (analytic model only) — the numerics are identical, only
-    /// the event counts differ from the analytic winner.
-    pub fn run_plan(&self, plan: &Plan, a: &MatrixF32, sb: &NmSparseMatrix) -> Result<SimRun> {
-        let dev = self.planner.device();
-        match plan.choice {
-            KernelChoice::NmSparse => NmSparseKernel.run(dev, a, sb),
-            KernelChoice::Sputnik => SputnikKernel.run(dev, a, sb),
-            choice => {
-                let version = choice.nm_version().unwrap_or(NmVersion::V3);
-                NmSpmmKernel::new(version, plan.params).run(dev, a, sb)
-            }
-        }
+    /// The operands need not match the plan's shape class — every backend
+    /// re-derives its grid/tiling from the actual dimensions — which lets
+    /// callers (e.g. the layer-sweep driver) plan at full model size but
+    /// execute a scaled-down instance without touching the cache again.
+    /// See [`crate::backend::SimBackend`] for the simulator's fallback
+    /// rules and [`crate::backend::CpuBackend`] for the CPU tiling
+    /// derivation; error behavior matches [`Engine::execute`].
+    pub fn run_plan(
+        &self,
+        plan: &Plan,
+        a: &MatrixF32,
+        sb: &NmSparseMatrix,
+        backend: BackendKind,
+    ) -> Result<ExecRun> {
+        backend
+            .instantiate()
+            .run(self.planner.device(), plan, a, sb)
     }
 }
 
@@ -183,16 +194,42 @@ mod tests {
             let a = MatrixF32::random(96, 256, 3);
             let b = MatrixF32::random(256, 128, 4);
             let sb = NmSparseMatrix::prune(&b, cfg, PrunePolicy::Random { seed: 5 }).unwrap();
-            let run = eng.execute(&a, &sb).unwrap();
+            let run = eng.execute(&a, &sb, BackendKind::Sim).unwrap();
             let expect = spmm_reference(&a, &sb);
             assert!(
                 run.c.allclose(&expect, 1e-3, 1e-4),
                 "round {round} {cfg}: max diff {}",
                 run.c.max_abs_diff(&expect)
             );
+            assert!(
+                run.stats.is_some() && run.report.is_some(),
+                "sim backend carries the event counts and timing report"
+            );
         }
         let s = eng.stats();
         assert_eq!((s.entries, s.hits, s.misses), (2, 1, 2));
+    }
+
+    #[test]
+    fn execute_through_every_backend_agrees() {
+        let mut eng = Engine::new(a100_80g());
+        let cfg = NmConfig::new(2, 8, 32).unwrap();
+        let a = MatrixF32::random(64, 128, 6);
+        let b = MatrixF32::random(128, 96, 7);
+        let sb = NmSparseMatrix::prune(&b, cfg, PrunePolicy::Random { seed: 8 }).unwrap();
+        let expect = spmm_reference(&a, &sb);
+        for backend in BackendKind::all() {
+            let run = eng.execute(&a, &sb, backend).unwrap();
+            assert!(
+                run.c.allclose(&expect, 1e-3, 1e-4),
+                "{backend}: max diff {}",
+                run.c.max_abs_diff(&expect)
+            );
+            assert!(run.wall_seconds > 0.0);
+        }
+        // One shape class: a single miss, then three cache hits.
+        let s = eng.stats();
+        assert_eq!((s.entries, s.hits, s.misses), (1, 3, 1));
     }
 
     #[test]

@@ -29,9 +29,22 @@
 //! decision plus the exhaustive autotune once per
 //! `(device, shape class, N:M)` key and memoizes the winning [`plan::Plan`]
 //! in a JSON-serializable [`plan::PlanCache`]; `Engine` adds file-backed
-//! persistence and functional dispatch to the chosen kernel. Bench bins
-//! and the `nm-workloads` layer-sweep driver consume that API instead of
-//! hand-wiring kernel selection.
+//! persistence and dispatch through an explicit execution backend. Bench
+//! bins and the `nm-workloads` layer-sweep driver consume that API instead
+//! of hand-wiring kernel selection.
+//!
+//! ## Execution backends
+//!
+//! A resolved plan can run through more than one substrate
+//! ([`backend::ExecBackend`]):
+//!
+//! * [`backend::SimBackend`] — the functional face of the simulated
+//!   kernels above (numerics + event counts + timing model), and
+//! * [`backend::CpuBackend`] — [`cpu`], a **native** host implementation
+//!   of the same V1→V3 ladder (cache blocking → `col_info` packing →
+//!   double-buffered staging + rayon row panels) whose tile sizes are
+//!   derived from the plan's auto-tuned blocking. This is the measured-
+//!   performance path the `bench_measured` harness sweeps.
 //!
 //! ## Data layout note
 //!
@@ -45,7 +58,9 @@
 #![warn(missing_docs)]
 
 pub mod autotune;
+pub mod backend;
 pub mod common;
+pub mod cpu;
 pub mod dense;
 pub mod engine;
 pub mod nm;
@@ -56,6 +71,8 @@ pub mod sparse_tc;
 pub mod sputnik;
 
 pub use autotune::{tune, TuneResult};
+pub use backend::{BackendKind, CpuBackend, ExecBackend, ExecRun, SimBackend};
+pub use cpu::{spmm_cpu, spmm_cpu_prepared, CpuPrepared, CpuTiling};
 pub use dense::DenseGemmKernel;
 pub use engine::{CacheStats, Engine};
 pub use nm::{NmSpmmKernel, NmVersion};

@@ -38,7 +38,7 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// The step-wise optimization ladder of §IV-B.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum NmVersion {
     /// Hierarchical blocking mechanism (Listings 1–2).
     V1,

@@ -20,6 +20,7 @@ use nm_core::matrix::MatrixF32;
 use nm_core::parallel::{gemm_parallel, spmm_parallel, CpuSpmmOptions, Strategy};
 use nm_core::pattern::NmConfig;
 use nm_core::sparse::NmSparseMatrix;
+use nm_kernels::backend::BackendKind;
 use nm_kernels::engine::Engine;
 use nm_kernels::plan::Plan;
 use std::time::Instant;
@@ -239,7 +240,7 @@ pub fn sweep_model(
             let cpu_dense_ms = t0.elapsed().as_secs_f64() * 1e3;
 
             // Simulated kernel, functional face.
-            let run = engine.run_plan(&row.plan, &a, &sb)?;
+            let run = engine.run_plan(&row.plan, &a, &sb, BackendKind::Sim)?;
             row.exec = Some(ExecReport {
                 m: me,
                 n: ne,

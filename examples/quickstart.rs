@@ -9,7 +9,7 @@ use nm_spmm::analysis::strategy::Strategy;
 use nm_spmm::core::confusion;
 use nm_spmm::core::parallel::{spmm_parallel, CpuSpmmOptions};
 use nm_spmm::core::spmm::{gemm_reference, spmm_reference};
-use nm_spmm::kernels::{DenseGemmKernel, NmSpmmKernel, NmVersion};
+use nm_spmm::kernels::{BackendKind, DenseGemmKernel, Engine, NmSpmmKernel, NmVersion};
 use nm_spmm::prelude::*;
 
 fn main() {
@@ -81,4 +81,22 @@ fn main() {
         d.predicted_bound,
     );
     let _ = Strategy::transition_sparsity(&dev, 64, 128, plan.blocking.ks);
+
+    // 7. Or let the engine own everything: plan once (strategy + autotune,
+    //    memoized), then run the same plan through any execution backend —
+    //    the simulator, or the native CPU V1→V3 ladder with measured wall
+    //    clocks.
+    let mut engine = Engine::new(a100_80g());
+    for backend in BackendKind::all() {
+        let run = engine.execute(&a, &sb, backend).expect("execute");
+        assert!(run.c.allclose(&oracle, 1e-3, 1e-4), "{backend} disagrees");
+        println!(
+            "{backend:>14}: {:.2} ms wall{}",
+            run.wall_seconds * 1e3,
+            run.estimate
+                .map(|e| format!(", {:.3} ms simulated estimate", e.seconds * 1e3))
+                .unwrap_or_default(),
+        );
+    }
+    println!("plan cache: {}", engine.stats());
 }

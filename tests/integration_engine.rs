@@ -5,7 +5,7 @@
 
 use nm_spmm::core::spmm::spmm_reference;
 use nm_spmm::kernels::plan::{PlanCache, PlanKey, Planner};
-use nm_spmm::kernels::Engine;
+use nm_spmm::kernels::{BackendKind, Engine};
 use nm_spmm::prelude::*;
 use nm_spmm::sim::device::{a100_80g, paper_devices, rtx3090};
 use nm_spmm::workloads::llama::LLAMA_FAMILY;
@@ -121,7 +121,7 @@ fn sweep_through_engine_executes_and_caches() {
 }
 
 #[test]
-fn engine_execution_matches_reference() {
+fn engine_execution_matches_reference_on_every_backend() {
     let mut engine = Engine::new(a100_80g());
     for cfg in [
         NmConfig::new(8, 16, 32).unwrap(),
@@ -130,13 +130,16 @@ fn engine_execution_matches_reference() {
         let a = MatrixF32::random(64, 192, 41);
         let b = MatrixF32::random(192, 96, 42);
         let sb = NmSparseMatrix::prune_magnitude(&b, cfg).unwrap();
-        let run = engine.execute(&a, &sb).unwrap();
         let expect = spmm_reference(&a, &sb);
-        assert!(
-            run.c.allclose(&expect, 1e-3, 1e-4),
-            "{cfg}: max diff {}",
-            run.c.max_abs_diff(&expect)
-        );
+        for backend in BackendKind::all() {
+            let run = engine.execute(&a, &sb, backend).unwrap();
+            assert!(
+                run.c.allclose(&expect, 1e-3, 1e-4),
+                "{cfg} via {backend}: max diff {}",
+                run.c.max_abs_diff(&expect)
+            );
+            assert!(run.wall_seconds > 0.0, "{backend} must report wall time");
+        }
     }
 }
 
