@@ -19,7 +19,14 @@
 //! ```
 //!
 //! Exit codes: `0` success, `1` regression against the baseline,
-//! `2` usage / numeric-mismatch / I/O failure.
+//! `2` usage / numeric-mismatch / I/O failure — including a `--threshold`
+//! outside the open interval `(0, 1)` and an `NM_SPMM_ISA` override this
+//! host cannot execute.
+//!
+//! The run records which micro-kernel ISA the CPU ladder dispatched to
+//! (top-level `isa` field plus one per CPU kernel entry in the JSON);
+//! `NM_SPMM_FORCE_SCALAR=1` forces the scalar tile so CI can A/B the SIMD
+//! and scalar paths on the same host.
 
 use gpu_sim::device::a100_80g;
 use nm_bench::{spd, TextTable};
@@ -29,7 +36,7 @@ use nm_core::pattern::NmConfig;
 use nm_core::prune::PrunePolicy;
 use nm_core::sparse::NmSparseMatrix;
 use nm_core::spmm::spmm_reference;
-use nm_kernels::{spmm_cpu_prepared, CpuPrepared, CpuTiling, Engine, NmVersion};
+use nm_kernels::{spmm_cpu_prepared, CpuPrepared, CpuTiling, Engine, Isa, MicroKernel, NmVersion};
 use std::time::Instant;
 
 /// One benchmarked problem.
@@ -144,6 +151,9 @@ fn time_best<F: FnMut() -> f64>(mut run_once: F) -> f64 {
 struct KernelResult {
     seconds: f64,
     gflops: f64,
+    /// The micro-kernel ISA the run dispatched to; `None` for the scalar
+    /// reference (it has no micro-kernel).
+    isa: Option<Isa>,
 }
 
 struct ShapeResult {
@@ -171,7 +181,12 @@ impl ShapeResult {
     }
 }
 
-fn bench_shape(engine: &mut Engine, shape: &Shape, seed: u64) -> Result<ShapeResult, String> {
+fn bench_shape(
+    engine: &mut Engine,
+    shape: &Shape,
+    seed: u64,
+    kernel: MicroKernel,
+) -> Result<ShapeResult, String> {
     let Shape { label, m, n, k, .. } = *shape;
     let c = shape.cfg;
     let plan = engine
@@ -200,6 +215,7 @@ fn bench_shape(engine: &mut Engine, shape: &Shape, seed: u64) -> Result<ShapeRes
         KernelResult {
             seconds: ref_s,
             gflops: useful / ref_s / 1e9,
+            isa: None,
         },
     )];
 
@@ -214,7 +230,10 @@ fn bench_shape(engine: &mut Engine, shape: &Shape, seed: u64) -> Result<ShapeRes
         ("cpu_v2", NmVersion::V2),
         ("cpu_v3", NmVersion::V3),
     ] {
-        let prep = CpuPrepared::new(version, &sb, tiling)
+        // The one kernel `main` resolved drives every preparation, so the
+        // document's top-level `isa` and the per-kernel entries agree by
+        // construction rather than by repeated env parsing.
+        let prep = CpuPrepared::with_kernel(version, &sb, tiling, kernel)
             .map_err(|e| format!("{label}: {name} preparation failed: {e}"))?;
         let mut out = None;
         let mut failure = None;
@@ -247,6 +266,7 @@ fn bench_shape(engine: &mut Engine, shape: &Shape, seed: u64) -> Result<ShapeRes
             KernelResult {
                 seconds: secs,
                 gflops: useful / secs / 1e9,
+                isa: Some(prep.isa()),
             },
         ));
     }
@@ -261,7 +281,7 @@ fn bench_shape(engine: &mut Engine, shape: &Shape, seed: u64) -> Result<ShapeRes
     })
 }
 
-fn results_to_json(results: &[ShapeResult], mode: &str, device: &str) -> JsonValue {
+fn results_to_json(results: &[ShapeResult], mode: &str, device: &str, isa: Isa) -> JsonValue {
     let shapes = results
         .iter()
         .map(|r| {
@@ -273,6 +293,9 @@ fn results_to_json(results: &[ShapeResult], mode: &str, device: &str) -> JsonVal
                         ("seconds", JsonValue::Number(kr.seconds)),
                         ("gflops", JsonValue::Number(kr.gflops)),
                     ];
+                    if let Some(isa) = kr.isa {
+                        fields.push(("isa", JsonValue::from_str_value(isa.name())));
+                    }
                     if *name != "reference" {
                         fields.push(("speedup_vs_ref", JsonValue::Number(r.speedup_vs_ref(name))));
                     }
@@ -315,6 +338,7 @@ fn results_to_json(results: &[ShapeResult], mode: &str, device: &str) -> JsonVal
         ("version", JsonValue::from_usize(1)),
         ("mode", JsonValue::from_str_value(mode)),
         ("plan_device", JsonValue::from_str_value(device)),
+        ("isa", JsonValue::from_str_value(isa.name())),
         (
             "threads",
             JsonValue::from_usize(std::thread::available_parallelism().map_or(1, |p| p.get())),
@@ -329,13 +353,32 @@ fn results_to_json(results: &[ShapeResult], mode: &str, device: &str) -> JsonVal
 /// The gated metric is each CPU kernel's **speedup over the same-run
 /// reference** (`speedup_vs_ref`), not absolute GFLOP/s: the ratio divides
 /// out the host's per-core throughput, so a baseline recorded on one
-/// machine remains meaningful on a different CI runner. Shapes or kernels
-/// the baseline does not know are skipped, but a check that ends up
-/// comparing **nothing** is itself a failure — otherwise a renamed shape
-/// set would silently disarm the gate.
-fn check_against(results: &[ShapeResult], baseline: &JsonValue, threshold: f64) -> Vec<String> {
+/// machine remains meaningful on a different CI runner — **provided both
+/// ran the same micro-kernel ISA**. SIMD dispatch inflates the CPU
+/// kernels but not the scalar reference, so an avx512-recorded ratio is
+/// meaningless on an avx2-only runner; entries whose baseline `isa`
+/// disagrees with the measured one are skipped with a note instead of
+/// producing spurious regressions (CI additionally pins the gated run's
+/// ISA so this stays a safety net, not the common path). Shapes or
+/// kernels the baseline does not know are likewise skipped, but a check
+/// that ends up comparing **nothing** is itself a failure — otherwise a
+/// renamed shape set would silently disarm the gate — *unless* everything
+/// was skipped for ISA mismatch under **native** dispatch, which is a
+/// hardware difference, not a stale baseline. When the run's ISA was
+/// explicitly pinned (`isa_pinned`, i.e. `NM_SPMM_ISA` /
+/// `NM_SPMM_FORCE_SCALAR` was set), an all-skipped comparison means the
+/// pin and the baseline disagree — a configuration error that must fail,
+/// or a forgotten pin during baseline regeneration would disarm CI's
+/// gate permanently and silently.
+fn check_against(
+    results: &[ShapeResult],
+    baseline: &JsonValue,
+    threshold: f64,
+    isa_pinned: bool,
+) -> Vec<String> {
     let mut regressions = Vec::new();
     let mut compared = 0usize;
+    let mut isa_skipped = 0usize;
     let Some(base_shapes) = baseline.get("shapes").and_then(|s| s.as_array()) else {
         return vec!["baseline has no `shapes` array".into()];
     };
@@ -350,17 +393,33 @@ fn check_against(results: &[ShapeResult], baseline: &JsonValue, threshold: f64) 
         let Ok(base_kernels) = base.field("kernels") else {
             continue;
         };
-        for (name, _) in &r.kernels {
+        for (name, kr) in &r.kernels {
             if *name == "reference" {
                 continue; // the reference *is* the normalizer
             }
-            let Some(base_speedup) = base_kernels
-                .get(name)
-                .and_then(|k| k.get("speedup_vs_ref"))
-                .and_then(|v| v.as_f64())
+            let Some(base_kernel) = base_kernels.get(name) else {
+                continue;
+            };
+            let Some(base_speedup) = base_kernel.get("speedup_vs_ref").and_then(|v| v.as_f64())
             else {
                 continue;
             };
+            // A baseline recorded under a different micro-kernel ISA is
+            // not comparable; a baseline without an isa field (pre-dispatch
+            // format) is compared as before.
+            let base_isa = base_kernel.get("isa").and_then(|v| v.as_str());
+            let measured_isa = kr.isa.map(|i| i.name());
+            if let (Some(b), Some(m)) = (base_isa, measured_isa) {
+                if b != m {
+                    println!(
+                        "  (baseline {} / {name} was recorded with the {b} \
+                         micro-kernel; this run used {m} — skipped)",
+                        r.label
+                    );
+                    isa_skipped += 1;
+                    continue;
+                }
+            }
             compared += 1;
             let measured = r.speedup_vs_ref(name);
             let floor = base_speedup * (1.0 - threshold);
@@ -375,11 +434,26 @@ fn check_against(results: &[ShapeResult], baseline: &JsonValue, threshold: f64) 
         }
     }
     if compared == 0 {
-        regressions.push(
-            "no (shape, kernel) pair overlaps the baseline — the gate compared nothing; \
-             regenerate BENCH_baseline.json for the current shape set"
-                .into(),
-        );
+        if isa_skipped > 0 && isa_pinned {
+            regressions.push(format!(
+                "every (shape, kernel) pair was skipped for ISA mismatch while the \
+                 run's ISA was explicitly pinned — the pin and the baseline disagree; \
+                 regenerate BENCH_baseline.json under the same NM_SPMM_ISA pin \
+                 ({isa_skipped} pairs skipped)"
+            ));
+        } else if isa_skipped > 0 {
+            println!(
+                "  WARNING: every (shape, kernel) pair was skipped for ISA mismatch — \
+                 the gate is disarmed on this hardware; regenerate BENCH_baseline.json \
+                 under this runner's ISA (or pin NM_SPMM_ISA) to re-arm it"
+            );
+        } else {
+            regressions.push(
+                "no (shape, kernel) pair overlaps the baseline — the gate compared nothing; \
+                 regenerate BENCH_baseline.json for the current shape set"
+                    .into(),
+            );
+        }
     }
     regressions
 }
@@ -387,9 +461,23 @@ fn check_against(results: &[ShapeResult], baseline: &JsonValue, threshold: f64) 
 fn usage() -> ! {
     eprintln!(
         "usage: bench_measured [--quick] [--out PATH] [--check-against PATH] \
-         [--threshold F] [--seed N]"
+         [--threshold F] [--seed N]\n\
+         \n\
+         --threshold F   allowed fractional regression of speedup-vs-reference,\n\
+         \u{20}                strictly between 0 and 1 (default 0.25 = 25%)\n\
+         \n\
+         environment: NM_SPMM_ISA=scalar|avx2|avx512|neon|native and\n\
+         NM_SPMM_FORCE_SCALAR=1 override the micro-kernel ISA dispatch"
     );
     std::process::exit(2);
+}
+
+/// A regression threshold is a *fraction* of the baseline speedup: 0 (or
+/// less) would fail on measurement noise alone, and 1 (or more) can never
+/// fire — `floor = base · (1 − t)` hits zero — so both ends are rejected
+/// rather than silently arming a nonsense gate.
+fn threshold_is_valid(t: f64) -> bool {
+    t.is_finite() && t > 0.0 && t < 1.0
 }
 
 fn main() {
@@ -430,16 +518,31 @@ fn main() {
         }
         i += 1;
     }
+    if !threshold_is_valid(threshold) {
+        eprintln!("--threshold {threshold} is outside (0, 1)");
+        usage();
+    }
 
     let shapes = if quick { quick_shapes() } else { full_shapes() };
     let mode = if quick { "quick" } else { "full" };
+    // The micro-kernel the runs below will dispatch to (honoring the
+    // NM_SPMM_* overrides); resolving it here surfaces a bad override as
+    // a usage error before any benchmarking starts.
+    let kernel = match MicroKernel::select() {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("micro-kernel selection failed: {e}");
+            std::process::exit(2);
+        }
+    };
     // Plans come from the A100 model: the auto-tuned blocking (not the
     // timing estimate) is what drives the CPU tile sizes.
     let mut engine = Engine::new(a100_80g());
 
     println!(
-        "== measured CPU ladder ({mode} mode, {} shapes) ==\n",
-        shapes.len()
+        "== measured CPU ladder ({mode} mode, {} shapes, {} micro-kernel) ==\n",
+        shapes.len(),
+        kernel.isa()
     );
     let mut results = Vec::new();
     for shape in &shapes {
@@ -453,7 +556,7 @@ fn main() {
         );
         use std::io::Write as _;
         let _ = std::io::stdout().flush();
-        match bench_shape(&mut engine, shape, seed) {
+        match bench_shape(&mut engine, shape, seed, kernel) {
             Ok(r) => {
                 println!(
                     "ref {:.3}s  V3 {} ({:.2} GFLOP/s)",
@@ -491,7 +594,7 @@ fn main() {
     println!();
     t.print();
 
-    let doc = results_to_json(&results, mode, &engine.device().name);
+    let doc = results_to_json(&results, mode, &engine.device().name, kernel.isa());
     let json = doc.dump().expect("results serialize");
     if let Err(e) = std::fs::write(&out, &json) {
         eprintln!("cannot write {out}: {e}");
@@ -518,7 +621,13 @@ fn main() {
             "checking against {path} (threshold {:.0}%):",
             threshold * 100.0
         );
-        let regressions = check_against(&results, &baseline, threshold);
+        // Whether the run's ISA came from an explicit override rather than
+        // native dispatch — it decides how an all-ISA-mismatch comparison
+        // is judged (configuration error vs hardware difference). Spelled
+        // out defaults (NM_SPMM_ISA=native, NM_SPMM_FORCE_SCALAR=0) count
+        // as native dispatch, matching what select() actually did.
+        let isa_pinned = MicroKernel::env_pins_isa();
+        let regressions = check_against(&results, &baseline, threshold, isa_pinned);
         if regressions.is_empty() {
             println!("  no regressions — gate passes");
         } else {
@@ -527,5 +636,164 @@ fn main() {
             }
             std::process::exit(1);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One shape whose `cpu_v3` ran `v3_seconds` against a 1-second
+    /// reference (powers of two keep the speedup arithmetic exact).
+    fn result_with_v3_seconds(v3_seconds: f64) -> ShapeResult {
+        ShapeResult {
+            label: "A-512-75",
+            m: 512,
+            n: 512,
+            k: 512,
+            cfg: NmConfig::new(2, 8, 32).unwrap(),
+            kernels: vec![
+                (
+                    "reference",
+                    KernelResult {
+                        seconds: 1.0,
+                        gflops: 1.0,
+                        isa: None,
+                    },
+                ),
+                (
+                    "cpu_v3",
+                    KernelResult {
+                        seconds: v3_seconds,
+                        gflops: 1.0 / v3_seconds,
+                        isa: Some(Isa::Scalar),
+                    },
+                ),
+            ],
+        }
+    }
+
+    fn baseline(label: &str, speedup: f64) -> JsonValue {
+        JsonValue::parse(&format!(
+            r#"{{"shapes": [{{"label": "{label}",
+                 "kernels": {{"cpu_v3": {{"speedup_vs_ref": {speedup}}}}}}}]}}"#
+        ))
+        .unwrap()
+    }
+
+    fn baseline_with_isa(label: &str, speedup: f64, isa: &str) -> JsonValue {
+        JsonValue::parse(&format!(
+            r#"{{"shapes": [{{"label": "{label}",
+                 "kernels": {{"cpu_v3": {{"speedup_vs_ref": {speedup},
+                                          "isa": "{isa}"}}}}}}]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn threshold_bounds_are_exclusive() {
+        assert!(threshold_is_valid(0.25));
+        assert!(threshold_is_valid(1e-9));
+        assert!(threshold_is_valid(0.999));
+        assert!(!threshold_is_valid(0.0), "0 fails on noise alone");
+        assert!(!threshold_is_valid(1.0), "1 can never fire");
+        assert!(!threshold_is_valid(-0.5));
+        assert!(!threshold_is_valid(1.5));
+        assert!(!threshold_is_valid(f64::NAN));
+        assert!(!threshold_is_valid(f64::INFINITY));
+    }
+
+    #[test]
+    fn floor_boundary_is_exclusive() {
+        // Baseline 4x, threshold 0.5 → floor = 2x, all exactly
+        // representable. A measured speedup exactly AT the floor passes
+        // (the gate fires on `measured < floor`, strictly)...
+        let at_floor = result_with_v3_seconds(0.5); // speedup exactly 2.0
+        assert!(
+            check_against(&[at_floor], &baseline("A-512-75", 4.0), 0.5, false).is_empty(),
+            "measured == floor must pass"
+        );
+        // ...and one representable step below it fails.
+        let below = result_with_v3_seconds(0.512); // speedup 1.953125
+        let regressions = check_against(&[below], &baseline("A-512-75", 4.0), 0.5, false);
+        assert_eq!(regressions.len(), 1, "measured < floor must fail");
+        assert!(regressions[0].contains("cpu_v3"));
+    }
+
+    #[test]
+    fn tiny_threshold_arms_a_tight_gate() {
+        // threshold → 0 means the floor sits just under the baseline.
+        let r = result_with_v3_seconds(0.25); // 4.0x measured
+        assert!(check_against(&[r], &baseline("A-512-75", 4.0), 1e-9, false).is_empty());
+        let r = result_with_v3_seconds(0.251); // fractionally slower
+        assert_eq!(
+            check_against(&[r], &baseline("A-512-75", 4.0), 1e-9, false).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn empty_overlap_is_itself_a_failure() {
+        let r = result_with_v3_seconds(0.5);
+        let regressions = check_against(&[r], &baseline("renamed-shape", 4.0), 0.25, false);
+        assert_eq!(regressions.len(), 1);
+        assert!(regressions[0].contains("compared nothing"));
+    }
+
+    #[test]
+    fn isa_mismatch_skips_instead_of_spuriously_regressing() {
+        // The measured run (scalar, 2.0x) would regress hard against an
+        // avx512-recorded 8x baseline — but that ratio is not comparable
+        // across ISAs, so the pair is skipped; with nothing else to
+        // compare the gate disarms with a warning rather than failing.
+        let r = result_with_v3_seconds(0.5);
+        let regressions = check_against(
+            &[r],
+            &baseline_with_isa("A-512-75", 8.0, "avx512"),
+            0.25,
+            false,
+        );
+        assert!(
+            regressions.is_empty(),
+            "cross-ISA ratios must not gate: {regressions:?}"
+        );
+    }
+
+    #[test]
+    fn all_skipped_under_an_explicit_pin_is_a_configuration_failure() {
+        // Same mismatch as above, but the run's ISA was pinned via env:
+        // the pin and the baseline disagree, which must fail loudly —
+        // otherwise a baseline regenerated without the CI pin would
+        // permanently disarm the gate.
+        let r = result_with_v3_seconds(0.5);
+        let regressions = check_against(
+            &[r],
+            &baseline_with_isa("A-512-75", 8.0, "avx512"),
+            0.25,
+            true,
+        );
+        assert_eq!(regressions.len(), 1);
+        assert!(regressions[0].contains("explicitly pinned"));
+    }
+
+    #[test]
+    fn matching_isa_still_gates() {
+        let r = result_with_v3_seconds(0.5); // scalar, 2.0x
+        let regressions = check_against(
+            &[r],
+            &baseline_with_isa("A-512-75", 8.0, "scalar"),
+            0.25,
+            false,
+        );
+        assert_eq!(regressions.len(), 1, "same-ISA regressions must fire");
+    }
+
+    #[test]
+    fn legacy_baseline_without_isa_still_gates() {
+        // Pre-dispatch baselines carry no isa field; they keep gating as
+        // before rather than being silently skipped.
+        let r = result_with_v3_seconds(0.5); // 2.0x
+        let regressions = check_against(&[r], &baseline("A-512-75", 8.0), 0.25, false);
+        assert_eq!(regressions.len(), 1);
     }
 }

@@ -42,6 +42,13 @@ pub enum NmError {
         /// Human-readable reason for the failure.
         reason: String,
     },
+    /// A capability the current host (or build target) does not provide —
+    /// e.g. requesting the AVX-512 micro-kernel on a machine without
+    /// `avx512f`, or the NEON kernel on x86.
+    Unsupported {
+        /// Human-readable reason for the rejection.
+        reason: String,
+    },
 }
 
 impl fmt::Display for NmError {
@@ -65,6 +72,9 @@ impl fmt::Display for NmError {
             }
             NmError::Persist { reason } => {
                 write!(f, "persistence failure: {reason}")
+            }
+            NmError::Unsupported { reason } => {
+                write!(f, "unsupported on this host: {reason}")
             }
         }
     }
@@ -112,6 +122,11 @@ mod tests {
             reason: "cache file truncated".into(),
         };
         assert!(e.to_string().contains("cache file truncated"));
+
+        let e = NmError::Unsupported {
+            reason: "avx512 micro-kernel needs avx512f".into(),
+        };
+        assert!(e.to_string().contains("avx512f"));
     }
 
     #[test]

@@ -26,6 +26,7 @@ use crate::cpu::{spmm_cpu_prepared, CpuPrepared, CpuTiling};
 use crate::nm::{NmSpmmKernel, NmVersion};
 use crate::nmsparse::NmSparseKernel;
 use crate::plan::{EstimateSummary, KernelChoice, Plan};
+use crate::simd::Isa;
 use crate::sputnik::SputnikKernel;
 use crate::SimRun;
 use gpu_sim::device::DeviceConfig;
@@ -107,6 +108,11 @@ pub struct ExecRun {
     /// The plan's simulated estimate for the kernel family this backend
     /// ran (`None` when the plan carries no estimate for it).
     pub estimate: Option<EstimateSummary>,
+    /// The instruction set the micro-kernel executed with; only the
+    /// [`CpuBackend`] selects one (runtime dispatch, see
+    /// [`crate::simd::MicroKernel`]) — the simulator has no host ISA to
+    /// report.
+    pub isa: Option<Isa>,
     /// Simulated event counts; only the [`SimBackend`] produces them.
     pub stats: Option<gpu_sim::KernelStats>,
     /// The simulated timing-model report; only the [`SimBackend`]
@@ -187,6 +193,7 @@ impl ExecBackend for SimBackend {
             backend: BackendKind::Sim,
             wall_seconds,
             estimate: plan.estimates.get(executed),
+            isa: None,
             stats: Some(stats),
             report: Some(report),
         })
@@ -217,7 +224,9 @@ impl ExecBackend for CpuBackend {
     }
 
     /// Executes the ladder natively with tile sizes derived from the plan's
-    /// auto-tuned blocking ([`CpuTiling::derive`]). A blocking that cannot
+    /// auto-tuned blocking ([`CpuTiling::derive`]) and the micro-kernel
+    /// selected once by [`crate::simd::MicroKernel::select`] (the chosen
+    /// ISA is reported in [`ExecRun::isa`]). A blocking that cannot
     /// drive the CPU tiles — e.g. `ns` not a multiple of the operand's
     /// vector length `L` — is a structured [`NmError::InvalidBlocking`].
     ///
@@ -246,6 +255,7 @@ impl ExecBackend for CpuBackend {
             backend: BackendKind::Cpu(self.version),
             wall_seconds,
             estimate,
+            isa: Some(prep.isa()),
             stats: None,
             report: None,
         })
@@ -291,6 +301,14 @@ mod tests {
             assert_eq!(run.backend, kind);
             assert_eq!(run.stats.is_some(), kind == BackendKind::Sim);
             assert_eq!(run.report.is_some(), kind == BackendKind::Sim);
+            // The CPU backend reports which micro-kernel ISA ran; the
+            // simulator has none. Whatever was selected must be a
+            // host-supported ISA — dispatch can never name an ISA the
+            // host cannot execute.
+            assert_eq!(run.isa.is_some(), kind != BackendKind::Sim, "{kind}");
+            if let Some(isa) = run.isa {
+                assert!(isa.supported(), "{kind}: selected ISA must run here");
+            }
             assert!(run.estimate.is_some(), "{kind}: NM estimates exist here");
             assert!(run.gflops(2.0 * 96.0 * 256.0 * 48.0) > 0.0);
         }

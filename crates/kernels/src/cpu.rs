@@ -9,8 +9,10 @@
 //!   block-contiguous layout (the CPU analogue of the paper's
 //!   `transformLayout` + shared-memory `Bs` tile): each `(k-block,
 //!   column-block)` pair becomes one dense `ub×nb` panel the inner loop
-//!   streams sequentially. Full 16-float window chunks run through a
-//!   register-resident 4×16 micro-tile ([`micro4x16`]); ragged edges take a
+//!   streams sequentially. Full 16- (or 32-) float window chunks run
+//!   through an explicitly vectorized register micro-tile
+//!   ([`crate::simd::MicroKernel`] — AVX2/AVX-512/NEON selected once at
+//!   preparation time, scalar fallback elsewhere); ragged edges take a
 //!   general scalar path.
 //! * **V2 — sparsity-aware packing** ([`NmVersion::V2`]): above the 70%
 //!   sparsity threshold, each `(k-block, column-block)` pair additionally
@@ -42,16 +44,12 @@ use rayon::prelude::*;
 
 use crate::nm::NmVersion;
 use crate::params::BlockingParams;
+use crate::simd::{Isa, MicroKernel, MW, NW, NW2};
 
 /// Cache-capacity target for one staged `B′` block (`ub × nb` floats): the
 /// k-depth [`CpuTiling::derive`] picks keeps the block within this many
 /// bytes so it survives in cache across the panel's row tiles.
 const B_BLOCK_BYTES: usize = 64 * 1024;
-
-/// Column width of the register micro-tile (one [`micro4x16`] chunk).
-const NW: usize = 16;
-/// Row depth of the register micro-tile.
-const MW: usize = 4;
 
 /// Whether the CPU ladder's V2/V3 take the packed data path for `cfg` —
 /// exactly the paper's §III-A rule: sparsity at or above
@@ -152,6 +150,9 @@ fn lcm(a: usize, b: usize) -> usize {
 pub struct CpuPrepared {
     version: NmVersion,
     tiling: CpuTiling,
+    /// The micro-kernel selected for this preparation — runtime ISA
+    /// detection happens exactly once, here, never inside the hot loop.
+    kernel: MicroKernel,
     /// Shape/config fingerprint of the operand this was prepared for.
     /// `(cfg, w, n, k)` catches shape and sparsity-pattern-class mixups;
     /// a *different* matrix with identical shape and config is
@@ -166,12 +167,31 @@ pub struct CpuPrepared {
 }
 
 impl CpuPrepared {
-    /// Validate `tiling` against `sb` and run the offline staging.
+    /// Validate `tiling` against `sb` and run the offline staging, with
+    /// the micro-kernel chosen by [`MicroKernel::select`] (widest ISA the
+    /// host supports, honoring the `NM_SPMM_ISA` / `NM_SPMM_FORCE_SCALAR`
+    /// environment overrides).
+    ///
+    /// # Errors
+    /// [`NmError::InvalidBlocking`] when the tiling is not window-aligned
+    /// for `sb`'s configuration, and [`NmError::Unsupported`] when an
+    /// environment override requests an ISA this host cannot execute.
+    pub fn new(version: NmVersion, sb: &NmSparseMatrix, tiling: CpuTiling) -> Result<Self> {
+        Self::with_kernel(version, sb, tiling, MicroKernel::select()?)
+    }
+
+    /// As [`CpuPrepared::new`] but with an explicit micro-kernel — the
+    /// hook the parity suites use to A/B every compiled ISA on one host.
     ///
     /// # Errors
     /// [`NmError::InvalidBlocking`] when the tiling is not window-aligned
     /// for `sb`'s configuration.
-    pub fn new(version: NmVersion, sb: &NmSparseMatrix, tiling: CpuTiling) -> Result<Self> {
+    pub fn with_kernel(
+        version: NmVersion,
+        sb: &NmSparseMatrix,
+        tiling: CpuTiling,
+        kernel: MicroKernel,
+    ) -> Result<Self> {
         let cfg = sb.cfg();
         if tiling.mb == 0 || tiling.mt == 0 {
             return Err(NmError::InvalidBlocking {
@@ -220,6 +240,7 @@ impl CpuPrepared {
         Ok(Self {
             version,
             tiling,
+            kernel,
             cfg,
             w: sb.w(),
             n,
@@ -238,6 +259,17 @@ impl CpuPrepared {
     pub fn tiling(&self) -> CpuTiling {
         self.tiling
     }
+
+    /// The instruction set the selected micro-kernel executes — what
+    /// [`ExecRun`](crate::backend::ExecRun) and `BENCH_pr.json` record.
+    pub fn isa(&self) -> Isa {
+        self.kernel.isa()
+    }
+
+    /// The selected micro-kernel.
+    pub fn kernel(&self) -> MicroKernel {
+        self.kernel
+    }
 }
 
 /// Execute `C = A ⊛ (B′, D)` natively on the CPU at the given ladder step.
@@ -250,9 +282,10 @@ impl CpuPrepared {
 /// prepare once and call [`spmm_cpu_prepared`].
 ///
 /// # Errors
-/// [`NmError::DimensionMismatch`] when `a.cols() != sb.k()`, and
+/// [`NmError::DimensionMismatch`] when `a.cols() != sb.k()`,
 /// [`NmError::InvalidBlocking`] when `tiling` is not window-aligned for
-/// `sb`'s configuration.
+/// `sb`'s configuration, and [`NmError::Unsupported`] when an environment
+/// override requests an ISA this host cannot execute.
 pub fn spmm_cpu(
     version: NmVersion,
     a: &MatrixF32,
@@ -302,6 +335,7 @@ pub fn spmm_cpu_prepared(
     }
     let tiling = prep.tiling;
     let double_buffer = prep.version == NmVersion::V3;
+    let mk = prep.kernel;
 
     match prep.version {
         // V3: rayon row panels (each owns its scratch and staging buffers).
@@ -316,6 +350,7 @@ pub fn spmm_cpu_prepared(
                         &tiling,
                         &prep.staged,
                         prep.packed.as_ref(),
+                        mk,
                         double_buffer,
                         panel * tiling.mb,
                         c_panel,
@@ -331,6 +366,7 @@ pub fn spmm_cpu_prepared(
                     &tiling,
                     &prep.staged,
                     prep.packed.as_ref(),
+                    mk,
                     false,
                     panel * tiling.mb,
                     c_panel,
@@ -400,7 +436,14 @@ impl StagedB {
 /// Where the micro-kernel gathers its `A` operands from.
 enum RowSource<'a> {
     /// V1 / moderate sparsity: straight out of the dense `A` rows.
-    Direct { a: &'a [f32], k: usize, i0: usize },
+    Direct {
+        a: &'a [f32],
+        k: usize,
+        i0: usize,
+        /// `k` rounded up to the window depth `M`: the exclusive bound a
+        /// gather index may legitimately reach in the padded final window.
+        k_pad: usize,
+    },
     /// V2/V3 high sparsity: out of the packed per-block `A` panel.
     Packed { buf: &'a [f32], stride: usize },
 }
@@ -410,9 +453,72 @@ impl RowSource<'_> {
     #[inline(always)]
     fn row(&self, r: usize) -> &[f32] {
         match self {
-            RowSource::Direct { a, k, i0 } => &a[(i0 + r) * k..(i0 + r + 1) * k],
+            RowSource::Direct { a, k, i0, .. } => &a[(i0 + r) * k..(i0 + r + 1) * k],
             RowSource::Packed { buf, stride } => &buf[r * stride..(r + 1) * stride],
         }
+    }
+
+    /// One gathered `A` operand for panel row `r`, index `s` — the general
+    /// path's bounds-aware load.
+    ///
+    /// Zero-fill is reserved for the one *legitimate* out-of-bounds case:
+    /// a direct-source index into the padded tail of the final window
+    /// (`k ≤ s < k_pad`, which exists only when `k` is not a multiple of
+    /// `M`). Any other out-of-range index is a corrupted index
+    /// construction; silently zero-filling it would turn an indexing bug
+    /// into a numerically-plausible wrong answer, so debug builds assert
+    /// instead (release builds still zero-fill rather than fault).
+    #[inline(always)]
+    fn gather(&self, r: usize, s: usize) -> f32 {
+        match self {
+            RowSource::Direct { a, k, i0, k_pad } => {
+                if s < *k {
+                    a[(i0 + r) * k + s]
+                } else {
+                    debug_assert!(
+                        s < *k_pad,
+                        "corrupted gather index {s}: dense depth k={k}, \
+                         padded window bound {k_pad}"
+                    );
+                    0.0
+                }
+            }
+            RowSource::Packed { buf, stride } => {
+                if s < *stride {
+                    buf[r * stride + s]
+                } else {
+                    debug_assert!(
+                        false,
+                        "corrupted packed gather index {s}: panel stride {stride} \
+                         (packed indices are in-bounds by construction)"
+                    );
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+/// Whether every gather index of a direct-source block stays inside the
+/// dense depth `k` — the fast path's actual requirement. The coarse
+/// `(bk + 1) · kb ≤ k` test this replaces disqualified the *entire* final
+/// partial k-block even when all of its indices are in bounds.
+#[inline]
+fn direct_gathers_in_bounds(idx: &[u32], k: usize) -> bool {
+    idx.iter().all(|&s| (s as usize) < k)
+}
+
+/// Test-only counters proving which data path a run took. Thread-local so
+/// concurrently running tests cannot disturb each other's counts; V1/V2
+/// execute on the calling thread, so their blocks are all visible here
+/// (V3's rayon panels are not — use V1 when asserting on the counter).
+#[cfg(test)]
+pub(crate) mod instrument {
+    use std::cell::Cell;
+
+    thread_local! {
+        /// Blocks computed through the vectorized fast path.
+        pub static FAST_BLOCKS: Cell<usize> = const { Cell::new(0) };
     }
 }
 
@@ -434,6 +540,7 @@ fn run_panel(
     t: &CpuTiling,
     staged: &StagedB,
     packed: Option<&PackedLayout>,
+    mk: MicroKernel,
     double_buffer: bool,
     i0: usize,
     c_panel: &mut [f32],
@@ -523,19 +630,32 @@ fn run_panel(
                                 (base + d.get(u, j) as usize) as u32;
                         }
                     }
-                    RowSource::Direct { a: a_data, k, i0 }
+                    RowSource::Direct {
+                        a: a_data,
+                        k,
+                        i0,
+                        k_pad: k.div_ceil(cfg.m) * cfg.m,
+                    }
                 }
             };
 
-            // The 4×16 micro-tile needs: 16-divisible windows, no partial
-            // window in this column block, and (for the direct source) all
-            // gathers in bounds. The packed source is always in bounds.
+            // The vectorized micro-tile needs: 16-divisible windows, no
+            // partial window in this column block, and (for the direct
+            // source) all gathers in bounds. The packed source is always
+            // in bounds; for the direct source, a k-block fully inside the
+            // dense depth trivially qualifies, and the final partial block
+            // qualifies whenever its actual per-block indices do — only a
+            // genuinely padded tail (k not a multiple of M) falls back.
             let windows_full = (jb_hi - jb).is_multiple_of(cfg.l);
-            let in_bounds = matches!(source, RowSource::Packed { .. }) || (bk + 1) * kb <= k;
+            let used_idx = &scratch.idx[..(j_hi - j_lo) * ub_act];
+            let in_bounds = matches!(source, RowSource::Packed { .. })
+                || (bk + 1) * kb <= k
+                || direct_gathers_in_bounds(used_idx, k);
             let fast = cfg.l.is_multiple_of(NW) && windows_full && in_bounds;
 
             compute_block(
                 &source,
+                mk,
                 &scratch.idx,
                 ub_act,
                 bs,
@@ -557,11 +677,14 @@ fn run_panel(
 }
 
 /// One `(column-block, k-block)` contribution to the panel's `C` rows:
-/// full 4-row tiles through the register micro-kernel when `fast`, the
-/// remainder (and every non-fast block) through the general scalar path.
+/// full 4-row tiles through the vectorized register micro-kernel when
+/// `fast` — the 4×32 dual-accumulator tile when `L` allows it, the 4×16
+/// tile otherwise — the remainder (and every non-fast block) through the
+/// general scalar path.
 #[allow(clippy::too_many_arguments)]
 fn compute_block(
     source: &RowSource<'_>,
+    mk: MicroKernel,
     idx: &[u32],
     ub_act: usize,
     bs: &[f32],
@@ -580,6 +703,13 @@ fn compute_block(
 ) {
     let nbw = jb_hi - jb;
     let fast_rows = if fast { rows - rows % MW } else { 0 };
+    #[cfg(test)]
+    if fast {
+        instrument::FAST_BLOCKS.with(|c| c.set(c.get() + 1));
+    }
+    // The widest tile the window admits: `L % 32 == 0` doubles the
+    // per-broadcast FMA work through the dual-accumulator kernel.
+    let wide = l.is_multiple_of(NW2);
 
     for r0 in (0..fast_rows).step_by(MW) {
         let ar = [
@@ -591,13 +721,15 @@ fn compute_block(
         for j in j_lo..j_hi {
             let lo = j * l;
             let idxj = &idx[(j - j_lo) * ub_act..(j - j_lo + 1) * ub_act];
-            for off in (0..l).step_by(NW) {
-                let acc = micro4x16(&ar, idxj, bs, nbw, lo - jb + off);
-                for (r, acc_row) in acc.iter().enumerate() {
-                    let at = (r0 + r) * n + lo + off;
-                    for (out, add) in c_panel[at..at + NW].iter_mut().zip(acc_row) {
-                        *out += add;
-                    }
+            if wide {
+                for off in (0..l).step_by(NW2) {
+                    let acc = mk.run4x32(&ar, idxj, bs, nbw, lo - jb + off);
+                    add_tile(c_panel, &acc, r0, n, lo + off);
+                }
+            } else {
+                for off in (0..l).step_by(NW) {
+                    let acc = mk.run4x16(&ar, idxj, bs, nbw, lo - jb + off);
+                    add_tile(c_panel, &acc, r0, n, lo + off);
                 }
             }
         }
@@ -614,8 +746,7 @@ fn compute_block(
             for j in j_lo..j_hi {
                 let s = idx[(j - j_lo) * ub_act + ui] as usize;
                 for (r, slot) in av_scratch[..rt].iter_mut().enumerate() {
-                    let row = source.row(r0 + r);
-                    *slot = row.get(s).copied().unwrap_or(0.0);
+                    *slot = source.gather(r0 + r, s);
                 }
                 let lo = j * l;
                 let hi = ((j + 1) * l).min(jb_hi);
@@ -640,30 +771,22 @@ fn compute_block(
     }
 }
 
-/// The register micro-kernel: a 4×16 `C` tile accumulated across the whole
-/// k-block, with `B` streamed from the staged block and `A` gathered
-/// through the per-window indices. Accumulators live in registers for the
-/// entire `u` loop — the CPU equivalent of the `mt×nt` thread tile.
+/// Accumulate one `MW × W` register tile into the panel rows starting at
+/// `r0`, column `col`.
 #[inline(always)]
-fn micro4x16(
-    ar: &[&[f32]; MW],
-    idx: &[u32],
-    bs: &[f32],
-    stride: usize,
-    boff: usize,
-) -> [[f32; NW]; MW] {
-    let mut acc = [[0f32; NW]; MW];
-    for (ui, &s) in idx.iter().enumerate() {
-        let b = &bs[ui * stride + boff..ui * stride + boff + NW];
-        let s = s as usize;
-        for r in 0..MW {
-            let av = ar[r][s];
-            for (slot, bv) in acc[r].iter_mut().zip(b) {
-                *slot += av * bv;
-            }
+fn add_tile<const W: usize>(
+    c_panel: &mut [f32],
+    acc: &[[f32; W]; MW],
+    r0: usize,
+    n: usize,
+    col: usize,
+) {
+    for (r, acc_row) in acc.iter().enumerate() {
+        let at = (r0 + r) * n + col;
+        for (out, add) in c_panel[at..at + W].iter_mut().zip(acc_row) {
+            *out += add;
         }
     }
-    acc
 }
 
 #[cfg(test)]
@@ -847,6 +970,146 @@ mod tests {
             spmm_cpu_prepared(&a, &recfg, &prep),
             Err(NmError::DimensionMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn tail_k_block_keeps_the_fast_path_when_gathers_are_in_bounds() {
+        // k = 40 is a multiple of M = 8 but not of kb = 32: the coarse
+        // `(bk + 1) * kb <= k` test used to kick the entire final k-block
+        // (dense rows 32..40) off the fast path even though every gather
+        // index is < k. The per-block bound keeps it vectorized.
+        let c = cfg(2, 8, 16);
+        let t = CpuTiling {
+            mb: 8,
+            nb: 32,
+            kb: 32,
+            mt: 4,
+        };
+        let (m, k, n) = (8, 40, 32);
+        let a = MatrixF32::random(m, k, 21);
+        let b = MatrixF32::random(k, n, 22);
+        let sb = NmSparseMatrix::prune(&b, c, PrunePolicy::Random { seed: 23 }).unwrap();
+        // V1 takes the direct source; count fast blocks across the run.
+        let prep = CpuPrepared::with_kernel(NmVersion::V1, &sb, t, MicroKernel::scalar()).unwrap();
+        let before = instrument::FAST_BLOCKS.with(|c| c.get());
+        let got = spmm_cpu_prepared(&a, &sb, &prep).unwrap();
+        let fast_blocks = instrument::FAST_BLOCKS.with(|c| c.get()) - before;
+        assert!(
+            got.allclose(&spmm_reference(&a, &sb), 1e-3, 1e-4),
+            "tail-block result must stay correct (max diff {})",
+            got.max_abs_diff(&spmm_reference(&a, &sb))
+        );
+        // Two k-blocks (0..32 and the 32..40 tail), one column block: both
+        // must have gone through the micro-kernel.
+        assert_eq!(
+            fast_blocks, 2,
+            "the final partial k-block must keep the fast path"
+        );
+    }
+
+    #[test]
+    fn padded_tail_window_still_leaves_the_fast_path() {
+        // k = 36 is NOT a multiple of M = 8: the final window's indices can
+        // point into the padded range [36, 40) — a legitimate zero-fill the
+        // fast path cannot handle, so a tail block whose gathers reach the
+        // pad must fall back to the general path. Random pruning (unlike
+        // magnitude, which never picks a zero padded lane) makes that
+        // happen; the assertion adapts in case a reseed changes the draw.
+        let c = cfg(2, 8, 16);
+        let t = CpuTiling {
+            mb: 8,
+            nb: 32,
+            kb: 32,
+            mt: 4,
+        };
+        let (m, k, n) = (8, 36, 32);
+        let a = MatrixF32::random(m, k, 31);
+        let b = MatrixF32::random(k, n, 32);
+        let sb = NmSparseMatrix::prune(&b, c, PrunePolicy::Random { seed: 33 }).unwrap();
+        // Does any final-window gather point past k into the pad?
+        let d = sb.indices();
+        let tail_hits_pad =
+            (8..sb.w()).any(|u| (0..sb.q()).any(|j| u / c.n * c.m + d.get(u, j) as usize >= k));
+        let prep = CpuPrepared::with_kernel(NmVersion::V1, &sb, t, MicroKernel::scalar()).unwrap();
+        let before = instrument::FAST_BLOCKS.with(|c| c.get());
+        let got = spmm_cpu_prepared(&a, &sb, &prep).unwrap();
+        let fast_blocks = instrument::FAST_BLOCKS.with(|c| c.get()) - before;
+        assert!(got.allclose(&spmm_reference(&a, &sb), 1e-3, 1e-4));
+        let expected = if tail_hits_pad { 1 } else { 2 };
+        assert_eq!(
+            fast_blocks, expected,
+            "a tail block gathering from the pad must take the general path \
+             (tail_hits_pad = {tail_hits_pad})"
+        );
+        assert!(
+            tail_hits_pad,
+            "seed 33 should produce at least one padded-lane pick; \
+             reseed the test so the fallback case stays exercised"
+        );
+    }
+
+    #[test]
+    fn direct_gather_bound_is_per_index() {
+        assert!(direct_gathers_in_bounds(&[0, 5, 39], 40));
+        assert!(!direct_gathers_in_bounds(&[0, 5, 40], 40));
+        assert!(direct_gathers_in_bounds(&[], 40), "vacuously true");
+    }
+
+    #[test]
+    fn gather_zero_fills_only_the_padded_tail() {
+        let a: Vec<f32> = (0..12).map(|v| v as f32).collect();
+        // k = 6, M-padded depth 8: indices 6 and 7 are the legitimate
+        // padded tail of the final window; index 5 is a real load.
+        let src = RowSource::Direct {
+            a: &a,
+            k: 6,
+            i0: 0,
+            k_pad: 8,
+        };
+        assert_eq!(src.gather(1, 5), a[11]);
+        assert_eq!(src.gather(0, 6), 0.0);
+        assert_eq!(src.gather(1, 7), 0.0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn corrupted_gather_index_is_caught_in_debug_builds() {
+        use std::panic::catch_unwind;
+        let a = vec![1.0f32; 16];
+        let src = RowSource::Direct {
+            a: &a,
+            k: 8,
+            i0: 0,
+            k_pad: 8,
+        };
+        // 9 is beyond even the padded depth: corruption, not padding.
+        assert!(
+            catch_unwind(|| src.gather(0, 9)).is_err(),
+            "an index past the padded window bound must assert in debug"
+        );
+        let buf = vec![2.0f32; 8];
+        let packed = RowSource::Packed {
+            buf: &buf,
+            stride: 4,
+        };
+        assert!(
+            catch_unwind(|| packed.gather(0, 4)).is_err(),
+            "packed indices are in-bounds by construction; any overflow must assert"
+        );
+    }
+
+    #[test]
+    fn explicit_kernel_selection_is_reported() {
+        let c = cfg(2, 8, 4);
+        let b = MatrixF32::random(32, 16, 41);
+        let sb = NmSparseMatrix::prune_magnitude(&b, c).unwrap();
+        let t = CpuTiling::auto(c, 16, 16, 32).unwrap();
+        let prep = CpuPrepared::with_kernel(NmVersion::V2, &sb, t, MicroKernel::scalar()).unwrap();
+        assert_eq!(prep.isa(), Isa::Scalar);
+        assert_eq!(prep.kernel(), MicroKernel::scalar());
+        // The default constructor picks a host-supported kernel too.
+        let auto = CpuPrepared::new(NmVersion::V2, &sb, t).unwrap();
+        assert!(auto.isa().supported());
     }
 
     #[test]

@@ -7,9 +7,11 @@
 //! [`Engine::save`], and can execute a problem through any
 //! [`ExecBackend`](crate::backend::ExecBackend) — the simulated GPU
 //! kernels or the native CPU V1→V3 ladder — with the plan's auto-tuned
-//! blocking driving both. Repeated sweeps over the same shapes become O(1)
-//! lookups; [`Engine::stats`] reports the hit/miss/entry counts so a sweep
-//! can prove its cache behaved.
+//! blocking driving both. The CPU backend additionally reports which
+//! micro-kernel ISA its runtime dispatch selected
+//! ([`ExecRun::isa`](crate::backend::ExecRun::isa)). Repeated sweeps over
+//! the same shapes become O(1) lookups; [`Engine::stats`] reports the
+//! hit/miss/entry counts so a sweep can prove its cache behaved.
 
 use crate::backend::{BackendKind, ExecRun};
 use crate::plan::{Plan, PlanCache, Planner};
@@ -226,6 +228,11 @@ mod tests {
                 run.c.max_abs_diff(&expect)
             );
             assert!(run.wall_seconds > 0.0);
+            assert_eq!(
+                run.isa.is_some(),
+                backend != BackendKind::Sim,
+                "{backend}: only the native CPU ladder reports a host ISA"
+            );
         }
         // One shape class: a single miss, then three cache hits.
         let s = eng.stats();

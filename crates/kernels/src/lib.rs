@@ -67,6 +67,7 @@ pub mod nm;
 pub mod nmsparse;
 pub mod params;
 pub mod plan;
+pub mod simd;
 pub mod sparse_tc;
 pub mod sputnik;
 
@@ -79,6 +80,7 @@ pub use nm::{NmSpmmKernel, NmVersion};
 pub use nmsparse::NmSparseKernel;
 pub use params::{Blocking, BlockingParams};
 pub use plan::{KernelChoice, Plan, PlanCache, PlanKey, Planner};
+pub use simd::{Isa, MicroKernel};
 pub use sparse_tc::SparseTensorCoreKernel;
 pub use sputnik::SputnikKernel;
 

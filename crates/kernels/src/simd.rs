@@ -1,0 +1,763 @@
+//! Explicit SIMD micro-kernels with runtime ISA dispatch.
+//!
+//! The CPU ladder's hot loop is a register-resident `C` tile accumulated
+//! across a whole k-block: `MW = 4` rows by 16 (or 32) columns, with `B`
+//! streamed from the staged block and `A` gathered through per-window
+//! indices. Until this module existed that tile was a scalar loop that
+//! leaned on LLVM auto-vectorization — which, at the default `x86-64`
+//! target baseline, means SSE2 without FMA. Here the same tile is written
+//! explicitly with `std::arch` intrinsics:
+//!
+//! * **AVX2 + FMA** (x86_64) — two/four 256-bit accumulators per row,
+//! * **AVX-512F** (x86_64) — one/two 512-bit accumulators per row,
+//! * **NEON** (aarch64) — four/eight 128-bit accumulators per row,
+//! * **scalar** — the portable fallback, and the A/B baseline for the
+//!   `bench_measured` SIMD-vs-scalar comparison.
+//!
+//! Two tile widths exist: the classic `4×16` ([`MicroKernel::run4x16`])
+//! and a wider `4×32` dual-accumulator variant ([`MicroKernel::run4x32`])
+//! used when the vector length `L` is a multiple of 32 — one `A` broadcast
+//! then feeds twice the FMA work, and the extra independent accumulator
+//! chains hide FMA latency.
+//!
+//! ## Dispatch discipline
+//!
+//! Feature detection (`is_x86_feature_detected!` /
+//! `std::arch::is_aarch64_feature_detected!`) happens **once**, when a
+//! [`MicroKernel`] is constructed — [`CpuPrepared`](crate::cpu::CpuPrepared)
+//! stores the selection, so the per-block hot path only matches on an enum
+//! it already holds, never re-detects. A `MicroKernel` for an unsupported
+//! ISA is unrepresentable: every constructor verifies host support and
+//! returns [`NmError::Unsupported`] otherwise, which is what makes the
+//! `unsafe` calls into `#[target_feature]` functions sound.
+//!
+//! ## Overrides
+//!
+//! [`MicroKernel::select`] honors two environment variables so CI can A/B
+//! the SIMD and scalar paths on the same host:
+//!
+//! * `NM_SPMM_FORCE_SCALAR=1` (or `true`) — force the scalar tile;
+//! * `NM_SPMM_ISA=scalar|avx2|avx512|neon|native` — request a specific
+//!   ISA; an ISA the host cannot run is a structured error, never an
+//!   illegal-instruction fault.
+
+use nm_core::error::{NmError, Result};
+
+/// Rows of the register micro-tile.
+pub const MW: usize = 4;
+/// Columns of the narrow micro-tile (the fast path's minimum granularity).
+pub const NW: usize = 16;
+/// Columns of the wide dual-accumulator micro-tile.
+pub const NW2: usize = 32;
+
+/// The instruction sets a micro-kernel can be compiled for.
+///
+/// All variants exist on every build target so names stay stable in
+/// serialized artifacts (`BENCH_pr.json`); whether a variant can *run*
+/// here is [`Isa::supported`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Isa {
+    /// Portable scalar tile (auto-vectorized at the build's baseline).
+    Scalar,
+    /// 256-bit AVX2 with FMA (x86_64).
+    Avx2,
+    /// 512-bit AVX-512F (x86_64).
+    Avx512,
+    /// 128-bit NEON (aarch64, where it is architecturally mandatory).
+    Neon,
+}
+
+impl Isa {
+    /// Every ISA, portable first.
+    pub const ALL: [Isa; 4] = [Isa::Scalar, Isa::Avx2, Isa::Avx512, Isa::Neon];
+
+    /// Stable identifier (`scalar`, `avx2`, `avx512`, `neon`) — the value
+    /// recorded in `BENCH_pr.json`'s `isa` fields.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Isa::Scalar => "scalar",
+            Isa::Avx2 => "avx2",
+            Isa::Avx512 => "avx512",
+            Isa::Neon => "neon",
+        }
+    }
+
+    /// Inverse of [`Isa::name`] (case-insensitive).
+    pub fn from_name(name: &str) -> Result<Self> {
+        Self::ALL
+            .into_iter()
+            .find(|i| i.name().eq_ignore_ascii_case(name))
+            .ok_or_else(|| NmError::Unsupported {
+                reason: format!("unknown ISA `{name}` (expected scalar, avx2, avx512 or neon)"),
+            })
+    }
+
+    /// Whether this host can execute the ISA's micro-kernel: compiled for
+    /// this architecture *and* the CPU reports the feature at runtime.
+    pub fn supported(&self) -> bool {
+        match self {
+            Isa::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            Isa::Avx2 => is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma"),
+            #[cfg(target_arch = "x86_64")]
+            Isa::Avx512 => is_x86_feature_detected!("avx512f"),
+            #[cfg(target_arch = "aarch64")]
+            Isa::Neon => std::arch::is_aarch64_feature_detected!("neon"),
+            #[allow(unreachable_patterns)]
+            _ => false,
+        }
+    }
+
+    /// The widest ISA this host supports (the default selection).
+    pub fn detect() -> Isa {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if Isa::Avx512.supported() {
+                return Isa::Avx512;
+            }
+            if Isa::Avx2.supported() {
+                return Isa::Avx2;
+            }
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            if Isa::Neon.supported() {
+                return Isa::Neon;
+            }
+        }
+        Isa::Scalar
+    }
+}
+
+impl std::fmt::Display for Isa {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A validated micro-kernel selection: an [`Isa`] this host is proven to
+/// support. Construction is the *only* place feature detection happens;
+/// the hot path dispatches on the stored value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MicroKernel {
+    isa: Isa,
+}
+
+impl MicroKernel {
+    /// The portable scalar kernel (always available).
+    pub fn scalar() -> Self {
+        Self { isa: Isa::Scalar }
+    }
+
+    /// The widest kernel the host supports, ignoring environment
+    /// overrides.
+    pub fn native() -> Self {
+        Self { isa: Isa::detect() }
+    }
+
+    /// The kernel for a specific ISA.
+    ///
+    /// # Errors
+    /// [`NmError::Unsupported`] when this host cannot execute `isa` — the
+    /// invariant that makes the SIMD dispatch sound.
+    pub fn for_isa(isa: Isa) -> Result<Self> {
+        if isa.supported() {
+            Ok(Self { isa })
+        } else {
+            Err(NmError::Unsupported {
+                reason: format!(
+                    "the {isa} micro-kernel cannot run on this host \
+                     (feature not detected or wrong architecture)"
+                ),
+            })
+        }
+    }
+
+    /// Resolve a request by name: an [`Isa::name`] or `native` for
+    /// autodetection.
+    ///
+    /// # Errors
+    /// [`NmError::Unsupported`] for unknown names and for ISAs this host
+    /// cannot execute.
+    pub fn for_name(name: &str) -> Result<Self> {
+        if name.eq_ignore_ascii_case("native") {
+            return Ok(Self::native());
+        }
+        Self::for_isa(Isa::from_name(name)?)
+    }
+
+    /// The default selection: [`MicroKernel::native`] unless an
+    /// environment override asks otherwise (see the module docs).
+    ///
+    /// # Errors
+    /// [`NmError::Unsupported`] when `NM_SPMM_ISA` names an unknown ISA or
+    /// one this host cannot execute, or when `NM_SPMM_FORCE_SCALAR` is set
+    /// to something other than a recognized boolean — a typo'd override
+    /// must fail loudly, not silently fall back.
+    pub fn select() -> Result<Self> {
+        let force_scalar = match std::env::var("NM_SPMM_FORCE_SCALAR") {
+            Ok(v) => force_scalar_requested(&v)?,
+            Err(_) => false,
+        };
+        if force_scalar {
+            return Ok(Self::scalar());
+        }
+        match std::env::var("NM_SPMM_ISA") {
+            Ok(name) => Self::for_name(&name),
+            Err(_) => Ok(Self::native()),
+        }
+    }
+
+    /// Whether the environment currently pins [`MicroKernel::select`] to a
+    /// *specific* ISA rather than native dispatch: `NM_SPMM_FORCE_SCALAR`
+    /// parses truthy, or `NM_SPMM_ISA` names anything but `native`.
+    /// (`NM_SPMM_FORCE_SCALAR=0` and `NM_SPMM_ISA=native` are *not* pins —
+    /// they spell out the default.) Consumers use this to decide whether
+    /// an ISA disagreement with a recorded baseline is a configuration
+    /// error (pinned) or a hardware difference (native).
+    pub fn env_pins_isa() -> bool {
+        env_pins_isa_from(
+            std::env::var("NM_SPMM_FORCE_SCALAR").ok().as_deref(),
+            std::env::var("NM_SPMM_ISA").ok().as_deref(),
+        )
+    }
+
+    /// Every kernel this host can execute (scalar first) — the set the
+    /// parity test suite sweeps.
+    pub fn available() -> Vec<Self> {
+        Isa::ALL
+            .into_iter()
+            .filter(Isa::supported)
+            .map(|isa| Self { isa })
+            .collect()
+    }
+
+    /// The ISA this kernel executes.
+    pub fn isa(&self) -> Isa {
+        self.isa
+    }
+
+    /// The 4×16 tile: accumulate `MW` rows by [`NW`] columns of `C` across
+    /// the whole k-block. `ar` are the four gather rows, `idx` the packed
+    /// gather index per compressed row, `bs` the staged `B′` block
+    /// (`stride` floats per compressed row), `boff` the column offset of
+    /// this tile inside the block.
+    ///
+    /// Caller contract (checked by `debug_assert!`): every `idx` value is
+    /// in bounds for every row of `ar`, and `bs` covers
+    /// `idx.len()` compressed rows of `stride ≥ boff + 16` floats.
+    #[inline]
+    pub fn run4x16(
+        &self,
+        ar: &[&[f32]; MW],
+        idx: &[u32],
+        bs: &[f32],
+        stride: usize,
+        boff: usize,
+    ) -> [[f32; NW]; MW] {
+        debug_check::<NW>(ar, idx, bs, stride, boff);
+        match self.isa {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `self` can only be constructed for a detected ISA.
+            Isa::Avx2 => unsafe { x86::avx2_4x16(ar, idx, bs, stride, boff) },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as above — avx512f was detected at construction.
+            Isa::Avx512 => unsafe { x86::avx512_4x16(ar, idx, bs, stride, boff) },
+            #[cfg(target_arch = "aarch64")]
+            // SAFETY: as above — neon was detected at construction.
+            Isa::Neon => unsafe { arm::neon_4x16(ar, idx, bs, stride, boff) },
+            // Scalar, plus foreign-architecture variants that the
+            // constructors make unreachable; falling back to the portable
+            // tile keeps even a broken invariant memory-safe.
+            _ => scalar_tile::<NW>(ar, idx, bs, stride, boff),
+        }
+    }
+
+    /// The 4×32 dual-accumulator tile: as [`MicroKernel::run4x16`] but
+    /// [`NW2`] columns wide — one `A` broadcast feeds two 16-wide column
+    /// chunks, and the doubled independent accumulator chains hide FMA
+    /// latency. Used by the fast path when `L` is a multiple of 32.
+    #[inline]
+    pub fn run4x32(
+        &self,
+        ar: &[&[f32]; MW],
+        idx: &[u32],
+        bs: &[f32],
+        stride: usize,
+        boff: usize,
+    ) -> [[f32; NW2]; MW] {
+        debug_check::<NW2>(ar, idx, bs, stride, boff);
+        match self.isa {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `self` can only be constructed for a detected ISA.
+            Isa::Avx2 => unsafe { x86::avx2_4x32(ar, idx, bs, stride, boff) },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as above — avx512f was detected at construction.
+            Isa::Avx512 => unsafe { x86::avx512_4x32(ar, idx, bs, stride, boff) },
+            #[cfg(target_arch = "aarch64")]
+            // SAFETY: as above — neon was detected at construction.
+            Isa::Neon => unsafe { arm::neon_4x32(ar, idx, bs, stride, boff) },
+            _ => scalar_tile::<NW2>(ar, idx, bs, stride, boff),
+        }
+    }
+}
+
+impl std::fmt::Display for MicroKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} micro-kernel", self.isa)
+    }
+}
+
+/// Parse an `NM_SPMM_FORCE_SCALAR` value. Only recognized booleans are
+/// accepted — an operator who sets `yes` or `on` believes they pinned the
+/// scalar tile, and silently running SIMD instead would corrupt their A/B
+/// record, so anything unrecognized is a structured error.
+/// [`MicroKernel::env_pins_isa`] over explicit values (testable without
+/// touching the process environment). An unparseable `NM_SPMM_FORCE_SCALAR`
+/// counts as not-pinned: [`MicroKernel::select`] rejects it with a
+/// structured error before any pinned-ness decision matters.
+fn env_pins_isa_from(force_scalar: Option<&str>, isa: Option<&str>) -> bool {
+    if force_scalar.is_some_and(|v| force_scalar_requested(v).unwrap_or(false)) {
+        return true;
+    }
+    isa.is_some_and(|name| !name.eq_ignore_ascii_case("native"))
+}
+
+fn force_scalar_requested(value: &str) -> Result<bool> {
+    if value == "1" || value.eq_ignore_ascii_case("true") {
+        Ok(true)
+    } else if value.is_empty() || value == "0" || value.eq_ignore_ascii_case("false") {
+        Ok(false)
+    } else {
+        Err(NmError::Unsupported {
+            reason: format!(
+                "NM_SPMM_FORCE_SCALAR=`{value}` is not a recognized boolean \
+                 (use 1/true to force the scalar tile, 0/false/unset otherwise)"
+            ),
+        })
+    }
+}
+
+/// The caller contract every tile implementation relies on, verified in
+/// debug builds at the dispatch boundary (so the `#[target_feature]`
+/// bodies can use unchecked loads).
+#[inline]
+fn debug_check<const W: usize>(
+    ar: &[&[f32]; MW],
+    idx: &[u32],
+    bs: &[f32],
+    stride: usize,
+    boff: usize,
+) {
+    debug_assert!(stride >= boff + W, "tile columns exceed the block stride");
+    debug_assert!(
+        idx.is_empty() || (idx.len() - 1) * stride + boff + W <= bs.len(),
+        "staged block too short for {} compressed rows",
+        idx.len()
+    );
+    debug_assert!(
+        idx.iter()
+            .all(|&s| ar.iter().all(|row| (s as usize) < row.len())),
+        "gather index out of bounds for the fast path"
+    );
+    let _ = (ar, idx, bs, stride, boff);
+}
+
+/// The portable tile, generic over width — the pre-SIMD `micro4x16`
+/// kept as the fallback and the forced-scalar A/B baseline. What LLVM
+/// auto-vectorizes here is bounded by the build's target baseline
+/// (plain SSE2 for default `x86-64`), which is exactly the gap the
+/// explicit kernels close.
+fn scalar_tile<const W: usize>(
+    ar: &[&[f32]; MW],
+    idx: &[u32],
+    bs: &[f32],
+    stride: usize,
+    boff: usize,
+) -> [[f32; W]; MW] {
+    let mut acc = [[0f32; W]; MW];
+    for (ui, &s) in idx.iter().enumerate() {
+        let b = &bs[ui * stride + boff..ui * stride + boff + W];
+        let s = s as usize;
+        for (row, acc_row) in ar.iter().zip(acc.iter_mut()) {
+            let av = row[s];
+            for (slot, bv) in acc_row.iter_mut().zip(b) {
+                *slot += av * bv;
+            }
+        }
+    }
+    acc
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! AVX2+FMA and AVX-512F tiles. Every function is `unsafe` because it
+    //! is compiled with `#[target_feature]`; callers must have verified
+    //! the feature at runtime ([`super::MicroKernel`]'s constructors do).
+    //! Loads are unchecked — the bounds are the caller contract checked by
+    //! [`super::debug_check`] at the dispatch boundary.
+
+    use super::{MW, NW, NW2};
+    use std::arch::x86_64::*;
+
+    /// # Safety
+    /// Requires `avx2` and `fma` at runtime, plus the bounds contract of
+    /// [`super::MicroKernel::run4x16`].
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn avx2_4x16(
+        ar: &[&[f32]; MW],
+        idx: &[u32],
+        bs: &[f32],
+        stride: usize,
+        boff: usize,
+    ) -> [[f32; NW]; MW] {
+        // 8 ymm accumulators (4 rows × 2 vectors) + 2 streamed B vectors
+        // + 1 broadcast: comfortably inside the 16 ymm registers.
+        let mut acc = [[_mm256_setzero_ps(); 2]; MW];
+        for (ui, &s) in idx.iter().enumerate() {
+            let b = bs.as_ptr().add(ui * stride + boff);
+            let b0 = _mm256_loadu_ps(b);
+            let b1 = _mm256_loadu_ps(b.add(8));
+            let s = s as usize;
+            for (row, acc_row) in ar.iter().zip(acc.iter_mut()) {
+                let av = _mm256_set1_ps(*row.get_unchecked(s));
+                acc_row[0] = _mm256_fmadd_ps(av, b0, acc_row[0]);
+                acc_row[1] = _mm256_fmadd_ps(av, b1, acc_row[1]);
+            }
+        }
+        let mut out = [[0f32; NW]; MW];
+        for (acc_row, out_row) in acc.iter().zip(out.iter_mut()) {
+            _mm256_storeu_ps(out_row.as_mut_ptr(), acc_row[0]);
+            _mm256_storeu_ps(out_row.as_mut_ptr().add(8), acc_row[1]);
+        }
+        out
+    }
+
+    /// # Safety
+    /// Requires `avx2` and `fma` at runtime, plus the bounds contract of
+    /// [`super::MicroKernel::run4x32`].
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn avx2_4x32(
+        ar: &[&[f32]; MW],
+        idx: &[u32],
+        bs: &[f32],
+        stride: usize,
+        boff: usize,
+    ) -> [[f32; NW2]; MW] {
+        // 16 ymm accumulators fill the register file; LLVM folds the
+        // four B loads into FMA memory operands, so only the broadcast
+        // needs a live register.
+        let mut acc = [[_mm256_setzero_ps(); 4]; MW];
+        for (ui, &s) in idx.iter().enumerate() {
+            let b = bs.as_ptr().add(ui * stride + boff);
+            let b0 = _mm256_loadu_ps(b);
+            let b1 = _mm256_loadu_ps(b.add(8));
+            let b2 = _mm256_loadu_ps(b.add(16));
+            let b3 = _mm256_loadu_ps(b.add(24));
+            let s = s as usize;
+            for (row, acc_row) in ar.iter().zip(acc.iter_mut()) {
+                let av = _mm256_set1_ps(*row.get_unchecked(s));
+                acc_row[0] = _mm256_fmadd_ps(av, b0, acc_row[0]);
+                acc_row[1] = _mm256_fmadd_ps(av, b1, acc_row[1]);
+                acc_row[2] = _mm256_fmadd_ps(av, b2, acc_row[2]);
+                acc_row[3] = _mm256_fmadd_ps(av, b3, acc_row[3]);
+            }
+        }
+        let mut out = [[0f32; NW2]; MW];
+        for (acc_row, out_row) in acc.iter().zip(out.iter_mut()) {
+            for (v, &vec) in acc_row.iter().enumerate() {
+                _mm256_storeu_ps(out_row.as_mut_ptr().add(v * 8), vec);
+            }
+        }
+        out
+    }
+
+    /// # Safety
+    /// Requires `avx512f` at runtime, plus the bounds contract of
+    /// [`super::MicroKernel::run4x16`].
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn avx512_4x16(
+        ar: &[&[f32]; MW],
+        idx: &[u32],
+        bs: &[f32],
+        stride: usize,
+        boff: usize,
+    ) -> [[f32; NW]; MW] {
+        // One zmm per row: the whole 16-wide tile row is a single vector.
+        let mut acc = [_mm512_setzero_ps(); MW];
+        for (ui, &s) in idx.iter().enumerate() {
+            let b = _mm512_loadu_ps(bs.as_ptr().add(ui * stride + boff));
+            let s = s as usize;
+            for (row, acc_row) in ar.iter().zip(acc.iter_mut()) {
+                let av = _mm512_set1_ps(*row.get_unchecked(s));
+                *acc_row = _mm512_fmadd_ps(av, b, *acc_row);
+            }
+        }
+        let mut out = [[0f32; NW]; MW];
+        for (acc_row, out_row) in acc.iter().zip(out.iter_mut()) {
+            _mm512_storeu_ps(out_row.as_mut_ptr(), *acc_row);
+        }
+        out
+    }
+
+    /// # Safety
+    /// Requires `avx512f` at runtime, plus the bounds contract of
+    /// [`super::MicroKernel::run4x32`].
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn avx512_4x32(
+        ar: &[&[f32]; MW],
+        idx: &[u32],
+        bs: &[f32],
+        stride: usize,
+        boff: usize,
+    ) -> [[f32; NW2]; MW] {
+        // Dual zmm accumulators per row — 8 of the 32 zmm registers.
+        let mut acc = [[_mm512_setzero_ps(); 2]; MW];
+        for (ui, &s) in idx.iter().enumerate() {
+            let b = bs.as_ptr().add(ui * stride + boff);
+            let b0 = _mm512_loadu_ps(b);
+            let b1 = _mm512_loadu_ps(b.add(16));
+            let s = s as usize;
+            for (row, acc_row) in ar.iter().zip(acc.iter_mut()) {
+                let av = _mm512_set1_ps(*row.get_unchecked(s));
+                acc_row[0] = _mm512_fmadd_ps(av, b0, acc_row[0]);
+                acc_row[1] = _mm512_fmadd_ps(av, b1, acc_row[1]);
+            }
+        }
+        let mut out = [[0f32; NW2]; MW];
+        for (acc_row, out_row) in acc.iter().zip(out.iter_mut()) {
+            _mm512_storeu_ps(out_row.as_mut_ptr(), acc_row[0]);
+            _mm512_storeu_ps(out_row.as_mut_ptr().add(16), acc_row[1]);
+        }
+        out
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+mod arm {
+    //! NEON tiles. NEON is architecturally mandatory on aarch64, but the
+    //! same construct-time verification discipline applies.
+
+    use super::{MW, NW, NW2};
+    use std::arch::aarch64::*;
+
+    /// # Safety
+    /// Requires `neon` at runtime, plus the bounds contract of
+    /// [`super::MicroKernel::run4x16`].
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn neon_4x16(
+        ar: &[&[f32]; MW],
+        idx: &[u32],
+        bs: &[f32],
+        stride: usize,
+        boff: usize,
+    ) -> [[f32; NW]; MW] {
+        // 16 of the 32 q-registers hold the tile (4 rows × 4 vectors).
+        let mut acc = [[vdupq_n_f32(0.0); 4]; MW];
+        for (ui, &s) in idx.iter().enumerate() {
+            let b = bs.as_ptr().add(ui * stride + boff);
+            let bv = [
+                vld1q_f32(b),
+                vld1q_f32(b.add(4)),
+                vld1q_f32(b.add(8)),
+                vld1q_f32(b.add(12)),
+            ];
+            let s = s as usize;
+            for (row, acc_row) in ar.iter().zip(acc.iter_mut()) {
+                let av = vdupq_n_f32(*row.get_unchecked(s));
+                for (slot, &v) in acc_row.iter_mut().zip(bv.iter()) {
+                    *slot = vfmaq_f32(*slot, av, v);
+                }
+            }
+        }
+        let mut out = [[0f32; NW]; MW];
+        for (acc_row, out_row) in acc.iter().zip(out.iter_mut()) {
+            for (v, &vec) in acc_row.iter().enumerate() {
+                vst1q_f32(out_row.as_mut_ptr().add(v * 4), vec);
+            }
+        }
+        out
+    }
+
+    /// # Safety
+    /// Requires `neon` at runtime, plus the bounds contract of
+    /// [`super::MicroKernel::run4x32`].
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn neon_4x32(
+        ar: &[&[f32]; MW],
+        idx: &[u32],
+        bs: &[f32],
+        stride: usize,
+        boff: usize,
+    ) -> [[f32; NW2]; MW] {
+        // A fused 4×32 tile would keep 32 q-register accumulators live at
+        // once — the whole aarch64 vector file, guaranteeing spills in the
+        // hot loop. Run the halves as two *sequential* 4×16 passes over
+        // the k-block instead (16 live accumulators each); the repeated
+        // `A` broadcasts cost far less than per-iteration spill/reload
+        // traffic would.
+        let lo = neon_4x16(ar, idx, bs, stride, boff);
+        let hi = neon_4x16(ar, idx, bs, stride, boff + NW);
+        let mut out = [[0f32; NW2]; MW];
+        for ((out_row, lo_row), hi_row) in out.iter_mut().zip(&lo).zip(&hi) {
+            out_row[..NW].copy_from_slice(lo_row);
+            out_row[NW..].copy_from_slice(hi_row);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random fill (no external RNG dependency).
+    fn fill(len: usize, seed: u32) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(0x9e37_79b9).max(1);
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 17;
+                state ^= state << 5;
+                (state as f32 / u32::MAX as f32) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    fn tile_inputs(depth: usize, stride: usize, k: usize) -> (Vec<Vec<f32>>, Vec<u32>, Vec<f32>) {
+        let rows: Vec<Vec<f32>> = (0..MW).map(|r| fill(k, 7 + r as u32)).collect();
+        let idx: Vec<u32> = (0..depth).map(|u| ((u * 13 + 5) % k) as u32).collect();
+        let bs = fill(depth * stride, 99);
+        (rows, idx, bs)
+    }
+
+    #[test]
+    fn name_round_trip_and_unknown_name_rejected() {
+        for isa in Isa::ALL {
+            assert_eq!(Isa::from_name(isa.name()).unwrap(), isa);
+            assert_eq!(Isa::from_name(&isa.name().to_uppercase()).unwrap(), isa);
+            assert!(!isa.to_string().is_empty());
+        }
+        assert!(matches!(
+            Isa::from_name("sse9"),
+            Err(NmError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn available_starts_with_scalar_and_contains_the_native_pick() {
+        let avail = MicroKernel::available();
+        assert_eq!(avail[0].isa(), Isa::Scalar);
+        assert!(avail.contains(&MicroKernel::native()));
+        // Every advertised kernel really is constructible.
+        for mk in &avail {
+            assert_eq!(MicroKernel::for_isa(mk.isa()).unwrap(), *mk);
+        }
+    }
+
+    #[test]
+    fn foreign_architecture_isa_is_a_structured_error() {
+        #[cfg(target_arch = "x86_64")]
+        let foreign = Isa::Neon;
+        #[cfg(not(target_arch = "x86_64"))]
+        let foreign = Isa::Avx2;
+        assert!(!foreign.supported());
+        assert!(matches!(
+            MicroKernel::for_isa(foreign),
+            Err(NmError::Unsupported { .. })
+        ));
+        assert!(matches!(
+            MicroKernel::for_name(foreign.name()),
+            Err(NmError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn pinned_ness_tracks_what_select_would_actually_do() {
+        // Pins: a truthy force-scalar, or a concrete ISA request.
+        assert!(env_pins_isa_from(Some("1"), None));
+        assert!(env_pins_isa_from(Some("true"), Some("native")));
+        assert!(env_pins_isa_from(None, Some("avx2")));
+        assert!(env_pins_isa_from(None, Some("scalar")));
+        // Not pins: unset, spelled-out defaults, or a falsy force-scalar.
+        assert!(!env_pins_isa_from(None, None));
+        assert!(!env_pins_isa_from(Some("0"), None));
+        assert!(!env_pins_isa_from(Some("false"), Some("native")));
+        assert!(!env_pins_isa_from(None, Some("NATIVE")));
+        // Unparseable force-scalar defers to select()'s hard error.
+        assert!(!env_pins_isa_from(Some("yes"), None));
+        assert!(env_pins_isa_from(Some("yes"), Some("avx2")));
+    }
+
+    #[test]
+    fn force_scalar_values_parse_strictly() {
+        assert!(force_scalar_requested("1").unwrap());
+        assert!(force_scalar_requested("true").unwrap());
+        assert!(force_scalar_requested("TRUE").unwrap());
+        assert!(!force_scalar_requested("0").unwrap());
+        assert!(!force_scalar_requested("false").unwrap());
+        assert!(!force_scalar_requested("").unwrap());
+        for bad in ["yes", "on", "2", "scalar"] {
+            assert!(
+                matches!(
+                    force_scalar_requested(bad),
+                    Err(NmError::Unsupported { .. })
+                ),
+                "`{bad}` must be rejected, not silently ignored"
+            );
+        }
+    }
+
+    #[test]
+    fn for_name_native_and_scalar_resolve() {
+        assert_eq!(
+            MicroKernel::for_name("native").unwrap(),
+            MicroKernel::native()
+        );
+        assert_eq!(
+            MicroKernel::for_name("scalar").unwrap(),
+            MicroKernel::scalar()
+        );
+        assert!(MicroKernel::for_name("riscv-v").is_err());
+    }
+
+    #[test]
+    fn every_available_kernel_matches_scalar_on_both_widths() {
+        let (rows, idx, bs) = tile_inputs(24, 40, 64);
+        let ar: [&[f32]; MW] = [&rows[0], &rows[1], &rows[2], &rows[3]];
+        let want16 = MicroKernel::scalar().run4x16(&ar, &idx, &bs, 40, 3);
+        let want32 = MicroKernel::scalar().run4x32(&ar, &idx, &bs, 40, 3);
+        for mk in MicroKernel::available() {
+            let got16 = mk.run4x16(&ar, &idx, &bs, 40, 3);
+            let got32 = mk.run4x32(&ar, &idx, &bs, 40, 3);
+            for r in 0..MW {
+                for c in 0..NW {
+                    assert!(
+                        (got16[r][c] - want16[r][c]).abs() <= 1e-4 * want16[r][c].abs() + 1e-5,
+                        "{mk} 4x16 [{r}][{c}]: {} vs {}",
+                        got16[r][c],
+                        want16[r][c]
+                    );
+                }
+                for c in 0..NW2 {
+                    assert!(
+                        (got32[r][c] - want32[r][c]).abs() <= 1e-4 * want32[r][c].abs() + 1e-5,
+                        "{mk} 4x32 [{r}][{c}]: {} vs {}",
+                        got32[r][c],
+                        want32[r][c]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_index_list_accumulates_nothing() {
+        let (rows, _, bs) = tile_inputs(4, 32, 16);
+        let ar: [&[f32]; MW] = [&rows[0], &rows[1], &rows[2], &rows[3]];
+        for mk in MicroKernel::available() {
+            assert_eq!(mk.run4x16(&ar, &[], &bs, 32, 0), [[0.0; NW]; MW]);
+            assert_eq!(mk.run4x32(&ar, &[], &bs, 32, 0), [[0.0; NW2]; MW]);
+        }
+    }
+}
