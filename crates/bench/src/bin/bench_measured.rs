@@ -36,7 +36,7 @@ use nm_core::pattern::NmConfig;
 use nm_core::prune::PrunePolicy;
 use nm_core::sparse::NmSparseMatrix;
 use nm_core::spmm::spmm_reference;
-use nm_kernels::{spmm_cpu_prepared, CpuPrepared, CpuTiling, Engine, Isa, MicroKernel, NmVersion};
+use nm_kernels::{BackendKind, Isa, MicroKernel, NmVersion, Session, SessionBuilder};
 use std::time::Instant;
 
 /// One benchmarked problem.
@@ -181,22 +181,18 @@ impl ShapeResult {
     }
 }
 
-fn bench_shape(
-    engine: &mut Engine,
-    shape: &Shape,
-    seed: u64,
-    kernel: MicroKernel,
-) -> Result<ShapeResult, String> {
+fn bench_shape(session: &mut Session, shape: &Shape, seed: u64) -> Result<ShapeResult, String> {
     let Shape { label, m, n, k, .. } = *shape;
     let c = shape.cfg;
-    let plan = engine
-        .plan(m, n, k, c)
-        .map_err(|e| format!("{label}: planning failed: {e}"))?;
 
     let a = MatrixF32::random(m, k, seed);
     let b = MatrixF32::random(k, n, seed ^ 0x5eed);
-    let sb = NmSparseMatrix::prune(&b, c, PrunePolicy::Magnitude)
-        .map_err(|e| format!("{label}: prune failed: {e}"))?;
+    // Shared via Arc: the three per-version loads below reference one
+    // compressed copy instead of deep-cloning it.
+    let sb = std::sync::Arc::new(
+        NmSparseMatrix::prune(&b, c, PrunePolicy::Magnitude)
+            .map_err(|e| format!("{label}: prune failed: {e}"))?,
+    );
     let useful = 2.0 * m as f64 * n as f64 * sb.w() as f64;
 
     // The scalar reference is both the baseline and the numeric oracle.
@@ -219,36 +215,32 @@ fn bench_shape(
         },
     )];
 
-    // The plan's auto-tuned blocking drives the CPU tiles; the offline
-    // staging (CpuPrepared) is built once per version and amortized across
-    // the timing reps, exactly as the CpuBackend accounts it.
-    let tiling = CpuTiling::derive(plan.params, c, k)
-        .map_err(|e| format!("{label}: blocking cannot drive the CPU tiles: {e}"))?;
-
+    // Session::load_on does all the offline work once per (shape,
+    // version): planning (cached), blocking derivation, B' staging,
+    // col_info packing. The timing reps below amortize it exactly as the
+    // CpuBackend accounts it — ExecRun::wall_seconds covers the online
+    // kernel only. The session's pinned micro-kernel drives every
+    // preparation, so the document's top-level `isa` and the per-kernel
+    // entries agree by construction.
     for (name, version) in [
         ("cpu_v1", NmVersion::V1),
         ("cpu_v2", NmVersion::V2),
         ("cpu_v3", NmVersion::V3),
     ] {
-        // The one kernel `main` resolved drives every preparation, so the
-        // document's top-level `isa` and the per-kernel entries agree by
-        // construction rather than by repeated env parsing.
-        let prep = CpuPrepared::with_kernel(version, &sb, tiling, kernel)
+        let layer = session
+            .load_on(sb.clone(), m, BackendKind::Cpu(version))
             .map_err(|e| format!("{label}: {name} preparation failed: {e}"))?;
         let mut out = None;
         let mut failure = None;
-        let secs = time_best(|| {
-            let t0 = Instant::now();
-            match spmm_cpu_prepared(&a, &sb, &prep) {
-                Ok(c_got) => {
-                    let dt = t0.elapsed().as_secs_f64();
-                    out = Some(c_got);
-                    dt
-                }
-                Err(e) => {
-                    failure = Some(format!("{label}: {name} failed: {e}"));
-                    f64::INFINITY // ends the rep loop immediately
-                }
+        let secs = time_best(|| match layer.forward(&a) {
+            Ok(run) => {
+                let dt = run.wall_seconds;
+                out = Some(run.c);
+                dt
+            }
+            Err(e) => {
+                failure = Some(format!("{label}: {name} failed: {e}"));
+                f64::INFINITY // ends the rep loop immediately
             }
         });
         if let Some(failure) = failure {
@@ -261,12 +253,13 @@ fn bench_shape(
                 got.max_abs_diff(&expect)
             ));
         }
+        let isa = layer.isa().expect("CPU backend reports an ISA");
         kernels.push((
             name,
             KernelResult {
                 seconds: secs,
                 gflops: useful / secs / 1e9,
-                isa: Some(prep.isa()),
+                isa: Some(isa),
             },
         ));
     }
@@ -536,8 +529,15 @@ fn main() {
         }
     };
     // Plans come from the A100 model: the auto-tuned blocking (not the
-    // timing estimate) is what drives the CPU tile sizes.
-    let mut engine = Engine::new(a100_80g());
+    // timing estimate) is what drives the CPU tile sizes. The session
+    // pins the resolved micro-kernel across every layer it loads.
+    let mut session = match SessionBuilder::new(a100_80g()).micro_kernel(kernel).build() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot build session: {e}");
+            std::process::exit(2);
+        }
+    };
 
     println!(
         "== measured CPU ladder ({mode} mode, {} shapes, {} micro-kernel) ==\n",
@@ -556,7 +556,7 @@ fn main() {
         );
         use std::io::Write as _;
         let _ = std::io::stdout().flush();
-        match bench_shape(&mut engine, shape, seed, kernel) {
+        match bench_shape(&mut session, shape, seed) {
             Ok(r) => {
                 println!(
                     "ref {:.3}s  V3 {} ({:.2} GFLOP/s)",
@@ -594,7 +594,7 @@ fn main() {
     println!();
     t.print();
 
-    let doc = results_to_json(&results, mode, &engine.device().name, kernel.isa());
+    let doc = results_to_json(&results, mode, &session.device().name, kernel.isa());
     let json = doc.dump().expect("results serialize");
     if let Err(e) = std::fs::write(&out, &json) {
         eprintln!("cannot write {out}: {e}");

@@ -11,16 +11,18 @@
 //!     --llama 7b --seq 2048 --device a100 --cache plans.json
 //! ```
 //!
-//! Every kernel choice comes from [`Engine::plan`] — strategy decision plus
-//! exhaustive autotune, memoized per `(device, shape class, N:M)` key. With
-//! `--cache PATH` the memo is loaded at startup and saved on exit, so the
-//! second run of an identical sweep performs zero tuning searches (the
-//! cache accounting printed at the end proves it).
+//! Every kernel choice comes from [`Session::plan`] — strategy decision
+//! plus exhaustive autotune, memoized per `(device, shape class, N:M)`
+//! key — and every functional execution goes through a prepared layer
+//! handle ([`Session::load_planned`]). With `--cache PATH` the memo is
+//! loaded at startup and saved on exit, so the second run of an identical
+//! sweep performs zero tuning searches (the cache accounting printed at
+//! the end proves it).
 
 use gpu_sim::device::{a100_80g, a100_ncu_locked, rtx3090, rtx4090, DeviceConfig};
 use gpu_sim::energy;
 use nm_bench::{pct, spd, TextTable};
-use nm_kernels::{BackendKind, Engine, NmSpmmKernel, NmVersion};
+use nm_kernels::{BackendKind, NmSpmmKernel, NmVersion, Session, SessionBuilder};
 use nm_workloads::gen::{ProblemInstance, ProblemSpec};
 use nm_workloads::levels::{benchmark_levels, label};
 use nm_workloads::llama::LLAMA_FAMILY;
@@ -114,24 +116,25 @@ fn parse_args() -> Args {
     args
 }
 
-fn make_engine(args: &Args) -> Engine {
-    match &args.cache {
-        Some(path) => {
-            let eng = Engine::with_cache_file(args.device.clone(), path).expect("load plan cache");
-            println!(
-                "plan cache: {} ({} entries loaded)\n",
-                path,
-                eng.stats().entries
-            );
-            eng
-        }
-        None => Engine::new(args.device.clone()),
+fn make_session(args: &Args) -> Session {
+    let mut builder = SessionBuilder::new(args.device.clone());
+    if let Some(path) = &args.cache {
+        builder = builder.plan_cache(path);
     }
+    let session = builder.build().expect("build session");
+    if let Some(path) = &args.cache {
+        println!(
+            "plan cache: {} ({} entries loaded)\n",
+            path,
+            session.stats().entries
+        );
+    }
+    session
 }
 
-fn finish(engine: &Engine) {
-    println!("\nplan cache: {}", engine.stats());
-    match engine.save() {
+fn finish(session: &Session) {
+    println!("\nplan cache: {}", session.stats());
+    match session.save() {
         Ok(true) => println!("plan cache saved"),
         Ok(false) => {}
         Err(e) => eprintln!("warning: failed to save plan cache: {e}"),
@@ -140,7 +143,7 @@ fn finish(engine: &Engine) {
 
 fn main() {
     let args = parse_args();
-    let mut engine = make_engine(&args);
+    let mut session = make_session(&args);
     if let Some(model_name) = args.llama {
         // Model mode takes its shapes from the model and always tunes.
         if args.shape_given {
@@ -151,15 +154,15 @@ fn main() {
                 "warning: --tune is ignored with --llama (engine plans are always auto-tuned)"
             );
         }
-        llama_sweep(&args, &mut engine, model_name);
+        llama_sweep(&args, &mut session, model_name);
     } else {
-        shape_sweep(&args, &mut engine);
+        shape_sweep(&args, &mut session);
     }
-    finish(&engine);
+    finish(&session);
 }
 
 /// Batched layer sweep of one Llama model across the benchmark levels.
-fn llama_sweep(args: &Args, engine: &mut Engine, model_name: &str) {
+fn llama_sweep(args: &Args, session: &mut Session, model_name: &str) {
     let model = LLAMA_FAMILY
         .iter()
         .find(|m| m.name == model_name)
@@ -179,10 +182,10 @@ fn llama_sweep(args: &Args, engine: &mut Engine, model_name: &str) {
         model.hidden,
         model.intermediate,
         args.seq,
-        engine.device().name
+        session.device().name
     );
     for cfg in benchmark_levels() {
-        let report = sweep_model(engine, model, cfg, &opts).expect("sweep");
+        let report = sweep_model(session, model, cfg, &opts).expect("sweep");
         println!("-- {} --", label(&cfg));
         let mut t = TextTable::new(&[
             "layer", "n", "k", "kernel", "blocking", "packing", "est ms", "dense ms", "speedup",
@@ -232,14 +235,14 @@ fn llama_sweep(args: &Args, engine: &mut Engine, model_name: &str) {
 }
 
 /// Single-shape sweep across the benchmark levels.
-fn shape_sweep(args: &Args, engine: &mut Engine) {
+fn shape_sweep(args: &Args, session: &mut Session) {
     let (m, n, k) = (args.m, args.n, args.k);
     println!(
         "== sweep: m={m} n={n} k={k} on {} ==\n",
-        engine.device().name
+        session.device().name
     );
 
-    let dense = engine
+    let dense = session
         .plan(m, n, k, benchmark_levels()[0])
         .expect("plan")
         .estimates
@@ -263,19 +266,21 @@ fn shape_sweep(args: &Args, engine: &mut Engine) {
         "GF/J",
     ]);
     for cfg in benchmark_levels() {
-        let plan = engine.plan(m, n, k, cfg).expect("plan");
+        let plan = session.plan(m, n, k, cfg).expect("plan");
         let best = plan.best();
         // Energy needs event counts: run the chosen kernel functionally on
-        // small problems; large shapes skip it (the estimate covers time).
+        // small problems through a prepared Sim-backend handle; large
+        // shapes skip it (the estimate covers time).
         let spec = ProblemSpec { m, n, k, cfg };
         let e = if m * n <= 512 * 512 {
             let inst = ProblemInstance::generate(spec, 1);
-            let run = engine
-                .run_plan(&plan, &inst.a, &inst.b_sparse, BackendKind::Sim)
-                .expect("run");
+            let layer = session
+                .load_planned(plan.clone(), inst.b_sparse.clone(), BackendKind::Sim)
+                .expect("prepare");
+            let run = layer.forward(&inst.a).expect("run");
             let stats = run.stats.expect("sim backend counts events");
             let report = run.report.expect("sim backend reports timing");
-            Some(energy::estimate(engine.device(), &stats, &report))
+            Some(energy::estimate(session.device(), &stats, &report))
         } else {
             None
         };
@@ -299,9 +304,9 @@ fn shape_sweep(args: &Args, engine: &mut Engine) {
         println!("\n== auto-tuned blocking vs Table I preset (V3) ==\n");
         let mut t = TextTable::new(&["sparsity", "preset", "tuned", "tuned params", "gain"]);
         for cfg in benchmark_levels() {
-            let plan = engine.plan(m, n, k, cfg).expect("plan");
+            let plan = session.plan(m, n, k, cfg).expect("plan");
             let preset = NmSpmmKernel::auto(NmVersion::V3, m, n)
-                .estimate(engine.device(), m, n, k, cfg, None)
+                .estimate(session.device(), m, n, k, cfg, None)
                 .expect("preset");
             let tuned = plan.estimates.nm_v3.expect("nm estimate");
             let p = plan.params;

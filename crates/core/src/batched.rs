@@ -1,96 +1,20 @@
-//! Batched and vector (GEMV) entry points — the inference serving shapes.
+//! The vector (GEMV) entry point — the decode-step inference shape.
 //!
 //! Decoding workloads multiply many small activation batches against the
-//! same pruned weights. Re-using one weight compression (and one offline
-//! [`crate::colinfo::PackedLayout`]) across calls is the whole point of the
-//! offline/online split; this module packages that pattern:
+//! same pruned weights, amortizing one weight compression (and one offline
+//! [`crate::colinfo::PackedLayout`]) across calls — the offline/online
+//! split the paper's accounting is built on. The *matrix* side of that
+//! pattern lives in the `nm-kernels` session API (`Session::load` →
+//! `PreparedLayer::forward`/`forward_batch`), which owns the plan, the
+//! backend and the staged state behind one reusable handle; the
+//! `BatchedSpmm` type that used to live here was folded into it. What
+//! remains here is the shape the tiled kernels cannot serve well:
 //!
-//! * [`BatchedSpmm`] — amortizes pre-processing across repeated calls,
 //! * [`spmv`] — the `m = 1` case with a dedicated cache-friendly loop
 //!   (gather-dot per output column group instead of tile blocking).
 
-use crate::colinfo::{preprocess, PackedLayout};
 use crate::error::{NmError, Result};
-use crate::matrix::MatrixF32;
-use crate::parallel::{spmm_parallel, spmm_parallel_prepacked, CpuSpmmOptions, Strategy};
-use crate::pattern::SparsityClass;
 use crate::sparse::NmSparseMatrix;
-
-/// A compiled multiplier: compressed weights + (optional) packed layout +
-/// tuned options, reusable across activation batches.
-#[derive(Debug, Clone)]
-pub struct BatchedSpmm {
-    weights: NmSparseMatrix,
-    layout: Option<PackedLayout>,
-    opts: CpuSpmmOptions,
-}
-
-impl BatchedSpmm {
-    /// Compile a multiplier for `weights`, deciding the data path once.
-    pub fn new(weights: NmSparseMatrix) -> Result<Self> {
-        Self::with_options(weights, CpuSpmmOptions::default())
-    }
-
-    /// Compile with explicit options; the packing layout is prepared here
-    /// (offline) when the strategy calls for it.
-    pub fn with_options(weights: NmSparseMatrix, opts: CpuSpmmOptions) -> Result<Self> {
-        let cfg = weights.cfg();
-        let packing = match opts.strategy {
-            Strategy::Packing => true,
-            Strategy::NonPacking => false,
-            Strategy::Auto => cfg.class() == SparsityClass::High,
-        };
-        let layout = if packing {
-            let ks = opts.ks.max(cfg.m).div_ceil(cfg.m) * cfg.m;
-            let ks = ks.min(weights.k().div_ceil(cfg.m).max(1) * cfg.m);
-            let ns = opts.ns.max(cfg.l).div_ceil(cfg.l) * cfg.l;
-            let ns = ns.min(weights.cols().div_ceil(cfg.l).max(1) * cfg.l);
-            Some(preprocess(&weights, ks, ns)?)
-        } else {
-            None
-        };
-        Ok(Self {
-            weights,
-            layout,
-            opts,
-        })
-    }
-
-    /// The compiled weights.
-    pub fn weights(&self) -> &NmSparseMatrix {
-        &self.weights
-    }
-
-    /// Whether the packing path was compiled in.
-    pub fn uses_packing(&self) -> bool {
-        self.layout.is_some()
-    }
-
-    /// Multiply one activation batch: `C[m][n] = A[m][k] ⊛ (B′, D)`.
-    pub fn forward(&self, a: &MatrixF32) -> Result<MatrixF32> {
-        if a.cols() != self.weights.k() {
-            return Err(NmError::DimensionMismatch {
-                expected: format!("A with k = {}", self.weights.k()),
-                found: format!("A with k = {}", a.cols()),
-            });
-        }
-        Ok(match &self.layout {
-            Some(layout) => spmm_parallel_prepacked(a, &self.weights, layout, &self.opts),
-            None => {
-                let opts = CpuSpmmOptions {
-                    strategy: Strategy::NonPacking,
-                    ..self.opts
-                };
-                spmm_parallel(a, &self.weights, &opts)
-            }
-        })
-    }
-
-    /// Multiply a whole batch of activation matrices.
-    pub fn forward_batch(&self, batch: &[MatrixF32]) -> Result<Vec<MatrixF32>> {
-        batch.iter().map(|a| self.forward(a)).collect()
-    }
-}
 
 /// Sparse matrix-vector product `y[n] = x[k] ⊛ (B′, D)` — the decode-step
 /// shape (`m = 1`). A flat gather-scale loop beats tile blocking here.
@@ -130,6 +54,7 @@ pub fn spmv(x: &[f32], sb: &NmSparseMatrix) -> Result<Vec<f32>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::matrix::MatrixF32;
     use crate::pattern::NmConfig;
     use crate::prune::PrunePolicy;
     use crate::spmm::spmm_reference;
@@ -137,44 +62,6 @@ mod tests {
     fn weights(cfg: NmConfig) -> NmSparseMatrix {
         let b = MatrixF32::random(128, 96, 31);
         NmSparseMatrix::prune(&b, cfg, PrunePolicy::Random { seed: 3 }).unwrap()
-    }
-
-    #[test]
-    fn forward_matches_reference_both_paths() {
-        for cfg in [
-            NmConfig::new(8, 16, 8).unwrap(),
-            NmConfig::new(2, 16, 8).unwrap(),
-        ] {
-            let sb = weights(cfg);
-            let mult = BatchedSpmm::new(sb.clone()).unwrap();
-            assert_eq!(
-                mult.uses_packing(),
-                cfg.sparsity() >= crate::pattern::SPARSITY_THRESHOLD
-            );
-            let a = MatrixF32::random(24, 128, 5);
-            let got = mult.forward(&a).unwrap();
-            let want = spmm_reference(&a, &sb);
-            assert!(got.allclose(&want, 1e-3, 1e-4), "{cfg}");
-        }
-    }
-
-    #[test]
-    fn batch_processing_is_consistent() {
-        let sb = weights(NmConfig::new(2, 16, 8).unwrap());
-        let mult = BatchedSpmm::new(sb.clone()).unwrap();
-        let batch: Vec<MatrixF32> = (0..4).map(|i| MatrixF32::random(8, 128, 100 + i)).collect();
-        let outs = mult.forward_batch(&batch).unwrap();
-        assert_eq!(outs.len(), 4);
-        for (a, c) in batch.iter().zip(&outs) {
-            assert!(c.allclose(&spmm_reference(a, &sb), 1e-3, 1e-4));
-        }
-    }
-
-    #[test]
-    fn forward_rejects_bad_k() {
-        let mult = BatchedSpmm::new(weights(NmConfig::new(4, 16, 8).unwrap())).unwrap();
-        let a = MatrixF32::random(4, 64, 1);
-        assert!(mult.forward(&a).is_err());
     }
 
     #[test]
@@ -189,27 +76,19 @@ mod tests {
     }
 
     #[test]
-    fn spmv_rejects_bad_length() {
-        let sb = weights(NmConfig::new(4, 16, 8).unwrap());
-        assert!(spmv(&[0.0; 12], &sb).is_err());
+    fn spmv_matches_reference_at_high_sparsity() {
+        let sb = weights(NmConfig::new(2, 16, 8).unwrap());
+        let x: Vec<f32> = MatrixF32::random(1, 128, 17).into_vec();
+        let y = spmv(&x, &sb).unwrap();
+        let a = MatrixF32::from_vec(1, 128, x);
+        let want = spmm_reference(&a, &sb);
+        let got = MatrixF32::from_vec(1, sb.cols(), y);
+        assert!(got.allclose(&want, 1e-3, 1e-4));
     }
 
     #[test]
-    fn explicit_strategy_is_honored() {
-        let sb = weights(NmConfig::new(8, 16, 8).unwrap()); // moderate
-        let forced = BatchedSpmm::with_options(
-            sb.clone(),
-            CpuSpmmOptions {
-                strategy: Strategy::Packing,
-                ..Default::default()
-            },
-        )
-        .unwrap();
-        assert!(forced.uses_packing(), "explicit packing must be honored");
-        let a = MatrixF32::random(8, 128, 11);
-        assert!(forced
-            .forward(&a)
-            .unwrap()
-            .allclose(&spmm_reference(&a, &sb), 1e-3, 1e-4));
+    fn spmv_rejects_bad_length() {
+        let sb = weights(NmConfig::new(4, 16, 8).unwrap());
+        assert!(spmv(&[0.0; 12], &sb).is_err());
     }
 }

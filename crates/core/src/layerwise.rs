@@ -1,5 +1,5 @@
 //! Layer-wise N:M scheme selection (Sun et al., DominoSearch — the paper's
-//! references [33]/[34]: "a layer-wise N:M scheme for improved precision
+//! references \[33\]/\[34\]: "a layer-wise N:M scheme for improved precision
 //! over uniform sparsity").
 //!
 //! Given a set of layers with per-layer pruning-error curves and a global

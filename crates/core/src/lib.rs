@@ -55,7 +55,7 @@ pub mod serialize;
 pub mod sparse;
 pub mod spmm;
 
-pub use batched::BatchedSpmm;
+pub use batched::spmv;
 pub use colinfo::{ColInfo, PackedLayout};
 pub use error::NmError;
 pub use index::{IndexLayout, IndexMatrix};

@@ -1,5 +1,5 @@
 //! Channel permutation for N:M pruning (Pool & Yu, NeurIPS'21 — the
-//! paper's reference [32], cited as directly composable with NM-SpMM's
+//! paper's reference \[32\], cited as directly composable with NM-SpMM's
 //! "naive N:M pattern").
 //!
 //! N:M pruning keeps the `N` largest vectors of every window of `M`

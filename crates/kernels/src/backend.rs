@@ -1,6 +1,6 @@
 //! Execution backends: one trait, two ways to run a plan.
 //!
-//! A [`Plan`](crate::plan::Plan) records *what* to run — kernel family and
+//! A [`Plan`] records *what* to run — kernel family and
 //! auto-tuned blocking. [`ExecBackend`] decides *where*:
 //!
 //! * [`SimBackend`] — the original path: the functional face of the
@@ -11,12 +11,25 @@
 //!   for real on the host ([`crate::cpu`]), with the plan's blocking
 //!   parameters driving the CPU tile sizes.
 //!
+//! ## The offline/online split
+//!
+//! The trait mirrors the paper's performance accounting: everything that
+//! depends only on the *weights* — layout transformation, `col_info`
+//! packing, micro-kernel dispatch — is **offline** work done once by
+//! [`ExecBackend::prepare`], which returns an opaque [`PreparedState`];
+//! the **online** kernel is [`ExecBackend::run_prepared`], which may be
+//! called any number of times against the same state without repeating
+//! the staging. [`ExecBackend::run`] is the convenience composition for
+//! one-shot callers. The handle-based [`Session`](crate::session) API owns
+//! this amortization for library users; code outside the crate should go
+//! through it rather than drive backends directly.
+//!
 //! Every backend returns an [`ExecRun`]: the computed matrix, the
-//! **measured wall-clock time** of the execution, and the plan's simulated
-//! estimate for the same kernel family, so callers can put model time and
-//! real time side by side. [`BackendKind`] is the cheap copyable selector
-//! [`Engine`](crate::engine::Engine) takes; [`BackendKind::instantiate`]
-//! turns it into a boxed backend for dynamic dispatch.
+//! **measured wall-clock time** of the online execution, and the plan's
+//! simulated estimate for the same kernel family, so callers can put model
+//! time and real time side by side. [`BackendKind`] is the cheap copyable
+//! selector; [`BackendKind::instantiate`] turns it into a boxed backend
+//! for dynamic dispatch.
 
 use nm_core::error::{NmError, Result};
 use nm_core::matrix::MatrixF32;
@@ -26,10 +39,11 @@ use crate::cpu::{spmm_cpu_prepared, CpuPrepared, CpuTiling};
 use crate::nm::{NmSpmmKernel, NmVersion};
 use crate::nmsparse::NmSparseKernel;
 use crate::plan::{EstimateSummary, KernelChoice, Plan};
-use crate::simd::Isa;
+use crate::simd::{Isa, MicroKernel};
 use crate::sputnik::SputnikKernel;
 use crate::SimRun;
 use gpu_sim::device::DeviceConfig;
+use std::any::Any;
 use std::time::Instant;
 
 /// Which execution backend to run a plan through.
@@ -72,7 +86,8 @@ impl BackendKind {
             })
     }
 
-    /// Box the backend this selector names.
+    /// Box the backend this selector names, with default micro-kernel
+    /// dispatch (the CPU ladder selects its ISA per preparation).
     pub fn instantiate(&self) -> Box<dyn ExecBackend> {
         match self {
             BackendKind::Sim => Box::new(SimBackend),
@@ -99,11 +114,17 @@ pub struct ExecRun {
     pub c: MatrixF32,
     /// The backend that produced it.
     pub backend: BackendKind,
-    /// Measured wall-clock seconds of the execution (host time; for the
-    /// simulator this is the cost of the functional emulation, not the
-    /// modeled GPU latency — that lives in `estimate`). The CPU backend's
-    /// offline preparation ([`crate::cpu::CpuPrepared`]) happens before
-    /// the clock starts, so this covers the online kernel only.
+    /// Measured wall-clock seconds of the **online** execution only (host
+    /// time; for the simulator this is the cost of the functional
+    /// emulation, not the modeled GPU latency — that lives in `estimate`).
+    ///
+    /// The clock starts *after* the offline preparation
+    /// ([`ExecBackend::prepare`] — `B′` block staging, `col_info` packing,
+    /// ISA dispatch), so repeated calls against one
+    /// [`PreparedLayer`](crate::session::PreparedLayer) measure exactly
+    /// the amortized per-call cost the paper's accounting describes. The
+    /// per-`A` panel packing of the V2/V3 packed path *is* included: it
+    /// depends on the activations and is genuinely online work.
     pub wall_seconds: f64,
     /// The plan's simulated estimate for the kernel family this backend
     /// ran (`None` when the plan carries no estimate for it).
@@ -128,37 +149,67 @@ impl ExecRun {
     }
 }
 
+/// Opaque product of a backend's offline preparation: everything derived
+/// from the *weights* alone, reusable across any number of online runs.
+///
+/// Each backend downcasts its own state back out via
+/// [`PreparedState::as_any`]; handing one backend's state to another is a
+/// structured error, never undefined behavior. The `Send + Sync` bound is
+/// what lets one [`PreparedLayer`](crate::session::PreparedLayer) serve
+/// concurrent callers.
+pub trait PreparedState: Send + Sync {
+    /// Downcasting hook for the owning backend.
+    fn as_any(&self) -> &dyn Any;
+
+    /// The micro-kernel ISA this preparation dispatched to, when the
+    /// backend runs on the host (CPU ladder); `None` for the simulator.
+    fn isa(&self) -> Option<Isa> {
+        None
+    }
+}
+
 /// A way to execute a resolved plan on concrete operands.
-pub trait ExecBackend {
+///
+/// Implementations split the work along the paper's offline/online line:
+/// [`ExecBackend::prepare`] runs once per weight matrix,
+/// [`ExecBackend::run_prepared`] any number of times per activation batch.
+pub trait ExecBackend: Send + Sync {
     /// The selector this backend answers to.
     fn kind(&self) -> BackendKind;
 
-    /// Execute `C = A ⊛ (B′, D)` under `plan` on `dev`.
+    /// Offline step: stage everything derivable from the weights (`B′`
+    /// layout transformation, `col_info` packing, micro-kernel dispatch)
+    /// under `plan` so [`ExecBackend::run_prepared`] can amortize it.
     ///
-    /// Implementations must return structured errors (never panic) when the
-    /// plan's blocking cannot drive this backend.
-    fn run(
+    /// Implementations must return structured errors (never panic) when
+    /// the plan's blocking cannot drive this backend.
+    fn prepare(
         &self,
         dev: &DeviceConfig,
         plan: &Plan,
+        sb: &NmSparseMatrix,
+    ) -> Result<Box<dyn PreparedState>>;
+
+    /// Online step: execute `C = A ⊛ (B′, D)` against a state this same
+    /// backend prepared from this same `sb`. The returned
+    /// [`ExecRun::wall_seconds`] covers this call only — no staging cost.
+    ///
+    /// # Errors
+    /// A state prepared by a *different* backend is rejected with a
+    /// structured [`NmError::InvalidConfig`]; operand mismatches are
+    /// [`NmError::DimensionMismatch`].
+    fn run_prepared(
+        &self,
+        dev: &DeviceConfig,
+        plan: &Plan,
+        state: &dyn PreparedState,
         a: &MatrixF32,
         sb: &NmSparseMatrix,
     ) -> Result<ExecRun>;
-}
 
-/// The simulated-GPU backend (the pre-existing `Engine::execute` path).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct SimBackend;
-
-impl ExecBackend for SimBackend {
-    fn kind(&self) -> BackendKind {
-        BackendKind::Sim
-    }
-
-    /// Kernels without a functional face fall back to NM-SpMM V3 with the
-    /// plan's tuned blocking: `Dense` (needs a dense `B` operand) and
-    /// `SparseTc` (analytic model only) — the numerics are identical, only
-    /// the event counts differ from the analytic winner.
+    /// One-shot convenience: prepare, then run once. Callers executing the
+    /// same weights repeatedly should hold a
+    /// [`PreparedLayer`](crate::session::PreparedLayer) instead.
     fn run(
         &self,
         dev: &DeviceConfig,
@@ -166,18 +217,83 @@ impl ExecBackend for SimBackend {
         a: &MatrixF32,
         sb: &NmSparseMatrix,
     ) -> Result<ExecRun> {
-        // The family actually executed — for `Dense`/`SparseTc` plans the
-        // fallback runs NM-SpMM V3, and `estimate` must describe the same
-        // family the wall clock measured. Everything below dispatches on
-        // `executed` only.
+        let state = self.prepare(dev, plan, sb)?;
+        self.run_prepared(dev, plan, &*state, a, sb)
+    }
+}
+
+fn foreign_state_error(backend: BackendKind) -> NmError {
+    NmError::InvalidConfig {
+        reason: format!(
+            "prepared state was not produced by the {backend} backend \
+             (prepare and run_prepared must use the same backend)"
+        ),
+    }
+}
+
+/// The simulated-GPU backend.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimBackend;
+
+/// The simulator's prepared state. The functional emulation re-fills its
+/// emulated shared-memory tiles on every launch — exactly like the real
+/// GPU kernel — so there is nothing weight-derived to cache; the state
+/// only proves the prepare/run pairing was respected.
+struct SimPrepared;
+
+impl PreparedState for SimPrepared {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+impl SimBackend {
+    /// The family actually executed — kernels without a functional face
+    /// fall back to NM-SpMM V3 with the plan's tuned blocking: `Dense`
+    /// (needs a dense `B` operand) and `SparseTc` (analytic model only) —
+    /// the numerics are identical, only the event counts differ from the
+    /// analytic winner.
+    fn executed_family(plan: &Plan) -> KernelChoice {
         let has_functional_face =
             matches!(plan.choice, KernelChoice::NmSparse | KernelChoice::Sputnik)
                 || plan.choice.nm_version().is_some();
-        let executed = if has_functional_face {
+        if has_functional_face {
             plan.choice
         } else {
             KernelChoice::NmV3
-        };
+        }
+    }
+}
+
+impl ExecBackend for SimBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Sim
+    }
+
+    fn prepare(
+        &self,
+        _dev: &DeviceConfig,
+        _plan: &Plan,
+        _sb: &NmSparseMatrix,
+    ) -> Result<Box<dyn PreparedState>> {
+        Ok(Box::new(SimPrepared))
+    }
+
+    /// `estimate` must describe the same family the wall clock measured,
+    /// so everything dispatches on the executed family (see
+    /// `executed_family` above).
+    fn run_prepared(
+        &self,
+        dev: &DeviceConfig,
+        plan: &Plan,
+        state: &dyn PreparedState,
+        a: &MatrixF32,
+        sb: &NmSparseMatrix,
+    ) -> Result<ExecRun> {
+        if state.as_any().downcast_ref::<SimPrepared>().is_none() {
+            return Err(foreign_state_error(self.kind()));
+        }
+        let executed = Self::executed_family(plan);
         let t0 = Instant::now();
         let SimRun { c, stats, report } = match executed {
             KernelChoice::NmSparse => NmSparseKernel.run(dev, a, sb),
@@ -200,16 +316,41 @@ impl ExecBackend for SimBackend {
     }
 }
 
+impl PreparedState for CpuPrepared {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn isa(&self) -> Option<Isa> {
+        Some(CpuPrepared::isa(self))
+    }
+}
+
 /// The native CPU backend at one step of the V1→V3 ladder.
 #[derive(Debug, Clone, Copy)]
 pub struct CpuBackend {
     version: NmVersion,
+    /// Explicit micro-kernel, overriding the per-preparation runtime
+    /// dispatch — how a [`Session`](crate::session::Session) pins one ISA
+    /// across every layer it loads.
+    kernel: Option<MicroKernel>,
 }
 
 impl CpuBackend {
-    /// Backend for one ladder step.
+    /// Backend for one ladder step with runtime ISA dispatch.
     pub fn new(version: NmVersion) -> Self {
-        Self { version }
+        Self {
+            version,
+            kernel: None,
+        }
+    }
+
+    /// Backend for one ladder step pinned to an explicit micro-kernel.
+    pub fn with_kernel(version: NmVersion, kernel: MicroKernel) -> Self {
+        Self {
+            version,
+            kernel: Some(kernel),
+        }
     }
 
     /// The ladder step this backend executes.
@@ -223,32 +364,51 @@ impl ExecBackend for CpuBackend {
         BackendKind::Cpu(self.version)
     }
 
-    /// Executes the ladder natively with tile sizes derived from the plan's
-    /// auto-tuned blocking ([`CpuTiling::derive`]) and the micro-kernel
-    /// selected once by [`crate::simd::MicroKernel::select`] (the chosen
-    /// ISA is reported in [`ExecRun::isa`]). A blocking that cannot
-    /// drive the CPU tiles — e.g. `ns` not a multiple of the operand's
-    /// vector length `L` — is a structured [`NmError::InvalidBlocking`].
-    ///
-    /// The offline staging ([`CpuPrepared`]) runs before the wall clock
-    /// starts, so `wall_seconds` measures the online kernel only — the
-    /// same accounting the paper uses for its `col_info` pre-processing.
-    fn run(
+    /// The offline step: tile sizes derived from the plan's auto-tuned
+    /// blocking ([`CpuTiling::derive`]), `B′` staged block-contiguously,
+    /// `col_info` packed where the paper's threshold calls for it, and the
+    /// micro-kernel selected once ([`crate::simd::MicroKernel::select`],
+    /// unless this backend pins one). A blocking that cannot drive the CPU
+    /// tiles — e.g. `ns` not a multiple of the operand's vector length
+    /// `L` — is a structured [`NmError::InvalidBlocking`].
+    fn prepare(
         &self,
         _dev: &DeviceConfig,
         plan: &Plan,
+        sb: &NmSparseMatrix,
+    ) -> Result<Box<dyn PreparedState>> {
+        let tiling = CpuTiling::derive(plan.params, sb.cfg(), sb.k())?;
+        let prep = match self.kernel {
+            Some(k) => CpuPrepared::with_kernel(self.version, sb, tiling, k)?,
+            None => CpuPrepared::new(self.version, sb, tiling)?,
+        };
+        Ok(Box::new(prep))
+    }
+
+    /// The online kernel only — `wall_seconds` excludes every cost
+    /// [`CpuBackend::prepare`] already paid, matching the paper's
+    /// accounting for its `col_info` pre-processing.
+    fn run_prepared(
+        &self,
+        _dev: &DeviceConfig,
+        plan: &Plan,
+        state: &dyn PreparedState,
         a: &MatrixF32,
         sb: &NmSparseMatrix,
     ) -> Result<ExecRun> {
-        let tiling = CpuTiling::derive(plan.params, sb.cfg(), sb.k())?;
-        let prep = CpuPrepared::new(self.version, sb, tiling)?;
+        let Some(prep) = state.as_any().downcast_ref::<CpuPrepared>() else {
+            return Err(foreign_state_error(self.kind()));
+        };
+        if prep.version() != self.version {
+            return Err(foreign_state_error(self.kind()));
+        }
         let estimate = plan.estimates.get(match self.version {
             NmVersion::V1 => KernelChoice::NmV1,
             NmVersion::V2 => KernelChoice::NmV2,
             NmVersion::V3 => KernelChoice::NmV3,
         });
         let t0 = Instant::now();
-        let c = spmm_cpu_prepared(a, sb, &prep)?;
+        let c = spmm_cpu_prepared(a, sb, prep)?;
         let wall_seconds = t0.elapsed().as_secs_f64();
         Ok(ExecRun {
             c,
@@ -312,6 +472,78 @@ mod tests {
             assert!(run.estimate.is_some(), "{kind}: NM estimates exist here");
             assert!(run.gflops(2.0 * 96.0 * 256.0 * 48.0) > 0.0);
         }
+    }
+
+    #[test]
+    fn prepared_state_is_reusable_across_runs() {
+        let dev = a100_80g();
+        let cfg = NmConfig::new(2, 8, 32).unwrap();
+        let plan = Planner::new(dev.clone()).plan(64, 128, 128, cfg).unwrap();
+        let b = MatrixF32::random(128, 128, 21);
+        let sb = NmSparseMatrix::prune_magnitude(&b, cfg).unwrap();
+        for kind in BackendKind::all() {
+            let backend = kind.instantiate();
+            let state = backend.prepare(&dev, &plan, &sb).unwrap();
+            for seed in 0..3u64 {
+                let a = MatrixF32::random(64, 128, 30 + seed);
+                let run = backend.run_prepared(&dev, &plan, &*state, &a, &sb).unwrap();
+                let expect = spmm_reference(&a, &sb);
+                assert!(
+                    run.c.allclose(&expect, 1e-3, 1e-4),
+                    "{kind} seed {seed}: max diff {}",
+                    run.c.max_abs_diff(&expect)
+                );
+            }
+            // The state's ISA report matches the backend family.
+            assert_eq!(state.isa().is_some(), kind != BackendKind::Sim, "{kind}");
+        }
+    }
+
+    #[test]
+    fn foreign_prepared_state_is_a_structured_error() {
+        let dev = a100_80g();
+        let cfg = NmConfig::new(2, 8, 32).unwrap();
+        let plan = Planner::new(dev.clone()).plan(64, 128, 128, cfg).unwrap();
+        let a = MatrixF32::random(64, 128, 1);
+        let b = MatrixF32::random(128, 128, 2);
+        let sb = NmSparseMatrix::prune_magnitude(&b, cfg).unwrap();
+
+        let sim = SimBackend;
+        let cpu = CpuBackend::new(NmVersion::V3);
+        let sim_state = sim.prepare(&dev, &plan, &sb).unwrap();
+        let cpu_state = cpu.prepare(&dev, &plan, &sb).unwrap();
+
+        // Crossing the states over must fail structurally, not compute.
+        let err = cpu
+            .run_prepared(&dev, &plan, &*sim_state, &a, &sb)
+            .unwrap_err();
+        assert!(matches!(err, NmError::InvalidConfig { .. }), "{err}");
+        let err = sim
+            .run_prepared(&dev, &plan, &*cpu_state, &a, &sb)
+            .unwrap_err();
+        assert!(matches!(err, NmError::InvalidConfig { .. }), "{err}");
+
+        // So must handing a V3 preparation to a V1 backend.
+        let err = CpuBackend::new(NmVersion::V1)
+            .run_prepared(&dev, &plan, &*cpu_state, &a, &sb)
+            .unwrap_err();
+        assert!(matches!(err, NmError::InvalidConfig { .. }), "{err}");
+    }
+
+    #[test]
+    fn pinned_kernel_drives_every_preparation() {
+        let dev = a100_80g();
+        let cfg = NmConfig::new(2, 8, 32).unwrap();
+        let plan = Planner::new(dev.clone()).plan(32, 64, 64, cfg).unwrap();
+        let b = MatrixF32::random(64, 64, 3);
+        let sb = NmSparseMatrix::prune_magnitude(&b, cfg).unwrap();
+        let backend = CpuBackend::with_kernel(NmVersion::V2, MicroKernel::scalar());
+        let state = backend.prepare(&dev, &plan, &sb).unwrap();
+        assert_eq!(state.isa(), Some(Isa::Scalar));
+        let a = MatrixF32::random(32, 64, 4);
+        let run = backend.run_prepared(&dev, &plan, &*state, &a, &sb).unwrap();
+        assert_eq!(run.isa, Some(Isa::Scalar));
+        assert!(run.c.allclose(&spmm_reference(&a, &sb), 1e-3, 1e-4));
     }
 
     #[test]

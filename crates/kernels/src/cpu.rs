@@ -69,7 +69,8 @@ pub struct CpuTiling {
     /// Columns of `C` per block, a multiple of `L`; from `ns`.
     pub nb: usize,
     /// Dense k-depth per block, a multiple of `M`; sized to keep one
-    /// staged `B′` block under [`B_BLOCK_BYTES`].
+    /// staged `B′` block within the cache-capacity budget
+    /// (`B_BLOCK_BYTES`).
     pub kb: usize,
     /// Rows per general-path register tile (the fast path uses the fixed
     /// 4×16 micro-tile); from `mt`.
@@ -125,6 +126,27 @@ impl CpuTiling {
     }
 }
 
+thread_local! {
+    /// See [`offline_staging_passes`].
+    static STAGING_PASSES: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Staging-cost probe: how many offline preparations ([`CpuPrepared`]
+/// constructions — `B′` block staging plus any `col_info` packing) the
+/// **current thread** has run since it started.
+///
+/// This exists so callers can *prove* the prepare-once contract rather
+/// than trust it: read the counter, call
+/// [`forward`](crate::session::PreparedLayer::forward) as often as you
+/// like, read it again — an unchanged count demonstrates that no hidden
+/// re-staging happened on the calling thread. The counter is thread-local
+/// (preparation always runs on the caller's thread) so concurrent tests
+/// cannot disturb each other's readings; the increment is one
+/// thread-local add per preparation, noise next to the staging itself.
+pub fn offline_staging_passes() -> u64 {
+    STAGING_PASSES.with(|c| c.get())
+}
+
 fn lcm(a: usize, b: usize) -> usize {
     fn gcd(mut a: usize, mut b: usize) -> usize {
         while b != 0 {
@@ -155,15 +177,45 @@ pub struct CpuPrepared {
     kernel: MicroKernel,
     /// Shape/config fingerprint of the operand this was prepared for.
     /// `(cfg, w, n, k)` catches shape and sparsity-pattern-class mixups;
-    /// a *different* matrix with identical shape and config is
-    /// indistinguishable — callers must execute against the same `sb`
-    /// they prepared from.
+    /// `content_fp` additionally samples the values and indices so a
+    /// *different* matrix with identical shape and config is rejected
+    /// too, instead of silently gathering against the wrong staging.
     cfg: NmConfig,
     w: usize,
     n: usize,
     k: usize,
+    content_fp: u64,
     staged: StagedB,
     packed: Option<PackedLayout>,
+}
+
+/// FNV-1a over a bounded strided sample of `B′` values and `D` indices —
+/// ≤128 probes however large the matrix, so verifying it per call is
+/// noise next to the multiply, yet a same-shape-same-config *different*
+/// matrix collides only if the sampled entries all agree bit for bit.
+fn content_fingerprint(sb: &NmSparseMatrix) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    let values = sb.values();
+    let d = sb.indices();
+    let (w, n, q) = (sb.w(), sb.cols(), sb.q());
+    if w == 0 || n == 0 {
+        return h;
+    }
+    let samples = 64usize;
+    for s in 0..samples {
+        // Deterministic stride over the (w × n) value grid.
+        let u = s * w / samples;
+        let j = (s * 31) % n;
+        mix(values.row(u)[j].to_bits() as u64);
+        if q > 0 {
+            mix(d.get(u, (s * 7) % q) as u64);
+        }
+    }
+    h
 }
 
 impl CpuPrepared {
@@ -214,6 +266,7 @@ impl CpuPrepared {
                 ),
             });
         }
+        STAGING_PASSES.with(|c| c.set(c.get() + 1));
         let (k, n) = (sb.k(), sb.cols());
         // Effective block geometry, clamped to the (padded) problem so
         // neither the staging nor `preprocess` builds blocks larger than
@@ -245,6 +298,7 @@ impl CpuPrepared {
             w: sb.w(),
             n,
             k,
+            content_fp: content_fingerprint(sb),
             staged,
             packed,
         })
@@ -301,11 +355,11 @@ pub fn spmm_cpu(
 /// would).
 ///
 /// # Errors
-/// [`NmError::DimensionMismatch`] when `a.cols() != sb.k()` or when `sb`'s
-/// shape/config disagrees with what `prep` was prepared from. The check is
-/// a fingerprint, not a content comparison: a *different* matrix with
-/// identical shape and config passes it, so callers must execute against
-/// the same `sb` they prepared.
+/// [`NmError::DimensionMismatch`] when `a.cols() != sb.k()`, when `sb`'s
+/// shape/config disagrees with what `prep` was prepared from, or when a
+/// *different* matrix with identical shape and config is substituted (a
+/// bounded content-fingerprint sample catches the swap instead of letting
+/// the kernel gather against the wrong staging).
 pub fn spmm_cpu_prepared(
     a: &MatrixF32,
     sb: &NmSparseMatrix,
@@ -325,6 +379,14 @@ pub fn spmm_cpu_prepared(
                 prep.k, prep.n, prep.cfg
             ),
             found: format!("B′ for a {}x{} {} matrix", sb.k(), sb.cols(), sb.cfg()),
+        });
+    }
+    if prep.content_fp != content_fingerprint(sb) {
+        return Err(NmError::DimensionMismatch {
+            expected: "the same B′ this preparation was staged from".into(),
+            found: "a different matrix with identical shape and config \
+                    (content fingerprint mismatch)"
+                .into(),
         });
     }
 
@@ -970,6 +1032,19 @@ mod tests {
             spmm_cpu_prepared(&a, &recfg, &prep),
             Err(NmError::DimensionMismatch { .. })
         ));
+        // A *different* matrix with identical shape AND config: shape
+        // fields collide, the content fingerprint must not.
+        let swapped = NmSparseMatrix::prune_magnitude(&MatrixF32::random(64, 32, 99), c).unwrap();
+        assert_eq!(
+            (swapped.w(), swapped.cols(), swapped.k(), swapped.cfg()),
+            (sb.w(), sb.cols(), sb.k(), sb.cfg()),
+            "setup: identical shape and config on purpose"
+        );
+        let err = spmm_cpu_prepared(&a, &swapped, &prep).unwrap_err();
+        assert!(
+            err.to_string().contains("fingerprint"),
+            "swapping in a same-shape different matrix must be caught: {err}"
+        );
     }
 
     #[test]

@@ -1,25 +1,23 @@
-//! The execution engine: a [`Planner`] with file-backed persistence and
-//! backend dispatch.
+//! The planning engine: a [`Planner`] with file-backed persistence.
 //!
-//! [`Engine`] is the one object bench bins, examples and the layer-sweep
-//! driver hold: it plans through the shared [`PlanCache`], optionally
-//! hydrates that cache from a JSON file at startup and writes it back on
-//! [`Engine::save`], and can execute a problem through any
-//! [`ExecBackend`](crate::backend::ExecBackend) — the simulated GPU
-//! kernels or the native CPU V1→V3 ladder — with the plan's auto-tuned
-//! blocking driving both. The CPU backend additionally reports which
-//! micro-kernel ISA its runtime dispatch selected
-//! ([`ExecRun::isa`](crate::backend::ExecRun::isa)). Repeated sweeps over
-//! the same shapes become O(1) lookups; [`Engine::stats`] reports the
-//! hit/miss/entry counts so a sweep can prove its cache behaved.
+//! [`Engine`] owns the *planning* half of the pipeline: it plans through
+//! the shared [`PlanCache`], optionally hydrates that cache from a JSON
+//! file at startup and writes it back on [`Engine::save`]. Repeated
+//! sweeps over the same shapes become O(1) lookups; [`Engine::stats`]
+//! reports the hit/miss/entry counts so a sweep can prove its cache
+//! behaved.
+//!
+//! *Execution* lives one layer up: a [`Session`](crate::session::Session)
+//! wraps an engine and turns plans into prepared, reusable layer handles
+//! ([`PreparedLayer`](crate::session::PreparedLayer)). The engine itself
+//! no longer executes anything — estimate-only consumers (the figure
+//! bins, analysis tooling) use it directly; everything that runs numerics
+//! goes through the session API.
 
-use crate::backend::{BackendKind, ExecRun};
 use crate::plan::{Plan, PlanCache, Planner};
 use gpu_sim::device::DeviceConfig;
 use nm_core::error::Result;
-use nm_core::matrix::MatrixF32;
 use nm_core::pattern::NmConfig;
-use nm_core::sparse::NmSparseMatrix;
 use std::path::{Path, PathBuf};
 
 /// Cache-effectiveness counters for one engine.
@@ -43,7 +41,8 @@ impl std::fmt::Display for CacheStats {
     }
 }
 
-/// Planner + persistence + functional dispatch for one device.
+/// Planner + persistence for one device (execution lives in
+/// [`Session`](crate::session::Session)).
 #[derive(Debug, Clone)]
 pub struct Engine {
     planner: Planner,
@@ -111,59 +110,12 @@ impl Engine {
             None => Ok(false),
         }
     }
-
-    /// Plan and execute `C = A ⊛ (B′, D)` through an **explicit** backend:
-    /// [`BackendKind::Sim`] runs the chosen simulated kernel,
-    /// [`BackendKind::Cpu`] runs the native ladder with the plan's blocking
-    /// driving the CPU tile sizes. The returned [`ExecRun`] carries the
-    /// measured wall-clock time alongside the plan's simulated estimate.
-    ///
-    /// # Errors
-    /// Propagates planning failures, and — for the CPU backend — a
-    /// structured [`nm_core::error::NmError::InvalidBlocking`] (never a
-    /// panic) when the plan's blocking cannot drive the CPU tiles.
-    pub fn execute(
-        &mut self,
-        a: &MatrixF32,
-        sb: &NmSparseMatrix,
-        backend: BackendKind,
-    ) -> Result<ExecRun> {
-        let (m, k) = a.shape();
-        let n = sb.cols();
-        debug_assert_eq!(k, sb.k(), "caller passes matching operands");
-        let plan = self.plan(m, n, k, sb.cfg())?;
-        self.run_plan(&plan, a, sb, backend)
-    }
-
-    /// Execute an already computed plan on concrete operands through an
-    /// explicit backend.
-    ///
-    /// The operands need not match the plan's shape class — every backend
-    /// re-derives its grid/tiling from the actual dimensions — which lets
-    /// callers (e.g. the layer-sweep driver) plan at full model size but
-    /// execute a scaled-down instance without touching the cache again.
-    /// See [`crate::backend::SimBackend`] for the simulator's fallback
-    /// rules and [`crate::backend::CpuBackend`] for the CPU tiling
-    /// derivation; error behavior matches [`Engine::execute`].
-    pub fn run_plan(
-        &self,
-        plan: &Plan,
-        a: &MatrixF32,
-        sb: &NmSparseMatrix,
-        backend: BackendKind,
-    ) -> Result<ExecRun> {
-        backend
-            .instantiate()
-            .run(self.planner.device(), plan, a, sb)
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use gpu_sim::device::a100_80g;
-    use nm_core::prune::PrunePolicy;
-    use nm_core::spmm::spmm_reference;
 
     fn tmp_path(name: &str) -> PathBuf {
         let mut p = std::env::temp_dir();
@@ -183,60 +135,18 @@ mod tests {
     }
 
     #[test]
-    fn execute_matches_reference_through_chosen_kernel() {
+    fn repeated_plans_across_levels_count_hits_per_shape_class() {
         let mut eng = Engine::new(a100_80g());
-        for (round, cfg) in [
+        for cfg in [
             NmConfig::new(8, 16, 32).unwrap(),
             NmConfig::new(2, 16, 32).unwrap(),
             NmConfig::new(8, 16, 32).unwrap(), // repeat: planned from cache
-        ]
-        .into_iter()
-        .enumerate()
-        {
-            let a = MatrixF32::random(96, 256, 3);
-            let b = MatrixF32::random(256, 128, 4);
-            let sb = NmSparseMatrix::prune(&b, cfg, PrunePolicy::Random { seed: 5 }).unwrap();
-            let run = eng.execute(&a, &sb, BackendKind::Sim).unwrap();
-            let expect = spmm_reference(&a, &sb);
-            assert!(
-                run.c.allclose(&expect, 1e-3, 1e-4),
-                "round {round} {cfg}: max diff {}",
-                run.c.max_abs_diff(&expect)
-            );
-            assert!(
-                run.stats.is_some() && run.report.is_some(),
-                "sim backend carries the event counts and timing report"
-            );
+        ] {
+            let plan = eng.plan(96, 256, 128, cfg).unwrap();
+            assert_eq!(plan.key.cfg().unwrap(), cfg);
         }
         let s = eng.stats();
         assert_eq!((s.entries, s.hits, s.misses), (2, 1, 2));
-    }
-
-    #[test]
-    fn execute_through_every_backend_agrees() {
-        let mut eng = Engine::new(a100_80g());
-        let cfg = NmConfig::new(2, 8, 32).unwrap();
-        let a = MatrixF32::random(64, 128, 6);
-        let b = MatrixF32::random(128, 96, 7);
-        let sb = NmSparseMatrix::prune(&b, cfg, PrunePolicy::Random { seed: 8 }).unwrap();
-        let expect = spmm_reference(&a, &sb);
-        for backend in BackendKind::all() {
-            let run = eng.execute(&a, &sb, backend).unwrap();
-            assert!(
-                run.c.allclose(&expect, 1e-3, 1e-4),
-                "{backend}: max diff {}",
-                run.c.max_abs_diff(&expect)
-            );
-            assert!(run.wall_seconds > 0.0);
-            assert_eq!(
-                run.isa.is_some(),
-                backend != BackendKind::Sim,
-                "{backend}: only the native CPU ladder reports a host ISA"
-            );
-        }
-        // One shape class: a single miss, then three cache hits.
-        let s = eng.stats();
-        assert_eq!((s.entries, s.hits, s.misses), (1, 3, 1));
     }
 
     #[test]

@@ -29,9 +29,18 @@
 //! decision plus the exhaustive autotune once per
 //! `(device, shape class, N:M)` key and memoizes the winning [`plan::Plan`]
 //! in a JSON-serializable [`plan::PlanCache`]; `Engine` adds file-backed
-//! persistence and dispatch through an explicit execution backend. Bench
-//! bins and the `nm-workloads` layer-sweep driver consume that API instead
-//! of hand-wiring kernel selection.
+//! persistence.
+//!
+//! ## The session API — the public execution surface
+//!
+//! Execution goes through [`session`]: a [`session::Session`] (built by
+//! [`session::SessionBuilder`]) turns weights into
+//! [`session::PreparedLayer`] handles that plan, stage and dispatch
+//! **once**, then amortize that offline work across every
+//! `forward`/`forward_batch` call — the paper's offline/online split as
+//! an object. Examples, bench bins and the `nm-workloads` layer-sweep
+//! driver all execute through sessions; nothing outside this crate drives
+//! a backend or a `CpuPrepared` by hand.
 //!
 //! ## Execution backends
 //!
@@ -67,6 +76,7 @@ pub mod nm;
 pub mod nmsparse;
 pub mod params;
 pub mod plan;
+pub mod session;
 pub mod simd;
 pub mod sparse_tc;
 pub mod sputnik;
@@ -80,6 +90,7 @@ pub use nm::{NmSpmmKernel, NmVersion};
 pub use nmsparse::NmSparseKernel;
 pub use params::{Blocking, BlockingParams};
 pub use plan::{KernelChoice, Plan, PlanCache, PlanKey, Planner};
+pub use session::{PreparedLayer, PreparedModel, Session, SessionBuilder};
 pub use simd::{Isa, MicroKernel};
 pub use sparse_tc::SparseTensorCoreKernel;
 pub use sputnik::SputnikKernel;

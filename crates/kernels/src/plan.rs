@@ -86,14 +86,16 @@ fn device_fingerprint(dev: &DeviceConfig) -> String {
 
 /// Cache key: device identity, shape class and sparsity configuration.
 ///
-/// `m`, `n`, `k` are stored **padded** to [`CLASS_GRANULE`]; plans are
+/// `m`, `n`, `k` are stored **padded** to the 32-element class granule;
+/// plans are
 /// computed from these padded dimensions, so equal keys yield equal plans.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct PlanKey {
     /// Device name (from [`DeviceConfig::name`]).
     pub device: String,
-    /// Fingerprint of the device's timing-relevant parameters — see
-    /// [`device_fingerprint`].
+    /// FNV-1a fingerprint of the device's timing-relevant parameters,
+    /// so an edited device model (same name, different silicon) misses
+    /// instead of replaying stale estimates.
     pub device_fp: String,
     /// Padded output rows.
     pub m: usize,

@@ -1,13 +1,15 @@
 //! Batched layer sweep: drive a whole model's linear layers through the
-//! unified kernel planner.
+//! prepared-session API.
 //!
-//! This is the serving-shaped loop the ROADMAP asks for: given an
-//! [`Engine`] (device + plan cache) and one Llama model, plan every linear
-//! layer at a fixed sequence length, optionally execute each layer
-//! functionally — through the *simulated* kernel the plan chose **and**
-//! through the real multi-threaded CPU path (`nm_core::parallel`), cross
-//! checking the numerics — and emit a per-layer report: chosen kernel,
-//! tuned blocking, estimated seconds and speedup over the dense baseline.
+//! This is the serving-shaped loop the ROADMAP asks for: given a
+//! [`Session`] (device + plan cache + backend configuration) and one
+//! Llama model, plan every linear layer at a fixed sequence length,
+//! optionally execute each layer functionally — through the *simulated*
+//! kernel the plan chose (a [`PreparedLayer`](nm_kernels::PreparedLayer)
+//! on the Sim backend) **and** through the real multi-threaded CPU path
+//! (`nm_core::parallel`), cross checking the numerics — and emit a
+//! per-layer report: chosen kernel, tuned blocking, estimated seconds and
+//! speedup over the dense baseline.
 //!
 //! Because the planner memoizes by `(device, shape class, N:M)`, sweeping
 //! a model exercises the cache naturally — Llama's `mlp.gate` and `mlp.up`
@@ -21,8 +23,8 @@ use nm_core::parallel::{gemm_parallel, spmm_parallel, CpuSpmmOptions, Strategy};
 use nm_core::pattern::NmConfig;
 use nm_core::sparse::NmSparseMatrix;
 use nm_kernels::backend::BackendKind;
-use nm_kernels::engine::Engine;
 use nm_kernels::plan::Plan;
+use nm_kernels::session::Session;
 use std::time::Instant;
 
 use crate::llama::{layer_shapes, LayerShape, LlamaModel};
@@ -176,22 +178,22 @@ fn scaled_dim(d: usize, div: usize) -> usize {
 }
 
 /// Plan (and per [`SweepOptions::execute`], run) every linear layer of
-/// `model` through the engine at one sparsity level.
+/// `model` through the session at one sparsity level.
 pub fn sweep_model(
-    engine: &mut Engine,
+    session: &mut Session,
     model: &LlamaModel,
     cfg: NmConfig,
     opts: &SweepOptions,
 ) -> Result<SweepReport> {
     let shapes = model_layers(model);
-    let before = engine.stats();
+    let before = session.stats();
 
     // Planning pass: full-size shapes, O(1) on cache hits.
     let mut layers = Vec::with_capacity(shapes.len());
     for shape in &shapes {
-        let hits_before = engine.stats().hits;
-        let plan = engine.plan(opts.seq_len, shape.n, shape.k, cfg)?;
-        let cache_hit = engine.stats().hits > hits_before;
+        let hits_before = session.stats().hits;
+        let plan = session.plan(opts.seq_len, shape.n, shape.k, cfg)?;
+        let cache_hit = session.stats().hits > hits_before;
         let est_ms = plan.best().seconds * 1e3;
         let dense_ms = plan.estimates.dense.seconds * 1e3;
         layers.push(LayerReport {
@@ -206,11 +208,12 @@ pub fn sweep_model(
             exec: None,
         });
     }
-    let after = engine.stats();
+    let after = session.stats();
 
     // Execution pass: real numerics through the chosen simulated kernel
-    // and the CPU path, at (possibly scaled) dimensions. Runs via
-    // `run_plan`, so it does not touch the cache counters above.
+    // and the CPU path, at (possibly scaled) dimensions. Each layer is
+    // prepared against the full-size plan via `Session::load_planned`, so
+    // the pass does not touch the cache counters above.
     if let Some(div) = opts.execute.divisor() {
         for (row, shape) in layers.iter_mut().zip(&shapes) {
             let (me, ne, ke) = (
@@ -239,8 +242,10 @@ pub fn sweep_model(
             let _ = gemm_parallel(&a, &bd);
             let cpu_dense_ms = t0.elapsed().as_secs_f64() * 1e3;
 
-            // Simulated kernel, functional face.
-            let run = engine.run_plan(&row.plan, &a, &sb, BackendKind::Sim)?;
+            // Simulated kernel, functional face, through a prepared
+            // handle carrying the full-size plan.
+            let layer = session.load_planned(row.plan.clone(), sb, BackendKind::Sim)?;
+            let run = layer.forward(&a)?;
             row.exec = Some(ExecReport {
                 m: me,
                 n: ne,
@@ -253,7 +258,7 @@ pub fn sweep_model(
     }
 
     Ok(SweepReport {
-        device: engine.device().name.clone(),
+        device: session.device().name.clone(),
         model: model.name,
         cfg,
         seq_len: opts.seq_len,
@@ -268,6 +273,7 @@ mod tests {
     use super::*;
     use crate::llama::LLAMA_FAMILY;
     use gpu_sim::device::a100_80g;
+    use nm_kernels::session::SessionBuilder;
 
     fn small_opts(execute: ExecutePolicy) -> SweepOptions {
         SweepOptions {
@@ -277,9 +283,13 @@ mod tests {
         }
     }
 
+    fn session() -> Session {
+        SessionBuilder::new(a100_80g()).build().unwrap()
+    }
+
     #[test]
     fn sweep_reports_every_layer_with_dense_speedup() {
-        let mut eng = Engine::new(a100_80g());
+        let mut eng = session();
         let cfg = NmConfig::new(2, 16, 32).unwrap();
         let report = sweep_model(
             &mut eng,
@@ -305,7 +315,7 @@ mod tests {
 
     #[test]
     fn gate_and_up_share_a_plan_cache_entry() {
-        let mut eng = Engine::new(a100_80g());
+        let mut eng = session();
         let cfg = NmConfig::new(4, 16, 32).unwrap();
         let report = sweep_model(
             &mut eng,
@@ -339,7 +349,7 @@ mod tests {
 
     #[test]
     fn scaled_execution_cross_checks_sim_against_cpu() {
-        let mut eng = Engine::new(a100_80g());
+        let mut eng = session();
         let cfg = NmConfig::new(2, 16, 32).unwrap();
         let report = sweep_model(
             &mut eng,

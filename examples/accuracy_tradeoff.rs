@@ -11,7 +11,7 @@
 use nm_spmm::core::confusion::report;
 use nm_spmm::core::prune::PrunePolicy;
 use nm_spmm::core::spmm::{gemm_reference_f64, spmm_reference};
-use nm_spmm::kernels::{DenseGemmKernel, NmSpmmKernel, NmVersion};
+use nm_spmm::kernels::SessionBuilder;
 use nm_spmm::prelude::*;
 
 fn main() {
@@ -19,10 +19,10 @@ fn main() {
     let a = MatrixF32::random(m, k, 21);
     let b = MatrixF32::random(k, n, 22);
     let dense = gemm_reference_f64(&a, &b);
-    let dev = a100_80g();
-    let dense_sim = DenseGemmKernel::auto(m, n)
-        .estimate(&dev, m, n, k)
-        .expect("dense");
+    // Plans (and their per-family estimates) come from one session; every
+    // (N:M, L) pair below is a cached planning call, not a hand-wired
+    // kernel instantiation.
+    let mut session = SessionBuilder::new(a100_80g()).build().expect("session");
 
     println!("== accuracy vs speedup (m={m}, n={n}, k={k}, A100) ==\n");
     println!(
@@ -37,11 +37,11 @@ fn main() {
                 let sb = NmSparseMatrix::prune(&b, cfg, policy).expect("prune");
                 let c = spmm_reference(&a, &sb);
                 let rep = report(&c, &dense);
-                // GPU-side speedup needs ns % L == 0; the auto kernel for
-                // this shape uses ns=32, so L=32 works and L=4 works too.
-                let sim = NmSpmmKernel::auto(NmVersion::V3, m, n)
-                    .estimate(&dev, m, n, k, cfg, None)
-                    .expect("estimate");
+                // The plan carries the tuned V3 estimate (ns % L == 0 by
+                // construction for these L) and the dense baseline.
+                let plan = session.plan(m, n, k, cfg).expect("plan");
+                let sim = plan.estimates.nm_v3.unwrap_or_else(|| plan.best());
+                let dense_sim = plan.estimates.dense;
                 let policy_name = match policy {
                     PrunePolicy::Magnitude => "magnitude",
                     PrunePolicy::Random { .. } => "random",

@@ -1,18 +1,21 @@
 //! Prune one Llama-7B linear layer and compare serving cost across sparsity
 //! levels — the paper's motivating workload (§IV-A).
 //!
-//! Prints, per sparsity level: real multi-core CPU wall time, simulated
-//! A100 latency, speedup against the dense baselines, and the accuracy
-//! cost of the approximation.
+//! Per sparsity level, the layer is loaded into the session **once**
+//! (offline: plan + stage + pack) and the printed CPU wall time is the
+//! online `forward` cost only — the amortized per-call number a serving
+//! system actually pays. Alongside: simulated A100 latency, speedups
+//! against the dense baselines, and the accuracy cost of the
+//! approximation.
 //!
 //! ```sh
 //! cargo run --release --example llama_layer
 //! ```
 
 use nm_spmm::core::confusion::total_confusion;
-use nm_spmm::core::parallel::{gemm_parallel, spmm_parallel, CpuSpmmOptions};
+use nm_spmm::core::parallel::gemm_parallel;
 use nm_spmm::core::spmm::gemm_reference_f64;
-use nm_spmm::kernels::Engine;
+use nm_spmm::kernels::{BackendKind, NmVersion, SessionBuilder};
 use nm_spmm::prelude::*;
 use nm_spmm::workloads::levels::{benchmark_levels, label};
 use nm_spmm::workloads::llama::layer_shapes;
@@ -42,15 +45,19 @@ fn main() {
 
     let a = MatrixF32::random(m, k, 7);
     let b = MatrixF32::random(k, n, 8);
-    // The engine owns kernel selection: one plan per (shape class, N:M)
-    // carries the tuned blocking and every family's estimate.
-    let mut engine = Engine::new(a100_80g());
+    // The session owns kernel selection and execution: one plan per
+    // (shape class, N:M) carries the tuned blocking and every family's
+    // estimate; one prepared layer per level owns the staged weights.
+    let mut session = SessionBuilder::new(a100_80g())
+        .backend(BackendKind::Cpu(NmVersion::V3))
+        .build()
+        .expect("session");
 
     // Dense baselines.
     let t0 = Instant::now();
     let dense_cpu = gemm_parallel(&a, &b);
     let dense_wall = t0.elapsed();
-    let dense_sim = engine
+    let dense_sim = session
         .plan(m, n, k, benchmark_levels()[0])
         .expect("plan")
         .estimates
@@ -69,18 +76,19 @@ fn main() {
     );
     for cfg in benchmark_levels() {
         let sb = NmSparseMatrix::prune_magnitude(&b, cfg).expect("prune");
-        let plan = engine.plan(m, n, k, cfg).expect("plan");
-        let t0 = Instant::now();
-        let c = spmm_parallel(&a, &sb, &CpuSpmmOptions::default());
-        let wall = t0.elapsed();
+        // Offline, once per level: plan (cached), stage, pack, dispatch.
+        let layer = session.load(sb, m).expect("load layer");
+        // Online: the amortized forward pass the wall clock measures.
+        let run = layer.forward(&a).expect("forward");
+        let plan = layer.plan();
         let sim = plan.best();
-        let err = total_confusion(&c, &oracle);
+        let err = total_confusion(&run.c, &oracle);
         println!(
             "{:>9} {:>6.1}x {:>11.1}m {:>11.2}x {:>9.3}m {:>9.2}x {:>12.5}  {}",
             label(&cfg),
             cfg.ideal_speedup(),
-            wall.as_secs_f64() * 1e3,
-            dense_wall.as_secs_f64() / wall.as_secs_f64(),
+            run.wall_seconds * 1e3,
+            dense_wall.as_secs_f64() / run.wall_seconds,
             sim.seconds * 1e3,
             plan.speedup_vs_dense(),
             err,
@@ -88,8 +96,8 @@ fn main() {
         );
         // The sparse result must agree with dense wherever B survived:
         // cheap structural sanity check on one run.
-        assert_eq!(c.shape(), dense_cpu.shape());
+        assert_eq!(run.c.shape(), dense_cpu.shape());
     }
     println!("\n(accuracy degrades as sparsity rises — the tradeoff the N:M literature tunes)");
-    println!("plan cache after the sweep: {}", engine.stats());
+    println!("plan cache after the sweep: {}", session.stats());
 }

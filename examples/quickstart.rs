@@ -1,5 +1,6 @@
-//! Quickstart: prune a weight matrix to 2:4 vector-wise sparsity, multiply,
-//! verify, and simulate the GPU kernel.
+//! Quickstart: prune a weight matrix to 2:4 vector-wise sparsity, load it
+//! into a prepared session **once**, then run forward passes that amortize
+//! all offline work — plus a tour of the analysis model underneath.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -7,9 +8,8 @@
 
 use nm_spmm::analysis::strategy::Strategy;
 use nm_spmm::core::confusion;
-use nm_spmm::core::parallel::{spmm_parallel, CpuSpmmOptions};
 use nm_spmm::core::spmm::{gemm_reference, spmm_reference};
-use nm_spmm::kernels::{BackendKind, DenseGemmKernel, Engine, NmSpmmKernel, NmVersion};
+use nm_spmm::kernels::{BackendKind, NmVersion, SessionBuilder};
 use nm_spmm::prelude::*;
 
 fn main() {
@@ -20,7 +20,8 @@ fn main() {
 
     // 2. Prune B to 2:4 sparsity with vector length 4 (50% of weights gone).
     let cfg = NmConfig::new(2, 4, 4).expect("valid config");
-    let sb = NmSparseMatrix::prune_magnitude(&b, cfg).expect("prune");
+    // Arc so the per-backend loads below share one compressed copy.
+    let sb = std::sync::Arc::new(NmSparseMatrix::prune_magnitude(&b, cfg).expect("prune"));
     println!(
         "pruned B {}x{} at {} -> B' {}x{} + D {}x{} ({:.2}x smaller bit-packed)",
         k,
@@ -33,62 +34,55 @@ fn main() {
         sb.compression_ratio(IndexLayout::BitPacked),
     );
 
-    // 3. Multiply with the parallel CPU kernel and verify against Eq. (1).
-    let c = spmm_parallel(&a, &sb, &CpuSpmmOptions::default());
+    // 3. Build a session and load the layer ONCE: this is every offline
+    //    cost in one place — strategy decision + exhaustive autotune
+    //    (memoized in the plan cache), B' layout transformation, col_info
+    //    packing, micro-kernel ISA dispatch. The handle owns it all.
+    let mut session = SessionBuilder::new(a100_80g())
+        .backend(BackendKind::Cpu(NmVersion::V3))
+        .build()
+        .expect("session");
+    let layer = session.load(sb.clone(), m).expect("load layer");
+
+    // 4. Forward passes are the online path: nothing is re-planned or
+    //    re-staged, and `wall_seconds` measures exactly the per-call cost.
+    let run = layer.forward(&a).expect("forward");
     let oracle = spmm_reference(&a, &sb);
     assert!(
-        c.allclose(&oracle, 1e-3, 1e-4),
-        "CPU kernel disagrees with Eq. (1)"
+        run.c.allclose(&oracle, 1e-3, 1e-4),
+        "prepared layer disagrees with Eq. (1)"
     );
-    println!("CPU kernel matches the Eq. (1) oracle ✓");
+    println!(
+        "prepared {} forward: {:.2} ms wall ({} micro-kernel), matches the Eq. (1) oracle ✓",
+        layer.backend(),
+        run.wall_seconds * 1e3,
+        run.isa.map(|i| i.name()).unwrap_or("-"),
+    );
 
-    // 4. How good is the approximation of the dense product?
+    // 5. Batched serving: one prepared layer, many activation batches —
+    //    members are validated up front and fanned across the worker pool.
+    let batch: Vec<MatrixF32> = (0..4).map(|i| MatrixF32::random(32, k, 10 + i)).collect();
+    let runs = layer.forward_batch(&batch).expect("batch");
+    println!(
+        "batched forward: {} members, {:.2} ms total wall",
+        runs.len(),
+        runs.iter().map(|r| r.wall_seconds).sum::<f64>() * 1e3
+    );
+
+    // 6. How good is the approximation of the dense product?
     let dense_c = gemm_reference(&a, &b);
-    let rep = confusion::report(&c, &dense_c);
+    let rep = confusion::report(&run.c, &dense_c);
     println!(
         "approximation vs dense GEMM: mean |err| {:.4}, rel. Frobenius {:.3}",
         rep.mean_abs_error, rep.rel_frobenius
     );
 
-    // 5. Simulate the NM-SpMM V3 kernel on an A100 against dense cuBLAS.
-    let dev = a100_80g();
-    let run = NmSpmmKernel::auto(NmVersion::V3, m, n)
-        .run(&dev, &a, &sb)
-        .expect("simulated run");
-    assert!(run.c.allclose(&oracle, 1e-3, 1e-4), "GPU kernel disagrees");
-    let dense = DenseGemmKernel::auto(m, n)
-        .estimate(&dev, m, n, k)
-        .expect("dense estimate");
-    println!(
-        "simulated {}: {:.2} TFLOPS ({:.1}% of peak), {:.2}x vs dense GEMM (ideal {:.1}x)",
-        dev.name,
-        run.report.tflops,
-        100.0 * run.report.efficiency,
-        dense.seconds / run.report.seconds,
-        cfg.ideal_speedup()
-    );
-
-    // 6. Ask the analysis model why.
-    let plan = NmSpmmKernel::auto(NmVersion::V3, m, n)
-        .plan(&dev, m, n, k, cfg)
-        .expect("plan");
-    let d = plan.decision;
-    println!(
-        "strategy: packing = {} (sparsity {:.1}% vs 70% threshold), AI = {:.1} FLOP/B, {:?}",
-        d.packing,
-        100.0 * d.sparsity,
-        d.ai_flops_per_byte,
-        d.predicted_bound,
-    );
-    let _ = Strategy::transition_sparsity(&dev, 64, 128, plan.blocking.ks);
-
-    // 7. Or let the engine own everything: plan once (strategy + autotune,
-    //    memoized), then run the same plan through any execution backend —
-    //    the simulator, or the native CPU V1→V3 ladder with measured wall
-    //    clocks.
-    let mut engine = Engine::new(a100_80g());
+    // 7. The same handle API runs every backend — the simulated GPU
+    //    kernels (timing model + event counts) and the native CPU ladder —
+    //    and repeated loads plan from the cache.
     for backend in BackendKind::all() {
-        let run = engine.execute(&a, &sb, backend).expect("execute");
+        let layer = session.load_on(sb.clone(), m, backend).expect("load");
+        let run = layer.forward(&a).expect("forward");
         assert!(run.c.allclose(&oracle, 1e-3, 1e-4), "{backend} disagrees");
         println!(
             "{backend:>14}: {:.2} ms wall{}",
@@ -98,5 +92,26 @@ fn main() {
                 .unwrap_or_default(),
         );
     }
-    println!("plan cache: {}", engine.stats());
+    println!("plan cache: {}", session.stats());
+
+    // 8. Ask the analysis model why the plan looks the way it does.
+    let plan = session.plan(m, n, k, cfg).expect("plan");
+    let d = plan.decision;
+    println!(
+        "strategy: packing = {} (sparsity {:.1}% vs 70% threshold), AI = {:.1} FLOP/B, {:?}",
+        d.packing,
+        100.0 * d.sparsity,
+        d.ai_flops_per_byte,
+        d.predicted_bound,
+    );
+    let blocking = nm_spmm::kernels::params::derive_blocking(
+        session.device(),
+        plan.params,
+        cfg,
+        k,
+        true,
+        false,
+    )
+    .expect("blocking");
+    let _ = Strategy::transition_sparsity(session.device(), 64, 128, blocking.ks);
 }

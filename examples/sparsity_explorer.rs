@@ -10,8 +10,8 @@
 
 use nm_spmm::analysis::ai::BlockAi;
 use nm_spmm::analysis::strategy::{PipelineHint, Strategy};
-use nm_spmm::kernels::params::BlockingParams;
-use nm_spmm::kernels::{DenseGemmKernel, NmSpmmKernel, NmVersion};
+use nm_spmm::kernels::params::{derive_blocking, BlockingParams};
+use nm_spmm::kernels::SessionBuilder;
 use nm_spmm::prelude::*;
 use nm_spmm::sim::device::paper_devices;
 
@@ -27,9 +27,8 @@ fn main() {
     println!("== sparsity explorer: m={m}, n={n}, k={k} ==\n");
 
     for dev in paper_devices() {
-        let dense = DenseGemmKernel::auto(m, n)
-            .estimate(&dev, m, n, k)
-            .expect("dense");
+        // One session per device: every plan below comes from its cache.
+        let mut session = SessionBuilder::new(dev.clone()).build().expect("session");
         let trans = Strategy::transition_sparsity(&dev, 64, 128, 256);
         println!(
             "-- {} (ridge {:.1} FLOP/B, modeled bound transition at ~{:.0}% for a 64x128 block) --",
@@ -43,8 +42,7 @@ fn main() {
         );
         for nn in [16usize, 12, 8, 6, 4, 2, 1] {
             let cfg = NmConfig::new(nn, 16, 32).expect("config");
-            let kern = NmSpmmKernel::auto(NmVersion::V3, m, n);
-            let plan = match kern.plan(&dev, m, n, k, cfg) {
+            let plan = match session.plan(m, n, k, cfg) {
                 Ok(p) => p,
                 Err(e) => {
                     println!("{:>6} unplannable: {e}", format!("{nn}:16"));
@@ -52,8 +50,10 @@ fn main() {
                 }
             };
             let d = plan.decision;
-            let rep = kern.estimate(&dev, m, n, k, cfg, None).expect("estimate");
-            let b = plan.blocking;
+            // The V3 estimate when the family could launch, else the
+            // plan's winner (e.g. dense at N = M).
+            let rep = plan.estimates.nm_v3.unwrap_or_else(|| plan.best());
+            let b = derive_blocking(&dev, plan.params, cfg, k, true, false).expect("blocking");
             let ai = BlockAi {
                 ms: b.params.ms,
                 ns: b.params.ns,
@@ -73,9 +73,10 @@ fn main() {
                 },
                 d.packing_ratio,
                 100.0 * rep.efficiency,
-                dense.seconds / rep.seconds,
+                plan.estimates.dense.seconds / rep.seconds,
             );
         }
+        println!("  plan cache: {}", session.stats());
         println!();
     }
     println!("(Fig. 2's mechanism: sparsity up -> AI down -> strategy flips to packing +");

@@ -1,23 +1,22 @@
 //! End-to-end transformer FFN block under N:M pruning: the three MLP
 //! matmuls of a (scaled) Llama block — gate, up, down — pruned with the
-//! *layer-wise* allocator, channel-permuted, compiled into reusable
-//! [`BatchedSpmm`] multipliers, executed on the CPU and costed on the
-//! simulated A100. Demonstrates the full production pipeline:
+//! *layer-wise* allocator, channel-permuted, loaded into a prepared
+//! session as reusable layer handles, executed on the CPU and costed on
+//! the simulated A100. Demonstrates the full production pipeline:
 //!
 //! offline:  permute → allocate per-layer N → prune → compress →
-//!           col_info pre-processing → serialize
-//! online:   deserialize → batched forward passes
+//!           serialize → `Session::load` (plan + stage + pack, once)
+//! online:   `PreparedLayer::forward` passes, offline work amortized
 //!
 //! ```sh
 //! cargo run --release --example transformer_block
 //! ```
 
-use nm_spmm::core::batched::BatchedSpmm;
 use nm_spmm::core::layerwise::{allocate, spec_from_weights};
 use nm_spmm::core::permute;
 use nm_spmm::core::serialize;
 use nm_spmm::core::spmm::gemm_reference;
-use nm_spmm::kernels::{DenseGemmKernel, NmSpmmKernel, NmVersion};
+use nm_spmm::kernels::{BackendKind, NmVersion, SessionBuilder};
 use nm_spmm::prelude::*;
 use std::time::Instant;
 
@@ -49,9 +48,14 @@ fn main() {
         alloc.n_per_layer
     );
 
-    // --- offline: channel permutation + prune + compile per layer ---
+    // --- offline: channel permutation + prune + load per layer ---
+    // One session owns planning and staging for all three matmuls; each
+    // `load` is the layer's entire offline cost, paid exactly once.
+    let mut session = SessionBuilder::new(a100_80g())
+        .backend(BackendKind::Cpu(NmVersion::V3))
+        .build()
+        .expect("session");
     let mut multipliers = Vec::new();
-    let mut configs = Vec::new();
     for (i, (name, w)) in [("gate", &w_gate), ("up", &w_up), ("down", &w_down)]
         .into_iter()
         .enumerate()
@@ -69,8 +73,7 @@ fn main() {
             100.0 * perm.improvement(),
             blob.len() / 1024
         );
-        multipliers.push((BatchedSpmm::new(sb).expect("compile"), perm));
-        configs.push(cfg);
+        multipliers.push((session.load(sb, m).expect("load layer"), perm));
     }
 
     // --- online: the block forward pass ---
@@ -81,8 +84,8 @@ fn main() {
 
     let xg = gate_perm.apply_to_a(&x);
     let xu = up_perm.apply_to_a(&x);
-    let g = gate_mul.forward(&xg).expect("gate");
-    let u = up_mul.forward(&xu).expect("up");
+    let g = gate_mul.forward(&xg).expect("gate").c;
+    let u = up_mul.forward(&xu).expect("up").c;
     let mut hmid = MatrixF32::zeros(m, f);
     for i in 0..m {
         for j in 0..f {
@@ -90,7 +93,7 @@ fn main() {
         }
     }
     let hp = down_perm.apply_to_a(&hmid);
-    let y = down_mul.forward(&hp).expect("down");
+    let y = down_mul.forward(&hp).expect("down").c;
     let sparse_wall = t0.elapsed();
 
     // Dense reference for error + time.
@@ -118,20 +121,14 @@ fn main() {
     );
 
     // --- simulated A100 cost of the three matmuls ---
-    let dev = a100_80g();
+    // Each loaded layer's plan already carries every family's estimate;
+    // no kernel is re-modeled by hand.
     let mut dense_ms = 0.0;
     let mut sparse_ms = 0.0;
-    for (i, (n_cols, k_rows)) in [(f, h), (f, h), (h, f)].into_iter().enumerate() {
-        dense_ms += DenseGemmKernel::auto(m, n_cols)
-            .estimate(&dev, m, n_cols, k_rows)
-            .expect("dense")
-            .seconds
-            * 1e3;
-        sparse_ms += NmSpmmKernel::auto(NmVersion::V3, m, n_cols)
-            .estimate(&dev, m, n_cols, k_rows, configs[i], None)
-            .expect("sparse")
-            .seconds
-            * 1e3;
+    for (layer, _) in &multipliers {
+        let est = layer.plan().estimates;
+        dense_ms += est.dense.seconds * 1e3;
+        sparse_ms += layer.plan().best().seconds * 1e3;
     }
     println!(
         "simulated A100 block matmuls: sparse {:.4} ms vs dense {:.4} ms ({:.2}x)",

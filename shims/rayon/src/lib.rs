@@ -13,13 +13,77 @@
 //! right shape for the regular, equal-cost blocks these kernels produce.
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Number of worker threads to fan out to for `n` independent items.
-fn workers_for(n: usize) -> usize {
+/// Global worker cap installed by [`ThreadPoolBuilder::build_global`];
+/// `0` means uncapped (use the hardware parallelism).
+static GLOBAL_THREAD_CAP: AtomicUsize = AtomicUsize::new(0);
+
+/// Whether [`ThreadPoolBuilder::build_global`] already ran (it is
+/// first-wins, like real rayon's global pool initialization).
+static GLOBAL_POOL_BUILT: AtomicUsize = AtomicUsize::new(0);
+
+/// The number of worker threads the shim will fan out to at most —
+/// mirrors `rayon::current_num_threads`.
+pub fn current_num_threads() -> usize {
     let hw = std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1);
-    hw.min(n).max(1)
+    match GLOBAL_THREAD_CAP.load(Ordering::Relaxed) {
+        0 => hw,
+        cap => cap.min(hw),
+    }
+}
+
+/// Error returned when the global pool was already initialized — mirrors
+/// `rayon::ThreadPoolBuildError`.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("the global thread pool has already been initialized")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Mirror of `rayon::ThreadPoolBuilder`, reduced to the one knob the shim
+/// can honor: a cap on how many worker threads a parallel call fans out
+/// to. The shim spawns scoped threads per call rather than keeping a
+/// pool, so the cap is the entire configuration.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default (uncapped) configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cap the worker count; `0` keeps the hardware default.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Install the configuration globally. First call wins; later calls
+    /// fail with [`ThreadPoolBuildError`], matching real rayon's
+    /// first-initialization-wins semantics for the global pool.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        if GLOBAL_POOL_BUILT.swap(1, Ordering::SeqCst) != 0 {
+            return Err(ThreadPoolBuildError);
+        }
+        GLOBAL_THREAD_CAP.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// Number of worker threads to fan out to for `n` independent items.
+fn workers_for(n: usize) -> usize {
+    current_num_threads().min(n).max(1)
 }
 
 /// Split `0..n` into at most `parts` contiguous, near-equal spans.
@@ -243,6 +307,28 @@ mod tests {
         let got: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
         let want: Vec<usize> = (0..1000).map(|i| i * 2).collect();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn global_pool_is_first_wins_and_caps_workers() {
+        // First build_global succeeds and installs the cap; the second
+        // fails like real rayon. (Runs in one process with the other
+        // tests, so the assertions only rely on first-wins semantics.)
+        let first = crate::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build_global();
+        let second = crate::ThreadPoolBuilder::new()
+            .num_threads(8)
+            .build_global();
+        assert!(second.is_err() || first.is_ok());
+        if first.is_ok() {
+            assert!(crate::current_num_threads() <= 2);
+        }
+        assert!(crate::current_num_threads() >= 1);
+        // Parallel calls still visit everything under the cap.
+        let mut data = [0u8; 50];
+        data.par_chunks_mut(7).for_each(|c| c.fill(1));
+        assert!(data.iter().all(|&v| v == 1));
     }
 
     #[test]

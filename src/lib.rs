@@ -6,7 +6,9 @@
 //!   offline pre-processing and the parallel CPU kernels,
 //! * [`sim`] — the GPGPU simulator substrate,
 //! * [`kernels`] — simulated GPU kernels (dense GEMM, NM-SpMM
-//!   V1/V2/V3, nmSPARSE, Sputnik),
+//!   V1/V2/V3, nmSPARSE, Sputnik) and the **prepared-session API**
+//!   (`SessionBuilder` → `Session::load` → `PreparedLayer::forward`),
+//!   the single public execution surface,
 //! * [`analysis`] — arithmetic intensity, CMAR, roofline and
 //!   the strategy advisor,
 //! * [`workloads`] — the Llama 100-point dataset and Table II

@@ -1,11 +1,12 @@
-//! End-to-end tests of the planner / engine subsystem: cache hits on
-//! identical keys, JSON persistence round trips, planning determinism (as
-//! a property over arbitrary shapes), and the batched layer-sweep driver
-//! tying the planner to both execution paths.
+//! End-to-end tests of the planner / engine / session subsystem: cache
+//! hits on identical keys, JSON persistence round trips, planning
+//! determinism (as a property over arbitrary shapes), and the batched
+//! layer-sweep driver tying the planner to both execution paths through
+//! the session API.
 
 use nm_spmm::core::spmm::spmm_reference;
 use nm_spmm::kernels::plan::{PlanCache, PlanKey, Planner};
-use nm_spmm::kernels::{BackendKind, Engine};
+use nm_spmm::kernels::{BackendKind, Engine, SessionBuilder};
 use nm_spmm::prelude::*;
 use nm_spmm::sim::device::{a100_80g, paper_devices, rtx3090};
 use nm_spmm::workloads::llama::LLAMA_FAMILY;
@@ -94,15 +95,15 @@ fn engine_reload_serves_plans_without_recomputation() {
 }
 
 #[test]
-fn sweep_through_engine_executes_and_caches() {
-    let mut engine = Engine::new(a100_80g());
+fn sweep_through_session_executes_and_caches() {
+    let mut session = SessionBuilder::new(a100_80g()).build().unwrap();
     let cfg = NmConfig::new(2, 16, 32).unwrap();
     let opts = SweepOptions {
         seq_len: 256,
         execute: ExecutePolicy::Scaled(64),
         seed: 11,
     };
-    let report = sweep_model(&mut engine, &LLAMA_FAMILY[0], cfg, &opts).unwrap();
+    let report = sweep_model(&mut session, &LLAMA_FAMILY[0], cfg, &opts).unwrap();
     assert_eq!(report.layers.len(), 5);
     for layer in &report.layers {
         assert!(layer.speedup() > 1.0, "{}", layer.layer);
@@ -115,14 +116,14 @@ fn sweep_through_engine_executes_and_caches() {
         );
     }
     // Second identical sweep: every plan is a cache hit.
-    let again = sweep_model(&mut engine, &LLAMA_FAMILY[0], cfg, &opts).unwrap();
+    let again = sweep_model(&mut session, &LLAMA_FAMILY[0], cfg, &opts).unwrap();
     assert_eq!(again.cache_hits, 5);
     assert_eq!(again.cache_misses, 0);
 }
 
 #[test]
-fn engine_execution_matches_reference_on_every_backend() {
-    let mut engine = Engine::new(a100_80g());
+fn session_execution_matches_reference_on_every_backend() {
+    let mut session = SessionBuilder::new(a100_80g()).build().unwrap();
     for cfg in [
         NmConfig::new(8, 16, 32).unwrap(),
         NmConfig::new(2, 16, 32).unwrap(),
@@ -132,7 +133,8 @@ fn engine_execution_matches_reference_on_every_backend() {
         let sb = NmSparseMatrix::prune_magnitude(&b, cfg).unwrap();
         let expect = spmm_reference(&a, &sb);
         for backend in BackendKind::all() {
-            let run = engine.execute(&a, &sb, backend).unwrap();
+            let layer = session.load_on(sb.clone(), 64, backend).unwrap();
+            let run = layer.forward(&a).unwrap();
             assert!(
                 run.c.allclose(&expect, 1e-3, 1e-4),
                 "{cfg} via {backend}: max diff {}",

@@ -1,17 +1,17 @@
 //! End-to-end tests of the extension features working together: the full
 //! deployment pipeline (permute → layer-wise allocate → prune → serialize →
-//! load → batched execute → simulate → energy), the auto-tuner, and the
-//! sparse-tensor-core comparison.
+//! load into a prepared session → forward → simulate → energy), the
+//! auto-tuner, and the sparse-tensor-core comparison.
 
 use nm_spmm::analysis::packing::expected_ratio;
-use nm_spmm::core::batched::{spmv, BatchedSpmm};
+use nm_spmm::core::batched::spmv;
 use nm_spmm::core::inspect::{measured_packing_ratio, pattern_stats};
 use nm_spmm::core::layerwise::{allocate, spec_from_weights};
 use nm_spmm::core::permute;
 use nm_spmm::core::prune::PrunePolicy;
 use nm_spmm::core::serialize;
 use nm_spmm::core::spmm::spmm_reference;
-use nm_spmm::kernels::{autotune, NmSpmmKernel, NmVersion, SparseTensorCoreKernel};
+use nm_spmm::kernels::{autotune, NmSpmmKernel, NmVersion, SessionBuilder, SparseTensorCoreKernel};
 use nm_spmm::prelude::*;
 use nm_spmm::sim::energy;
 
@@ -39,11 +39,16 @@ fn full_deployment_pipeline() {
     let blob = serialize::to_bytes(&sb);
     let sb = serialize::from_bytes(&blob).expect("reload");
 
-    // 4. Batched CPU execution matches the oracle.
-    let mult = BatchedSpmm::new(sb.clone()).expect("compile");
-    let c = mult.forward(&ap).expect("forward");
+    // 4. Prepared-session CPU execution matches the oracle — and a
+    //    second forward against the same handle agrees, proving the
+    //    staged state is reusable.
+    let mut session = SessionBuilder::new(a100_80g()).build().expect("session");
+    let layer = session.load(sb.clone(), m).expect("load layer");
+    let c = layer.forward(&ap).expect("forward").c;
     let oracle = spmm_reference(&ap, &sb);
     assert!(c.allclose(&oracle, 1e-3, 1e-4));
+    let again = layer.forward(&ap).expect("forward again").c;
+    assert!(again.allclose(&oracle, 1e-3, 1e-4));
 
     // 5. Simulated GPU execution agrees, and energy is accounted.
     let dev = a100_80g();

@@ -1,0 +1,176 @@
+//! The prepared-session API's contract, proven end to end:
+//!
+//! * **prepare-once** — the offline staging probe shows that repeated
+//!   `forward` calls on one [`PreparedLayer`] perform zero re-preparation,
+//! * **plan-cache accounting** — loads through one [`Session`] share
+//!   plans per shape class and the counters prove it,
+//! * **concurrency** — `PreparedLayer: Send + Sync`, so one prepared
+//!   handle serves concurrent callers producing identical results.
+
+use nm_spmm::core::spmm::spmm_reference;
+use nm_spmm::kernels::cpu::offline_staging_passes;
+use nm_spmm::kernels::{BackendKind, NmVersion, PreparedLayer, Session, SessionBuilder};
+use nm_spmm::prelude::*;
+
+fn session() -> Session {
+    SessionBuilder::new(a100_80g()).build().unwrap()
+}
+
+fn prune(k: usize, n: usize, cfg: NmConfig, seed: u64) -> NmSparseMatrix {
+    NmSparseMatrix::prune_magnitude(&MatrixF32::random(k, n, seed), cfg).unwrap()
+}
+
+/// The acceptance-criterion proof: after `load`, the staging counter on
+/// this thread never moves again, however many forwards run — for every
+/// ladder step, including the packed (V2/V3, high-sparsity) path whose
+/// `col_info` pre-processing is the paper's headline offline cost.
+#[test]
+fn repeated_forward_performs_zero_re_preparation() {
+    let mut s = session();
+    let cfg = NmConfig::new(2, 8, 32).unwrap(); // 75%: the packed path
+    let sb = prune(256, 128, cfg, 1);
+    let a0 = MatrixF32::random(64, 256, 2);
+    let expect = spmm_reference(&a0, &sb);
+
+    for version in [NmVersion::V1, NmVersion::V2, NmVersion::V3] {
+        let before_load = offline_staging_passes();
+        let layer = s
+            .load_on(sb.clone(), 64, BackendKind::Cpu(version))
+            .unwrap();
+        assert_eq!(
+            offline_staging_passes(),
+            before_load + 1,
+            "{version:?}: load must stage exactly once"
+        );
+
+        let staged = offline_staging_passes();
+        for round in 0..4 {
+            // Varying operands, same handle: the online path only.
+            let a = if round == 0 {
+                a0.clone()
+            } else {
+                MatrixF32::random(64, 256, 10 + round)
+            };
+            let run = layer.forward(&a).unwrap();
+            if round == 0 {
+                assert!(
+                    run.c.allclose(&expect, 1e-3, 1e-4),
+                    "{version:?}: max diff {}",
+                    run.c.max_abs_diff(&expect)
+                );
+            }
+        }
+        assert_eq!(
+            offline_staging_passes(),
+            staged,
+            "{version:?}: four forwards must not re-stage anything"
+        );
+    }
+}
+
+#[test]
+fn session_counts_plan_cache_hits_across_loads() {
+    let mut s = session();
+    let cfg = NmConfig::new(2, 16, 32).unwrap();
+    // Same shape class three times (the third via load_model), one
+    // distinct shape: 2 misses, 3 hits in total.
+    s.load(prune(128, 96, cfg, 1), 64).unwrap();
+    s.load(prune(128, 96, cfg, 2), 64).unwrap();
+    let st = s.stats();
+    assert_eq!((st.entries, st.hits, st.misses), (1, 1, 1));
+
+    let model = s
+        .load_model(vec![prune(128, 96, cfg, 3), prune(96, 64, cfg, 4)], 64)
+        .unwrap();
+    assert_eq!((model.cache_hits(), model.cache_misses()), (1, 1));
+    let st = s.stats();
+    assert_eq!((st.entries, st.hits, st.misses), (2, 2, 2));
+
+    // Planning directly shares the same cache the loads populated.
+    s.plan(64, 96, 128, cfg).unwrap();
+    assert_eq!(s.stats().hits, 3);
+}
+
+/// `PreparedLayer: Send + Sync` — one prepared layer serves concurrent
+/// callers from plain `&` references, each computing the right answer.
+#[test]
+fn one_prepared_layer_serves_concurrent_callers() {
+    fn assert_send_sync<T: Send + Sync>(_: &T) {}
+
+    let mut s = session();
+    let cfg = NmConfig::new(2, 8, 32).unwrap();
+    let sb = prune(192, 96, cfg, 5);
+    let layer = s
+        .load_on(sb.clone(), 32, BackendKind::Cpu(NmVersion::V3))
+        .unwrap();
+    assert_send_sync(&layer);
+
+    let layer_ref: &PreparedLayer = &layer;
+    let results: Vec<(u64, MatrixF32)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4u64)
+            .map(|seed| {
+                scope.spawn(move || {
+                    let a = MatrixF32::random(32, 192, 100 + seed);
+                    let run = layer_ref.forward(&a).unwrap();
+                    (seed, run.c)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(results.len(), 4);
+    for (seed, c) in results {
+        let a = MatrixF32::random(32, 192, 100 + seed);
+        let expect = spmm_reference(&a, &sb);
+        assert!(
+            c.allclose(&expect, 1e-3, 1e-4),
+            "thread with seed {seed} disagrees: max diff {}",
+            c.max_abs_diff(&expect)
+        );
+    }
+}
+
+/// `forward_batch` validates the whole batch before spending any compute
+/// and returns per-member runs in batch order when everything agrees.
+#[test]
+fn forward_batch_is_validated_up_front_and_ordered() {
+    let mut s = session();
+    let cfg = NmConfig::new(2, 8, 16).unwrap();
+    let sb = prune(128, 64, cfg, 7);
+    let layer = s.load(sb.clone(), 16).unwrap();
+
+    // Distinct row counts per member prove result ordering.
+    let batch: Vec<MatrixF32> = (1..=3)
+        .map(|i| MatrixF32::random(8 * i, 128, 200 + i as u64))
+        .collect();
+    let runs = layer.forward_batch(&batch).unwrap();
+    assert_eq!(runs.len(), 3);
+    for (a, run) in batch.iter().zip(&runs) {
+        assert_eq!(run.c.rows(), a.rows(), "results must stay in batch order");
+        assert!(run.c.allclose(&spmm_reference(a, &sb), 1e-3, 1e-4));
+    }
+
+    // A mismatched member anywhere in the batch fails the whole call
+    // before any work starts, naming the offender.
+    let mut bad = batch.clone();
+    bad.push(MatrixF32::random(8, 96, 9));
+    let err = layer.forward_batch(&bad).unwrap_err();
+    assert!(err.to_string().contains("batch[3]"), "{err}");
+}
+
+/// The Sim backend fits the same prepared contract: handles are reusable
+/// and carry the event counts and timing report each call.
+#[test]
+fn sim_backend_layers_are_prepared_handles_too() {
+    let mut s = session();
+    let cfg = NmConfig::new(4, 16, 32).unwrap();
+    let sb = prune(128, 96, cfg, 11);
+    let layer = s.load_on(sb.clone(), 32, BackendKind::Sim).unwrap();
+    for seed in 0..2u64 {
+        let a = MatrixF32::random(32, 128, 300 + seed);
+        let run = layer.forward(&a).unwrap();
+        assert!(run.c.allclose(&spmm_reference(&a, &sb), 1e-3, 1e-4));
+        assert!(run.stats.is_some() && run.report.is_some());
+        assert_eq!(run.isa, None);
+    }
+}
