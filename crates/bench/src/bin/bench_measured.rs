@@ -18,15 +18,27 @@
 //!     --quick --out BENCH_pr.json --check-against BENCH_baseline.json
 //! ```
 //!
-//! Exit codes: `0` success, `1` regression against the baseline,
-//! `2` usage / numeric-mismatch / I/O failure — including a `--threshold`
-//! outside the open interval `(0, 1)` and an `NM_SPMM_ISA` override this
-//! host cannot execute.
+//! Exit codes: `0` success, `1` regression against the baseline or an
+//! `--assert-ab` failure, `2` usage / numeric-mismatch / I/O failure —
+//! including a `--threshold` outside the open interval `(0, 1)`, an
+//! `NM_SPMM_ISA` override this host cannot execute, and an unrecognized
+//! `--autotune` / `NM_SPMM_AUTOTUNE` mode.
 //!
 //! The run records which micro-kernel ISA the CPU ladder dispatched to
 //! (top-level `isa` field plus one per CPU kernel entry in the JSON);
 //! `NM_SPMM_FORCE_SCALAR=1` forces the scalar tile so CI can A/B the SIMD
 //! and scalar paths on the same host.
+//!
+//! ## The plan A/B lane
+//!
+//! With `--autotune quick|full` (or `NM_SPMM_AUTOTUNE`), every shape also
+//! runs the **evidence-based** path — `Session::load` under measured
+//! autotuning, which short-run-benchmarks the ladder in place and
+//! prepares on the measured winner — next to the cost-model default
+//! (always-V3). Both lanes land in the JSON under `plan_ab`, and
+//! `--assert-ab` turns the comparison into a gate: on the 512³ shapes
+//! (where the analytic GPU model is known to invert the CPU ladder
+//! ordering) the measured plan must not lose to the static default.
 
 use gpu_sim::device::a100_80g;
 use nm_bench::{spd, TextTable};
@@ -36,7 +48,10 @@ use nm_core::pattern::NmConfig;
 use nm_core::prune::PrunePolicy;
 use nm_core::sparse::NmSparseMatrix;
 use nm_core::spmm::spmm_reference;
-use nm_kernels::{BackendKind, Isa, MicroKernel, NmVersion, Session, SessionBuilder};
+use nm_kernels::plan::version_name;
+use nm_kernels::{
+    AutotuneMode, BackendKind, CpuTiling, Isa, MicroKernel, NmVersion, Session, SessionBuilder,
+};
 use std::time::Instant;
 
 /// One benchmarked problem.
@@ -156,6 +171,23 @@ struct KernelResult {
     isa: Option<Isa>,
 }
 
+/// The measured-autotune lane of the plan A/B: what `Session::load`
+/// picked when it was allowed to benchmark instead of trusting the cost
+/// model, and how the pick ran.
+struct AbLane {
+    /// Online wall seconds of the measured-plan forward pass.
+    seconds: f64,
+    gflops: f64,
+    /// The ladder step the measurement picked.
+    version: NmVersion,
+    /// The tile geometry the measurement picked.
+    tiling: CpuTiling,
+    /// The short-run harness's own throughput estimate for the winner —
+    /// the evidence the plan cache persists.
+    harness_gflops: f64,
+    samples: usize,
+}
+
 struct ShapeResult {
     label: &'static str,
     m: usize,
@@ -164,6 +196,10 @@ struct ShapeResult {
     cfg: NmConfig,
     /// `reference`, `cpu_v1`, `cpu_v2`, `cpu_v3` in that order.
     kernels: Vec<(&'static str, KernelResult)>,
+    /// The measured-plan lane; `None` when autotuning is off. The
+    /// cost-model lane of the A/B is `cpu_v3` above — exactly the plan a
+    /// default `Session::load` prepares.
+    ab: Option<AbLane>,
 }
 
 impl ShapeResult {
@@ -264,6 +300,53 @@ fn bench_shape(session: &mut Session, shape: &Shape, seed: u64) -> Result<ShapeR
         ));
     }
 
+    // The A/B lane: `Session::load` with measured autotuning routes
+    // through the short-run harness (cache-consulted, so repeat shapes
+    // re-measure nothing) and prepares on the evidence-picked ladder
+    // version and tiling. Timed identically to the ladder lanes above.
+    let ab = if session.autotune() != AutotuneMode::Off {
+        let layer = session
+            .load(sb.clone(), m)
+            .map_err(|e| format!("{label}: measured-autotune load failed: {e}"))?;
+        let mut out = None;
+        let mut failure = None;
+        let secs = time_best(|| match layer.forward(&a) {
+            Ok(run) => {
+                let dt = run.wall_seconds;
+                out = Some(run.c);
+                dt
+            }
+            Err(e) => {
+                failure = Some(format!("{label}: measured plan failed: {e}"));
+                f64::INFINITY
+            }
+        });
+        if let Some(failure) = failure {
+            return Err(failure);
+        }
+        let got = out.expect("kernel ran");
+        if !got.allclose(&expect, 1e-3, 1e-4) {
+            return Err(format!(
+                "{label}: measured plan disagrees with the reference (max diff {})",
+                got.max_abs_diff(&expect)
+            ));
+        }
+        let measured = layer
+            .plan()
+            .measured
+            .ok_or_else(|| format!("{label}: measured load returned a plan without evidence"))?;
+        Some(AbLane {
+            seconds: secs,
+            gflops: useful / secs / 1e9,
+            version: measured.ladder_version,
+            tiling: measured.cpu_tiling,
+            harness_gflops: measured.gflops,
+            samples: measured.samples,
+        })
+    } else {
+        None
+    };
+
     Ok(ShapeResult {
         label,
         m,
@@ -271,10 +354,17 @@ fn bench_shape(session: &mut Session, shape: &Shape, seed: u64) -> Result<ShapeR
         k,
         cfg: c,
         kernels,
+        ab,
     })
 }
 
-fn results_to_json(results: &[ShapeResult], mode: &str, device: &str, isa: Isa) -> JsonValue {
+fn results_to_json(
+    results: &[ShapeResult],
+    mode: &str,
+    device: &str,
+    isa: Isa,
+    autotune: AutotuneMode,
+) -> JsonValue {
     let shapes = results
         .iter()
         .map(|r| {
@@ -295,7 +385,7 @@ fn results_to_json(results: &[ShapeResult], mode: &str, device: &str, isa: Isa) 
                     (*name, JsonValue::object(fields))
                 })
                 .collect::<Vec<_>>();
-            JsonValue::object(vec![
+            let mut fields = vec![
                 ("label", JsonValue::from_str_value(r.label)),
                 ("m", JsonValue::from_usize(r.m)),
                 ("n", JsonValue::from_usize(r.n)),
@@ -320,7 +410,61 @@ fn results_to_json(results: &[ShapeResult], mode: &str, device: &str, isa: Isa) 
                         ("v3_over_ref", JsonValue::Number(r.speedup_vs_ref("cpu_v3"))),
                     ]),
                 ),
-            ])
+            ];
+            if let Some(ab) = &r.ab {
+                // Both lanes of the plan A/B, normalized against the
+                // same-run reference so the comparison survives a change
+                // of host.
+                fields.push((
+                    "plan_ab",
+                    JsonValue::object(vec![
+                        (
+                            "cost_model",
+                            JsonValue::object(vec![
+                                ("version", JsonValue::from_str_value("v3")),
+                                ("provenance", JsonValue::from_str_value("cost_model")),
+                                ("seconds", JsonValue::Number(r.get("cpu_v3").seconds)),
+                                (
+                                    "speedup_vs_ref",
+                                    JsonValue::Number(r.speedup_vs_ref("cpu_v3")),
+                                ),
+                            ]),
+                        ),
+                        (
+                            "measured",
+                            JsonValue::object(vec![
+                                (
+                                    "version",
+                                    JsonValue::from_str_value(version_name(ab.version)),
+                                ),
+                                ("provenance", JsonValue::from_str_value("measured")),
+                                ("seconds", JsonValue::Number(ab.seconds)),
+                                ("gflops", JsonValue::Number(ab.gflops)),
+                                (
+                                    "speedup_vs_ref",
+                                    JsonValue::Number(r.get("reference").seconds / ab.seconds),
+                                ),
+                                (
+                                    "tiling",
+                                    JsonValue::object(vec![
+                                        ("mb", JsonValue::from_usize(ab.tiling.mb)),
+                                        ("nb", JsonValue::from_usize(ab.tiling.nb)),
+                                        ("kb", JsonValue::from_usize(ab.tiling.kb)),
+                                        ("mt", JsonValue::from_usize(ab.tiling.mt)),
+                                    ]),
+                                ),
+                                ("harness_gflops", JsonValue::Number(ab.harness_gflops)),
+                                ("samples", JsonValue::from_usize(ab.samples)),
+                            ]),
+                        ),
+                        (
+                            "measured_over_cost_model",
+                            JsonValue::Number(r.get("cpu_v3").seconds / ab.seconds),
+                        ),
+                    ]),
+                ));
+            }
+            JsonValue::object(fields)
         })
         .collect();
     JsonValue::object(vec![
@@ -330,6 +474,7 @@ fn results_to_json(results: &[ShapeResult], mode: &str, device: &str, isa: Isa) 
         ),
         ("version", JsonValue::from_usize(1)),
         ("mode", JsonValue::from_str_value(mode)),
+        ("autotune_mode", JsonValue::from_str_value(autotune.name())),
         ("plan_device", JsonValue::from_str_value(device)),
         ("isa", JsonValue::from_str_value(isa.name())),
         (
@@ -451,16 +596,58 @@ fn check_against(
     regressions
 }
 
+/// The `--assert-ab` gate: on the 512³ shapes — where the analytic GPU
+/// model is known to invert the CPU ladder ordering, so evidence has
+/// something to win — the measured plan must run at least as fast as the
+/// cost-model default (`cpu_v3`), with a 5% allowance for timing noise.
+/// Returns failure lines; empty = pass. A comparison that covers nothing
+/// is itself a failure, so a renamed shape set cannot silently disarm it.
+fn check_ab(results: &[ShapeResult]) -> Vec<String> {
+    let mut failures = Vec::new();
+    let mut compared = 0usize;
+    for r in results {
+        if !(r.m == 512 && r.n == 512 && r.k == 512) {
+            continue;
+        }
+        let Some(ab) = &r.ab else { continue };
+        compared += 1;
+        let ratio = r.get("cpu_v3").seconds / ab.seconds;
+        if ratio < 0.95 {
+            failures.push(format!(
+                "{}: the measured plan ({}, {:.2} GFLOP/s) ran at {ratio:.2}x the \
+                 cost-model V3 plan — evidence-based planning must not lose to the \
+                 static default on an inverted shape",
+                r.label,
+                version_name(ab.version),
+                ab.gflops,
+            ));
+        }
+    }
+    if compared == 0 {
+        failures.push(
+            "--assert-ab compared nothing: no 512-cubed shape carried an A/B lane \
+             (run with --autotune quick|full and a shape set containing A-512-*)"
+                .into(),
+        );
+    }
+    failures
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: bench_measured [--quick] [--out PATH] [--check-against PATH] \
-         [--threshold F] [--seed N]\n\
+         [--threshold F] [--seed N] [--autotune off|quick|full] [--assert-ab]\n\
          \n\
          --threshold F   allowed fractional regression of speedup-vs-reference,\n\
          \u{20}                strictly between 0 and 1 (default 0.25 = 25%)\n\
+         --autotune M    also run the measured-plan A/B lane (Session::load under\n\
+         \u{20}                short-run autotuning) next to the cost-model default\n\
+         --assert-ab     fail (exit 1) when the measured plan loses to the\n\
+         \u{20}                cost-model plan on the 512-cubed shapes; needs --autotune\n\
          \n\
          environment: NM_SPMM_ISA=scalar|avx2|avx512|neon|native and\n\
-         NM_SPMM_FORCE_SCALAR=1 override the micro-kernel ISA dispatch"
+         NM_SPMM_FORCE_SCALAR=1 override the micro-kernel ISA dispatch;\n\
+         NM_SPMM_AUTOTUNE=off|quick|full is the env form of --autotune"
     );
     std::process::exit(2);
 }
@@ -479,12 +666,28 @@ fn main() {
     let mut check: Option<String> = None;
     let mut threshold = 0.25f64;
     let mut seed = 42u64;
+    let mut autotune: Option<AutotuneMode> = None;
+    let mut assert_ab = false;
 
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < argv.len() {
         match argv[i].as_str() {
             "--quick" => quick = true,
+            "--assert-ab" => assert_ab = true,
+            "--autotune" => {
+                i += 1;
+                let value = argv.get(i).cloned().unwrap_or_else(|| usage());
+                // Validated exactly like the env form: garbage is a
+                // structured usage error, never a silent fallback to Off.
+                autotune = Some(match AutotuneMode::from_name(&value) {
+                    Ok(mode) => mode,
+                    Err(e) => {
+                        eprintln!("--autotune {value}: {e}");
+                        std::process::exit(2);
+                    }
+                });
+            }
             "--out" => {
                 i += 1;
                 out = argv.get(i).cloned().unwrap_or_else(|| usage());
@@ -515,6 +718,22 @@ fn main() {
         eprintln!("--threshold {threshold} is outside (0, 1)");
         usage();
     }
+    // The flag wins over the environment; either way an unrecognized
+    // mode is a hard usage error (exit 2), mirroring NM_SPMM_ISA.
+    let autotune = match autotune {
+        Some(mode) => mode,
+        None => match AutotuneMode::from_env() {
+            Ok(mode) => mode.unwrap_or_default(),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        },
+    };
+    if assert_ab && autotune == AutotuneMode::Off {
+        eprintln!("--assert-ab needs the A/B lane; pass --autotune quick|full");
+        usage();
+    }
 
     let shapes = if quick { quick_shapes() } else { full_shapes() };
     let mode = if quick { "quick" } else { "full" };
@@ -531,7 +750,11 @@ fn main() {
     // Plans come from the A100 model: the auto-tuned blocking (not the
     // timing estimate) is what drives the CPU tile sizes. The session
     // pins the resolved micro-kernel across every layer it loads.
-    let mut session = match SessionBuilder::new(a100_80g()).micro_kernel(kernel).build() {
+    let mut session = match SessionBuilder::new(a100_80g())
+        .micro_kernel(kernel)
+        .autotune(autotune)
+        .build()
+    {
         Ok(s) => s,
         Err(e) => {
             eprintln!("cannot build session: {e}");
@@ -540,7 +763,7 @@ fn main() {
     };
 
     println!(
-        "== measured CPU ladder ({mode} mode, {} shapes, {} micro-kernel) ==\n",
+        "== measured CPU ladder ({mode} mode, {} shapes, {} micro-kernel, autotune {autotune}) ==\n",
         shapes.len(),
         kernel.isa()
     );
@@ -594,7 +817,40 @@ fn main() {
     println!();
     t.print();
 
-    let doc = results_to_json(&results, mode, &session.device().name, kernel.isa());
+    if results.iter().any(|r| r.ab.is_some()) {
+        println!("\n== plan A/B: cost-model default (V3) vs measured autotune ==\n");
+        let mut t = TextTable::new(&[
+            "shape",
+            "V3 GF/s",
+            "measured GF/s",
+            "picked",
+            "tiling mb/nb/kb/mt",
+            "meas/V3",
+        ]);
+        for r in &results {
+            let Some(ab) = &r.ab else { continue };
+            t.row(&[
+                r.label.to_string(),
+                format!("{:.2}", r.get("cpu_v3").gflops),
+                format!("{:.2}", ab.gflops),
+                version_name(ab.version).to_string(),
+                format!(
+                    "{}/{}/{}/{}",
+                    ab.tiling.mb, ab.tiling.nb, ab.tiling.kb, ab.tiling.mt
+                ),
+                spd(r.get("cpu_v3").seconds / ab.seconds),
+            ]);
+        }
+        t.print();
+    }
+
+    let doc = results_to_json(
+        &results,
+        mode,
+        &session.device().name,
+        kernel.isa(),
+        autotune,
+    );
     let json = doc.dump().expect("results serialize");
     if let Err(e) = std::fs::write(&out, &json) {
         eprintln!("cannot write {out}: {e}");
@@ -637,6 +893,18 @@ fn main() {
             std::process::exit(1);
         }
     }
+
+    if assert_ab {
+        let failures = check_ab(&results);
+        if failures.is_empty() {
+            println!("plan A/B gate: measured plans hold on the 512-cubed shapes");
+        } else {
+            for f in &failures {
+                eprintln!("  A/B FAILURE: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -670,7 +938,26 @@ mod tests {
                     },
                 ),
             ],
+            ab: None,
         }
+    }
+
+    /// Attach a measured A/B lane that ran in `seconds`.
+    fn with_ab(mut r: ShapeResult, seconds: f64) -> ShapeResult {
+        r.ab = Some(AbLane {
+            seconds,
+            gflops: 1.0 / seconds,
+            version: NmVersion::V1,
+            tiling: CpuTiling {
+                mb: 64,
+                nb: 128,
+                kb: 128,
+                mt: 8,
+            },
+            harness_gflops: 1.0 / seconds,
+            samples: 3,
+        });
+        r
     }
 
     fn baseline(label: &str, speedup: f64) -> JsonValue {
@@ -786,6 +1073,41 @@ mod tests {
             false,
         );
         assert_eq!(regressions.len(), 1, "same-ISA regressions must fire");
+    }
+
+    #[test]
+    fn ab_gate_passes_when_measured_wins_or_ties() {
+        // Measured faster than V3: clean pass.
+        let r = with_ab(result_with_v3_seconds(0.5), 0.25);
+        assert!(check_ab(&[r]).is_empty());
+        // Measured exactly at the 5% noise floor (ratio 0.95): passes —
+        // the gate fires on `ratio < 0.95`, strictly.
+        let r = with_ab(result_with_v3_seconds(0.95), 1.0);
+        assert!(check_ab(&[r]).is_empty(), "ratio == 0.95 must pass");
+    }
+
+    #[test]
+    fn ab_gate_fails_when_measured_loses_to_the_cost_model() {
+        // Measured twice as slow as the V3 default: the whole point of
+        // evidence-based planning failed on this shape.
+        let r = with_ab(result_with_v3_seconds(0.5), 1.0);
+        let failures = check_ab(&[r]);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("must not lose"));
+    }
+
+    #[test]
+    fn ab_gate_comparing_nothing_is_a_failure() {
+        // No A/B lane at all (autotune off) …
+        let failures = check_ab(&[result_with_v3_seconds(0.5)]);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("compared nothing"));
+        // … and a lane on a non-512³ shape doesn't arm the gate either.
+        let mut r = with_ab(result_with_v3_seconds(0.5), 0.25);
+        r.m = 1024;
+        let failures = check_ab(&[r]);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("compared nothing"));
     }
 
     #[test]

@@ -22,7 +22,8 @@
 use gpu_sim::device::{a100_80g, a100_ncu_locked, rtx3090, rtx4090, DeviceConfig};
 use gpu_sim::energy;
 use nm_bench::{pct, spd, TextTable};
-use nm_kernels::{BackendKind, NmSpmmKernel, NmVersion, Session, SessionBuilder};
+use nm_kernels::plan::version_name;
+use nm_kernels::{AutotuneMode, BackendKind, NmSpmmKernel, NmVersion, Session, SessionBuilder};
 use nm_workloads::gen::{ProblemInstance, ProblemSpec};
 use nm_workloads::levels::{benchmark_levels, label};
 use nm_workloads::llama::LLAMA_FAMILY;
@@ -39,6 +40,7 @@ struct Args {
     seq: usize,
     cache: Option<String>,
     exec: bool,
+    autotune: Option<AutotuneMode>,
 }
 
 fn parse_args() -> Args {
@@ -53,6 +55,7 @@ fn parse_args() -> Args {
         seq: 2048,
         cache: None,
         exec: false,
+        autotune: None,
     };
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -110,6 +113,19 @@ fn parse_args() -> Args {
                 args.exec = true;
                 i += 1;
             }
+            "--autotune" => {
+                // Validated like NM_SPMM_ISA: an unrecognized mode is a
+                // structured usage error, never a silent fall-back to off.
+                let value = argv.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("--autotune takes off|quick|full");
+                    std::process::exit(2);
+                });
+                args.autotune = Some(AutotuneMode::from_name(&value).unwrap_or_else(|e| {
+                    eprintln!("--autotune {value}: {e}");
+                    std::process::exit(2);
+                }));
+                i += 2;
+            }
             other => panic!("unknown flag '{other}'"),
         }
     }
@@ -121,7 +137,23 @@ fn make_session(args: &Args) -> Session {
     if let Some(path) = &args.cache {
         builder = builder.plan_cache(path);
     }
-    let session = builder.build().expect("build session");
+    // The flag wins over NM_SPMM_AUTOTUNE; either way an unrecognized
+    // mode exits 2 with a structured error instead of silently running
+    // without measurement.
+    let autotune = match args.autotune {
+        Some(mode) => mode,
+        None => match AutotuneMode::from_env() {
+            Ok(mode) => mode.unwrap_or_default(),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        },
+    };
+    let session = builder.autotune(autotune).build().expect("build session");
+    if autotune != AutotuneMode::Off {
+        println!("measured autotune: {autotune} (scaled executions run the evidence-based lane)");
+    }
     if let Some(path) = &args.cache {
         println!(
             "plan cache: {} ({} entries loaded)\n",
@@ -208,8 +240,15 @@ fn llama_sweep(args: &Args, session: &mut Session, model_name: &str) {
         }
         t.print();
         if args.exec {
-            let mut t =
-                TextTable::new(&["layer", "exec shape", "CPU ms", "CPU dense ms", "|sim-cpu|"]);
+            let mut t = TextTable::new(&[
+                "layer",
+                "exec shape",
+                "CPU ms",
+                "CPU dense ms",
+                "measured ms",
+                "picked",
+                "|sim-cpu|",
+            ]);
             for l in &report.layers {
                 if let Some(e) = l.exec {
                     t.row(&[
@@ -217,6 +256,12 @@ fn llama_sweep(args: &Args, session: &mut Session, model_name: &str) {
                         format!("{}x{}x{}", e.m, e.n, e.k),
                         format!("{:.1}", e.cpu_ms),
                         format!("{:.1}", e.cpu_dense_ms),
+                        e.measured_ms
+                            .map(|ms| format!("{ms:.1}"))
+                            .unwrap_or_else(|| "-".into()),
+                        e.measured_version
+                            .map(|v| version_name(v).to_string())
+                            .unwrap_or_else(|| "-".into()),
                         format!("{:.2e}", e.sim_vs_cpu_max_diff),
                     ]);
                 }
@@ -267,7 +312,7 @@ fn shape_sweep(args: &Args, session: &mut Session) {
     ]);
     for cfg in benchmark_levels() {
         let plan = session.plan(m, n, k, cfg).expect("plan");
-        let best = plan.best();
+        let best = plan.best().expect("planner-built plans carry an estimate");
         // Energy needs event counts: run the chosen kernel functionally on
         // small problems through a prepared Sim-backend handle; large
         // shapes skip it (the estimate covers time).
@@ -291,7 +336,9 @@ fn shape_sweep(args: &Args, session: &mut Session) {
             format!("{:.2}", best.tflops),
             pct(best.efficiency),
             format!("{:?}", plan.decision.predicted_bound),
-            spd(plan.speedup_vs_dense()),
+            spd(plan
+                .speedup_vs_dense()
+                .expect("planner-built plans carry an estimate")),
             e.map(|e| format!("{:.2}", e.total_j() * 1e3))
                 .unwrap_or("-".into()),
             e.map(|e| format!("{:.0}", e.gflops_per_joule(spec.useful_flops())))

@@ -371,13 +371,30 @@ impl ExecBackend for CpuBackend {
     /// unless this backend pins one). A blocking that cannot drive the CPU
     /// tiles — e.g. `ns` not a multiple of the operand's vector length
     /// `L` — is a structured [`NmError::InvalidBlocking`].
+    ///
+    /// A plan carrying **measured** evidence for this ladder step
+    /// overrides the cost-model derivation: the preparation stages with
+    /// the tile geometry that actually measured fastest on this host
+    /// (provided it is window-aligned for these weights — `load_planned`
+    /// allows executing a plan against a differently configured operand,
+    /// in which case the derivation fallback applies).
     fn prepare(
         &self,
         _dev: &DeviceConfig,
         plan: &Plan,
         sb: &NmSparseMatrix,
     ) -> Result<Box<dyn PreparedState>> {
-        let tiling = CpuTiling::derive(plan.params, sb.cfg(), sb.k())?;
+        let cfg = sb.cfg();
+        let measured_tiling = plan
+            .measured
+            .as_ref()
+            .filter(|m| m.ladder_version == self.version)
+            .map(|m| m.cpu_tiling)
+            .filter(|t| t.nb.is_multiple_of(cfg.l) && t.kb.is_multiple_of(cfg.m));
+        let tiling = match measured_tiling {
+            Some(t) => t,
+            None => CpuTiling::derive(plan.params, cfg, sb.k())?,
+        };
         let prep = match self.kernel {
             Some(k) => CpuPrepared::with_kernel(self.version, sb, tiling, k)?,
             None => CpuPrepared::new(self.version, sb, tiling)?,

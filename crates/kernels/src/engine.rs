@@ -84,6 +84,18 @@ impl Engine {
         self.planner.plan(m, n, k, cfg)
     }
 
+    /// Counted lookup under an arbitrary key — the session layer's path to
+    /// measured (host-scoped) entries. Bumps the hit or miss counter.
+    pub fn lookup(&mut self, key: &crate::plan::PlanKey) -> Option<Plan> {
+        self.planner.lookup(key)
+    }
+
+    /// Store an externally resolved plan (e.g. measured evidence) in the
+    /// cache under its own key. Persist with [`Engine::save`].
+    pub fn insert(&mut self, plan: Plan) {
+        self.planner.insert(plan);
+    }
+
     /// Current cache counters.
     pub fn stats(&self) -> CacheStats {
         let c = self.planner.cache();

@@ -55,6 +55,13 @@
 //!   derived from the plan's auto-tuned blocking. This is the measured-
 //!   performance path the `bench_measured` harness sweeps.
 //!
+//! Plans record their [`plan::Provenance`]: the analytic cost model, or
+//! **measurement** — [`measure`](mod@measure) is a short-run harness that times the
+//! CPU ladder in place, and a session built with
+//! [`session::SessionBuilder::autotune`] consults/persists the
+//! measured-best choice through the same plan cache (keyed by host ISA
+//! and thread count, so evidence never travels between machines).
+//!
 //! ## Data layout note
 //!
 //! As in the reference CUDA implementation, the activation matrix `A` is
@@ -72,6 +79,7 @@ pub mod common;
 pub mod cpu;
 pub mod dense;
 pub mod engine;
+pub mod measure;
 pub mod nm;
 pub mod nmsparse;
 pub mod params;
@@ -86,10 +94,15 @@ pub use backend::{BackendKind, CpuBackend, ExecBackend, ExecRun, SimBackend};
 pub use cpu::{spmm_cpu, spmm_cpu_prepared, CpuPrepared, CpuTiling};
 pub use dense::DenseGemmKernel;
 pub use engine::{CacheStats, Engine};
+pub use measure::{
+    measure, measurement_passes, AutotuneMode, MeasureOutcome, MeasureSpec, MeasuredSample,
+};
 pub use nm::{NmSpmmKernel, NmVersion};
 pub use nmsparse::NmSparseKernel;
 pub use params::{Blocking, BlockingParams};
-pub use plan::{KernelChoice, Plan, PlanCache, PlanKey, Planner};
+pub use plan::{
+    KernelChoice, MeasuredChoice, Plan, PlanCache, PlanHost, PlanKey, Planner, Provenance,
+};
 pub use session::{PreparedLayer, PreparedModel, Session, SessionBuilder};
 pub use simd::{Isa, MicroKernel};
 pub use sparse_tc::SparseTensorCoreKernel;

@@ -23,6 +23,7 @@
 //! equal keys can never observe different plans.
 
 use crate::autotune;
+use crate::cpu::CpuTiling;
 use crate::dense::DenseGemmKernel;
 use crate::nm::{NmSpmmKernel, NmVersion};
 use crate::nmsparse::NmSparseKernel;
@@ -84,6 +85,30 @@ fn device_fingerprint(dev: &DeviceConfig) -> String {
     format!("{h:016x}")
 }
 
+/// The measurement scope of a **measured** plan: which host the evidence
+/// was gathered on.
+///
+/// Measured cache entries are keyed by
+/// `(host ISA, thread count, shape class, N:M(L))` in addition to the
+/// device fields, so a cache file moved between machines (different ISA)
+/// or run configurations (different worker count) **misses** instead of
+/// replaying foreign measurements. Cost-model entries carry no host —
+/// an analytic estimate is host-independent by construction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PlanHost {
+    /// Micro-kernel ISA name ([`crate::simd::Isa::name`]) the measurement
+    /// dispatched to.
+    pub isa: String,
+    /// Rayon worker threads the measurement fanned across.
+    pub threads: usize,
+}
+
+impl std::fmt::Display for PlanHost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}t", self.isa, self.threads)
+    }
+}
+
 /// Cache key: device identity, shape class and sparsity configuration.
 ///
 /// `m`, `n`, `k` are stored **padded** to the 32-element class granule;
@@ -109,6 +134,10 @@ pub struct PlanKey {
     pub m_win: usize,
     /// Vector length (`L`).
     pub l: usize,
+    /// The measurement scope for measured entries; `None` for cost-model
+    /// plans. Part of the key, so measured evidence never shadows the
+    /// analytic plan for the same shape (and vice versa).
+    pub host: Option<PlanHost>,
 }
 
 impl PlanKey {
@@ -123,6 +152,15 @@ impl PlanKey {
             n_keep: cfg.n,
             m_win: cfg.m,
             l: cfg.l,
+            host: None,
+        }
+    }
+
+    /// The same key scoped to measured evidence gathered on `host`.
+    pub fn for_host(&self, host: PlanHost) -> Self {
+        Self {
+            host: Some(host),
+            ..self.clone()
         }
     }
 
@@ -138,7 +176,11 @@ impl std::fmt::Display for PlanKey {
             f,
             "{} {}x{}x{} {}:{}(L={})",
             self.device, self.m, self.n, self.k, self.n_keep, self.m_win, self.l
-        )
+        )?;
+        if let Some(host) = &self.host {
+            write!(f, " @{host}")?;
+        }
+        Ok(())
     }
 }
 
@@ -277,6 +319,75 @@ impl KernelEstimates {
     }
 }
 
+/// Where a [`Plan`]'s decision came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Provenance {
+    /// The analytic timing model (strategy decision + exhaustive
+    /// estimate-driven autotune) — host-independent.
+    CostModel,
+    /// Short-run measurement on the executing host
+    /// ([`measure`](mod@crate::measure)) — scoped by the key's [`PlanHost`].
+    Measured,
+}
+
+impl Provenance {
+    /// Stable identifier used in the JSON cache.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Provenance::CostModel => "cost_model",
+            Provenance::Measured => "measured",
+        }
+    }
+
+    /// Inverse of [`Provenance::name`].
+    pub fn from_name(name: &str) -> Result<Self> {
+        match name {
+            "cost_model" => Ok(Provenance::CostModel),
+            "measured" => Ok(Provenance::Measured),
+            other => Err(NmError::Persist {
+                reason: format!("unknown plan provenance `{other}`"),
+            }),
+        }
+    }
+}
+
+/// Stable identifier for a ladder version, as written into the JSON
+/// cache and the measured-bench A/B report (`"v1"`/`"v2"`/`"v3"`).
+pub fn version_name(v: NmVersion) -> &'static str {
+    match v {
+        NmVersion::V1 => "v1",
+        NmVersion::V2 => "v2",
+        NmVersion::V3 => "v3",
+    }
+}
+
+fn version_from_name(name: &str) -> Result<NmVersion> {
+    match name {
+        "v1" => Ok(NmVersion::V1),
+        "v2" => Ok(NmVersion::V2),
+        "v3" => Ok(NmVersion::V3),
+        other => Err(NmError::Persist {
+            reason: format!("unknown ladder version `{other}`"),
+        }),
+    }
+}
+
+/// The measured-best CPU execution choice carried by a `Measured` plan:
+/// which ladder step to run and with which tile geometry, plus the
+/// evidence (throughput, sample count) that picked it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeasuredChoice {
+    /// The V1→V3 ladder step that measured fastest.
+    pub ladder_version: NmVersion,
+    /// The (effective, clamped) CPU tile geometry it measured fastest
+    /// with.
+    pub cpu_tiling: CpuTiling,
+    /// Measured useful throughput of the winner, in GFLOP/s.
+    pub gflops: f64,
+    /// Timed iterations behind the winning sample.
+    pub samples: usize,
+}
+
 /// A fully resolved execution plan for one `(device, shape class, N:M)`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Plan {
@@ -293,26 +404,136 @@ pub struct Plan {
     pub decision: StrategyDecision,
     /// Per-family timing estimates.
     pub estimates: KernelEstimates,
+    /// Where the decision came from.
+    pub provenance: Provenance,
+    /// The measured-best CPU choice; present exactly when `provenance`
+    /// is [`Provenance::Measured`].
+    pub measured: Option<MeasuredChoice>,
 }
 
 impl Plan {
+    /// Validated cost-model plan constructor — the invariant that the
+    /// chosen family carries an estimate is checked **here**, at
+    /// construction, so no later accessor can trip over it (it used to be
+    /// enforced only on the JSON parse path, letting in-process
+    /// construction build a plan whose [`Plan::best`] panicked).
+    pub fn new(
+        key: PlanKey,
+        choice: KernelChoice,
+        params: BlockingParams,
+        evaluated: usize,
+        decision: StrategyDecision,
+        estimates: KernelEstimates,
+    ) -> Result<Self> {
+        let plan = Self {
+            key,
+            choice,
+            params,
+            evaluated,
+            decision,
+            estimates,
+            provenance: Provenance::CostModel,
+            measured: None,
+        };
+        plan.validate()?;
+        Ok(plan)
+    }
+
+    /// Check the structural invariants every construction path must hold:
+    /// the chosen family has an estimate, and measured evidence is present
+    /// exactly when the provenance says so.
+    pub fn validate(&self) -> Result<()> {
+        if self.estimates.get(self.choice).is_none() {
+            return Err(NmError::InvalidConfig {
+                reason: format!(
+                    "plan for `{}` chooses `{}` but carries no estimate for it",
+                    self.key,
+                    self.choice.name()
+                ),
+            });
+        }
+        if (self.provenance == Provenance::Measured) != self.measured.is_some() {
+            return Err(NmError::InvalidConfig {
+                reason: format!(
+                    "plan for `{}` has provenance `{}` but measured evidence is {}",
+                    self.key,
+                    self.provenance.name(),
+                    if self.measured.is_some() {
+                        "present"
+                    } else {
+                        "absent"
+                    }
+                ),
+            });
+        }
+        if self.provenance == Provenance::Measured && self.key.host.is_none() {
+            return Err(NmError::InvalidConfig {
+                reason: format!("measured plan for `{}` is not scoped to a host", self.key),
+            });
+        }
+        Ok(())
+    }
+
+    /// Derive the measured variant of this plan: same shape class and
+    /// analytic estimates, re-keyed to `host` and carrying the measured
+    /// CPU winner. The cost-model entry stays untouched under its own
+    /// (host-less) key.
+    pub fn with_measured(&self, host: PlanHost, measured: MeasuredChoice) -> Result<Self> {
+        let mut plan = self.clone();
+        plan.key = self.key.for_host(host);
+        plan.provenance = Provenance::Measured;
+        plan.measured = Some(measured);
+        plan.validate()?;
+        Ok(plan)
+    }
+
     /// The winning family's estimate.
-    pub fn best(&self) -> EstimateSummary {
+    ///
+    /// # Errors
+    /// [`NmError::InvalidConfig`] when the plan's chosen family carries no
+    /// estimate — a structural corruption every constructor rejects, but a
+    /// hand-built `Plan` literal can still encode.
+    pub fn best(&self) -> Result<EstimateSummary> {
         self.estimates
             .get(self.choice)
-            .expect("choice always has an estimate")
+            .ok_or_else(|| NmError::InvalidConfig {
+                reason: format!(
+                    "plan for `{}` chooses `{}` but carries no estimate for it",
+                    self.key,
+                    self.choice.name()
+                ),
+            })
     }
 
     /// Estimated speedup of the chosen kernel over the dense baseline.
-    pub fn speedup_vs_dense(&self) -> f64 {
-        self.estimates.dense.seconds / self.best().seconds
+    ///
+    /// # Errors
+    /// Propagates [`Plan::best`].
+    pub fn speedup_vs_dense(&self) -> Result<f64> {
+        Ok(self.estimates.dense.seconds / self.best()?.seconds)
     }
 
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
         let p = self.params;
+        let timing = match self.best() {
+            Ok(best) => format!(
+                "{:.3} ms, {:.2}x vs dense",
+                best.seconds * 1e3,
+                self.estimates.dense.seconds / best.seconds
+            ),
+            Err(_) => "no estimate".to_string(),
+        };
+        let evidence = match &self.measured {
+            Some(m) => format!(
+                " [measured: {} {:.1} GFLOP/s]",
+                version_name(m.ladder_version),
+                m.gflops
+            ),
+            None => String::new(),
+        };
         format!(
-            "{} via {} [{}x{} mt{}xnt{}]{} — {:.3} ms, {:.2}x vs dense",
+            "{} via {} [{}x{} mt{}xnt{}]{} — {timing}{evidence}",
             self.key,
             self.choice,
             p.ms,
@@ -324,8 +545,6 @@ impl Plan {
             } else {
                 ""
             },
-            self.best().seconds * 1e3,
-            self.speedup_vs_dense(),
         )
     }
 }
@@ -364,6 +583,61 @@ fn opt_est_from_json(v: &JsonValue) -> Result<Option<EstimateSummary>> {
     }
 }
 
+fn host_to_json(host: &Option<PlanHost>) -> JsonValue {
+    match host {
+        Some(h) => JsonValue::object(vec![
+            ("isa", JsonValue::from_str_value(&h.isa)),
+            ("threads", JsonValue::from_usize(h.threads)),
+        ]),
+        None => JsonValue::Null,
+    }
+}
+
+fn host_from_json(v: Option<&JsonValue>) -> Result<Option<PlanHost>> {
+    match v {
+        None | Some(JsonValue::Null) => Ok(None),
+        Some(h) => Ok(Some(PlanHost {
+            isa: h.str_field("isa")?.to_string(),
+            threads: h.usize_field("threads")?,
+        })),
+    }
+}
+
+fn measured_to_json(m: &Option<MeasuredChoice>) -> JsonValue {
+    match m {
+        Some(m) => JsonValue::object(vec![
+            (
+                "ladder_version",
+                JsonValue::from_str_value(version_name(m.ladder_version)),
+            ),
+            ("mb", JsonValue::from_usize(m.cpu_tiling.mb)),
+            ("nb", JsonValue::from_usize(m.cpu_tiling.nb)),
+            ("kb", JsonValue::from_usize(m.cpu_tiling.kb)),
+            ("mt", JsonValue::from_usize(m.cpu_tiling.mt)),
+            ("gflops", JsonValue::Number(m.gflops)),
+            ("samples", JsonValue::from_usize(m.samples)),
+        ]),
+        None => JsonValue::Null,
+    }
+}
+
+fn measured_from_json(v: Option<&JsonValue>) -> Result<Option<MeasuredChoice>> {
+    match v {
+        None | Some(JsonValue::Null) => Ok(None),
+        Some(m) => Ok(Some(MeasuredChoice {
+            ladder_version: version_from_name(m.str_field("ladder_version")?)?,
+            cpu_tiling: CpuTiling {
+                mb: m.usize_field("mb")?,
+                nb: m.usize_field("nb")?,
+                kb: m.usize_field("kb")?,
+                mt: m.usize_field("mt")?,
+            },
+            gflops: m.f64_field("gflops")?,
+            samples: m.usize_field("samples")?,
+        })),
+    }
+}
+
 fn plan_to_json(plan: &Plan) -> JsonValue {
     let k = &plan.key;
     let p = &plan.params;
@@ -381,9 +655,15 @@ fn plan_to_json(plan: &Plan) -> JsonValue {
                 ("n_keep", JsonValue::from_usize(k.n_keep)),
                 ("m_win", JsonValue::from_usize(k.m_win)),
                 ("l", JsonValue::from_usize(k.l)),
+                ("host", host_to_json(&k.host)),
             ]),
         ),
         ("choice", JsonValue::from_str_value(plan.choice.name())),
+        (
+            "provenance",
+            JsonValue::from_str_value(plan.provenance.name()),
+        ),
+        ("measured", measured_to_json(&plan.measured)),
         (
             "params",
             JsonValue::object(vec![
@@ -445,8 +725,20 @@ fn plan_from_json(v: &JsonValue) -> Result<Plan> {
         n_keep: kv.usize_field("n_keep")?,
         m_win: kv.usize_field("m_win")?,
         l: kv.usize_field("l")?,
+        // Version-1 documents predate measured provenance and carry no
+        // host scope.
+        host: host_from_json(kv.get("host"))?,
     };
     let choice = KernelChoice::from_name(v.str_field("choice")?)?;
+    // Version-1 documents carry neither field: they were produced by the
+    // analytic planner, so they load as CostModel-provenance.
+    let provenance = match v.get("provenance") {
+        Some(p) => Provenance::from_name(p.as_str().ok_or_else(|| NmError::Persist {
+            reason: "`provenance` is not a string".into(),
+        })?)?,
+        None => Provenance::CostModel,
+    };
+    let measured = measured_from_json(v.get("measured"))?;
     let pv = v.field("params")?;
     let params = BlockingParams {
         ms: pv.usize_field("ms")?,
@@ -492,29 +784,33 @@ fn plan_from_json(v: &JsonValue) -> Result<Plan> {
         sputnik: est_from_json(ev.field("sputnik")?)?,
         sparse_tc: opt_est_from_json(ev.field("sparse_tc")?)?,
     };
-    // A plan whose chosen family has no estimate would panic later in
-    // `Plan::best`; a (hand-edited or corrupted) document that encodes one
-    // is malformed, not merely surprising.
-    if estimates.get(choice).is_none() {
-        return Err(NmError::Persist {
-            reason: format!(
-                "plan for `{key}` chooses `{}` but carries no estimate for it",
-                choice.name()
-            ),
-        });
-    }
-    Ok(Plan {
+    let plan = Plan {
         key,
         choice,
         params,
         evaluated: v.usize_field("evaluated")?,
         decision,
         estimates,
-    })
+        provenance,
+        measured,
+    };
+    // Same invariants as in-process construction ([`Plan::validate`]): a
+    // (hand-edited or corrupted) document that breaks them is malformed,
+    // not merely surprising.
+    plan.validate()?;
+    Ok(plan)
 }
 
 /// Version tag written into cache files; bump on schema changes.
-const CACHE_FORMAT_VERSION: usize = 1;
+///
+/// * v1 — analytic plans only.
+/// * v2 — adds `key.host`, `provenance` and `measured` (evidence-based
+///   planning). v1 documents still load: they become CostModel-provenance
+///   entries with no host scope.
+const CACHE_FORMAT_VERSION: usize = 2;
+
+/// Oldest cache-file version [`PlanCache::from_json`] still accepts.
+const CACHE_FORMAT_OLDEST: usize = 1;
 
 /// In-memory memo of finished [`Plan`]s with hit/miss accounting and JSON
 /// persistence.
@@ -590,6 +886,7 @@ impl PlanCache {
                 p.key.n_keep,
                 p.key.m_win,
                 p.key.l,
+                p.key.host.clone(),
             )
         });
         let doc = JsonValue::object(vec![
@@ -613,10 +910,11 @@ impl PlanCache {
             });
         }
         let version = doc.usize_field("version")?;
-        if version != CACHE_FORMAT_VERSION {
+        if !(CACHE_FORMAT_OLDEST..=CACHE_FORMAT_VERSION).contains(&version) {
             return Err(NmError::Persist {
                 reason: format!(
-                    "plan-cache version {version} unsupported (expected {CACHE_FORMAT_VERSION})"
+                    "plan-cache version {version} unsupported \
+                     (expected {CACHE_FORMAT_OLDEST}..={CACHE_FORMAT_VERSION})"
                 ),
             });
         }
@@ -698,6 +996,19 @@ impl Planner {
         let plan = compute_plan(&self.dev, key)?;
         self.cache.insert(plan.clone());
         Ok(plan)
+    }
+
+    /// Counted lookup of an already-resolved plan under an arbitrary key —
+    /// how the session layer consults measured (host-scoped) entries that
+    /// [`Planner::plan`] itself never computes.
+    pub fn lookup(&mut self, key: &PlanKey) -> Option<Plan> {
+        self.cache.lookup(key).cloned()
+    }
+
+    /// Store an externally resolved plan (e.g. measured evidence) in the
+    /// memo under its own key.
+    pub fn insert(&mut self, plan: Plan) {
+        self.cache.insert(plan);
     }
 }
 
@@ -796,14 +1107,7 @@ fn compute_plan(dev: &DeviceConfig, key: PlanKey) -> Result<Plan> {
         }
     }
 
-    Ok(Plan {
-        key,
-        choice,
-        params,
-        evaluated,
-        decision,
-        estimates,
-    })
+    Plan::new(key, choice, params, evaluated, decision, estimates)
 }
 
 #[cfg(test)]
@@ -872,7 +1176,7 @@ mod tests {
         let plan = planner.plan(4096, 4096, 4096, cfg(2, 16)).unwrap();
         assert!(plan.decision.packing);
         assert_eq!(plan.choice, KernelChoice::NmV3);
-        assert!(plan.speedup_vs_dense() > 1.0);
+        assert!(plan.speedup_vs_dense().unwrap() > 1.0);
         assert!(!plan.summary().is_empty());
     }
 
@@ -1004,6 +1308,153 @@ mod tests {
         } else {
             assert_eq!(plan.choice, KernelChoice::Dense);
         }
+    }
+
+    fn demo_host() -> PlanHost {
+        PlanHost {
+            isa: "avx2".into(),
+            threads: 4,
+        }
+    }
+
+    fn demo_measured() -> MeasuredChoice {
+        MeasuredChoice {
+            ladder_version: NmVersion::V1,
+            cpu_tiling: CpuTiling {
+                mb: 64,
+                nb: 128,
+                kb: 128,
+                mt: 8,
+            },
+            gflops: 12.5,
+            samples: 3,
+        }
+    }
+
+    #[test]
+    fn in_process_construction_rejects_choice_without_estimate() {
+        // The old `Plan::best()` panicked on exactly this shape of plan;
+        // the validated constructor must refuse to build it instead.
+        let mut planner = Planner::new(a100_80g());
+        let plan = planner.plan(256, 256, 256, cfg(2, 16)).unwrap();
+        assert!(plan.estimates.sparse_tc.is_none());
+        let err = Plan::new(
+            plan.key.clone(),
+            KernelChoice::SparseTc,
+            plan.params,
+            plan.evaluated,
+            plan.decision,
+            plan.estimates,
+        )
+        .unwrap_err();
+        assert!(matches!(err, NmError::InvalidConfig { .. }), "{err}");
+        assert!(err.to_string().contains("no estimate"), "{err}");
+
+        // A hand-built literal that sneaks past the constructor still gets
+        // a structured error from `best()`, never a panic.
+        let mut bad = plan.clone();
+        bad.choice = KernelChoice::SparseTc;
+        assert!(bad.best().is_err());
+        assert!(bad.speedup_vs_dense().is_err());
+        assert!(bad.summary().contains("no estimate"));
+    }
+
+    #[test]
+    fn measured_provenance_round_trips_through_json() {
+        let mut planner = Planner::new(a100_80g());
+        let base = planner.plan(512, 512, 512, cfg(2, 8)).unwrap();
+        assert_eq!(base.provenance, Provenance::CostModel);
+        let measured = base.with_measured(demo_host(), demo_measured()).unwrap();
+        assert_eq!(measured.provenance, Provenance::Measured);
+        assert_eq!(measured.key.host, Some(demo_host()));
+
+        let mut cache = planner.into_cache();
+        cache.insert(measured.clone());
+        let json = cache.to_json().unwrap();
+        let reloaded = PlanCache::from_json(&json).unwrap();
+        assert_eq!(reloaded.len(), 2, "cost-model and measured coexist");
+        assert_eq!(reloaded.peek(&base.key), Some(&base));
+        assert_eq!(reloaded.peek(&measured.key), Some(&measured));
+        // Serialization stays deterministic with host-scoped keys present.
+        assert_eq!(json, reloaded.to_json().unwrap());
+    }
+
+    #[test]
+    fn measured_entries_miss_on_foreign_host() {
+        // A cache moved between hosts (different ISA) or run configs
+        // (different thread count) must miss, not replay the measurement.
+        let mut planner = Planner::new(a100_80g());
+        let base = planner.plan(512, 512, 512, cfg(2, 8)).unwrap();
+        let measured = base.with_measured(demo_host(), demo_measured()).unwrap();
+        let mut cache = planner.into_cache();
+        cache.insert(measured.clone());
+
+        assert!(cache.lookup(&measured.key).is_some());
+        let other_isa = base.key.for_host(PlanHost {
+            isa: "avx512".into(),
+            threads: 4,
+        });
+        assert!(cache.lookup(&other_isa).is_none(), "ISA change must miss");
+        let other_threads = base.key.for_host(PlanHost {
+            isa: "avx2".into(),
+            threads: 8,
+        });
+        assert!(
+            cache.lookup(&other_threads).is_none(),
+            "thread-count change must miss"
+        );
+    }
+
+    #[test]
+    fn version_1_documents_load_as_cost_model_provenance() {
+        // Produce a v2 document holding only analytic plans, then rewrite
+        // it into the exact v1 schema (no host, no provenance, no
+        // measured) — the serializer is ours, so the surgery is exact.
+        let mut planner = Planner::new(a100_80g());
+        let plan = planner.plan(512, 1024, 2048, cfg(4, 16)).unwrap();
+        let v2 = planner.cache().to_json().unwrap();
+        let v1 = v2
+            .replace("\"version\":2", "\"version\":1")
+            .replace(",\"host\":null", "")
+            .replace("\"provenance\":\"cost_model\",\"measured\":null,", "");
+        assert!(!v1.contains("provenance"), "surgery must remove v2 fields");
+        let cache = PlanCache::from_json(&v1).unwrap();
+        let loaded = cache.peek(&plan.key).expect("v1 entry must load");
+        assert_eq!(loaded.provenance, Provenance::CostModel);
+        assert_eq!(loaded.measured, None);
+        assert_eq!(loaded.key.host, None);
+        assert_eq!(loaded, &plan, "v1 reload equals the in-process plan");
+    }
+
+    #[test]
+    fn measured_invariants_rejected_at_load_and_construction() {
+        let mut planner = Planner::new(a100_80g());
+        let base = planner.plan(256, 256, 256, cfg(2, 16)).unwrap();
+        let measured = base.with_measured(demo_host(), demo_measured()).unwrap();
+        let mut cache = PlanCache::new();
+        cache.insert(measured);
+        let json = cache.to_json().unwrap();
+
+        // Provenance says measured but the evidence is stripped out.
+        let broken = json.replace("\"measured\":{", "\"measured\":null,\"x\":{");
+        assert!(PlanCache::from_json(&broken).is_err());
+
+        // In-process: measured provenance without evidence must not build.
+        let mut bad = base.clone();
+        bad.provenance = Provenance::Measured;
+        assert!(bad.validate().is_err());
+        // And measured evidence requires a host-scoped key.
+        let mut unscoped = base.with_measured(demo_host(), demo_measured()).unwrap();
+        unscoped.key.host = None;
+        assert!(unscoped.validate().is_err());
+    }
+
+    #[test]
+    fn provenance_names_round_trip() {
+        for p in [Provenance::CostModel, Provenance::Measured] {
+            assert_eq!(Provenance::from_name(p.name()).unwrap(), p);
+        }
+        assert!(Provenance::from_name("oracle").is_err());
     }
 
     #[test]

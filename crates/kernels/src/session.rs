@@ -51,8 +51,9 @@
 
 use crate::backend::{BackendKind, CpuBackend, ExecBackend, ExecRun, PreparedState};
 use crate::engine::{CacheStats, Engine};
+use crate::measure::{self, AutotuneMode, MeasureSpec};
 use crate::nm::NmVersion;
-use crate::plan::Plan;
+use crate::plan::{Plan, PlanHost};
 use crate::simd::{Isa, MicroKernel};
 use gpu_sim::device::DeviceConfig;
 use nm_core::error::{NmError, Result};
@@ -84,12 +85,14 @@ pub struct SessionBuilder {
     kernel: Option<MicroKernel>,
     threads: Option<usize>,
     cache_path: Option<PathBuf>,
+    autotune: Option<AutotuneMode>,
 }
 
 impl SessionBuilder {
     /// A builder for `device` with the defaults: native CPU V3 backend,
     /// runtime micro-kernel dispatch, uncapped workers, in-memory plan
-    /// cache.
+    /// cache, measured autotuning off (unless `NM_SPMM_AUTOTUNE` says
+    /// otherwise).
     pub fn new(device: DeviceConfig) -> Self {
         Self {
             device,
@@ -98,6 +101,7 @@ impl SessionBuilder {
             kernel: None,
             threads: None,
             cache_path: None,
+            autotune: None,
         }
     }
 
@@ -144,11 +148,27 @@ impl SessionBuilder {
         self
     }
 
+    /// How much **measured** autotuning [`Session::load`] performs when
+    /// the default backend is the native CPU ladder: `Off` executes the
+    /// cost-model plan as-is, `Quick`/`Full` run the
+    /// [`measure`](mod@crate::measure) harness on a cache miss and persist
+    /// the measured-best ladder version and tiling through the plan
+    /// cache, keyed by `(host ISA, thread count, shape class, N:M)`.
+    ///
+    /// An explicit mode overrides the `NM_SPMM_AUTOTUNE` environment
+    /// variable; without either, measurement is off.
+    pub fn autotune(mut self, mode: AutotuneMode) -> Self {
+        self.autotune = Some(mode);
+        self
+    }
+
     /// Build the session.
     ///
     /// # Errors
     /// [`NmError::Unsupported`] when an [`SessionBuilder::isa`] override
-    /// names an ISA this host cannot execute, and
+    /// names an ISA this host cannot execute or `NM_SPMM_AUTOTUNE` holds
+    /// an unrecognized mode (strictly validated, like `NM_SPMM_ISA` —
+    /// never a silent fallback to `Off`), and
     /// [`NmError::Persist`] when the plan-cache file exists but cannot be
     /// parsed.
     pub fn build(self) -> Result<Session> {
@@ -156,6 +176,10 @@ impl SessionBuilder {
             (Some(k), _) => Some(k),
             (None, Some(isa)) => Some(MicroKernel::for_isa(isa)?),
             (None, None) => None,
+        };
+        let autotune = match self.autotune {
+            Some(mode) => mode,
+            None => AutotuneMode::from_env()?.unwrap_or_default(),
         };
         if let Some(threads) = self.threads {
             // First-wins, like real rayon: a pool configured earlier in
@@ -172,6 +196,7 @@ impl SessionBuilder {
             engine,
             backend: self.backend,
             kernel,
+            autotune,
         })
     }
 }
@@ -185,6 +210,7 @@ pub struct Session {
     engine: Engine,
     backend: BackendKind,
     kernel: Option<MicroKernel>,
+    autotune: AutotuneMode,
 }
 
 impl Session {
@@ -206,6 +232,11 @@ impl Session {
     /// The worker threads parallel execution fans out to at most.
     pub fn threads(&self) -> usize {
         rayon::current_num_threads()
+    }
+
+    /// The measured-autotuning mode [`Session::load`] applies.
+    pub fn autotune(&self) -> AutotuneMode {
+        self.autotune
     }
 
     /// Plan a problem through the shared cache (strategy decision +
@@ -232,6 +263,15 @@ impl Session {
     /// packing + dispatch). The returned handle amortizes every one of
     /// those costs across its `forward` calls.
     ///
+    /// With [`SessionBuilder::autotune`] set to `Quick` or `Full` and a
+    /// CPU default backend, the offline work additionally includes the
+    /// measured-autotune pass: consult the plan cache for a measured
+    /// entry scoped to this host (ISA + thread count); on a miss, run the
+    /// [`measure`](mod@crate::measure) harness, persist the winner through
+    /// the cache's backing file (when one is configured), and prepare the
+    /// layer on the measured-best ladder version and tiling instead of
+    /// the session default.
+    ///
     /// # Errors
     /// Planning failures, [`NmError::InvalidBlocking`] when the tuned
     /// blocking cannot drive the backend, and [`NmError::Unsupported`]
@@ -242,7 +282,58 @@ impl Session {
         weights: impl Into<Arc<NmSparseMatrix>>,
         rows: usize,
     ) -> Result<PreparedLayer> {
+        let weights = weights.into();
+        if let (BackendKind::Cpu(_), Some(spec)) =
+            (self.backend, MeasureSpec::for_mode(self.autotune))
+        {
+            return self.load_measured(weights, rows, spec);
+        }
         self.load_on(weights, rows, self.backend)
+    }
+
+    /// The measured path of [`Session::load`]: cache consult → measure on
+    /// miss → persist → prepare on the measured winner.
+    fn load_measured(
+        &mut self,
+        weights: Arc<NmSparseMatrix>,
+        rows: usize,
+        spec: MeasureSpec,
+    ) -> Result<PreparedLayer> {
+        let base = self
+            .engine
+            .plan(rows, weights.cols(), weights.k(), weights.cfg())?;
+        // Resolve the micro-kernel first: the host ISA is part of the
+        // measured cache key, so a cache file moved to a different
+        // machine (or a different worker-count run) misses instead of
+        // replaying foreign evidence.
+        let kernel = match self.kernel {
+            Some(k) => k,
+            None => MicroKernel::select()?,
+        };
+        let host = PlanHost {
+            isa: kernel.isa().name().to_string(),
+            threads: rayon::current_num_threads(),
+        };
+        let key = base.key.for_host(host.clone());
+        let plan = match self.engine.lookup(&key) {
+            Some(plan) => plan,
+            None => {
+                let outcome = measure::measure(&base, &weights, rows, Some(kernel), spec)?;
+                let plan = base.with_measured(host, outcome.best)?;
+                self.engine.insert(plan.clone());
+                // Persist the (comparatively expensive) evidence through
+                // the same path analytic plans use; no-op when the
+                // session has no backing file.
+                self.engine.save()?;
+                plan
+            }
+        };
+        let version = plan
+            .measured
+            .as_ref()
+            .map(|m| m.ladder_version)
+            .unwrap_or(NmVersion::V3);
+        self.prepare_layer(plan, weights, BackendKind::Cpu(version))
     }
 
     /// As [`Session::load`], but on an explicit backend — per-layer

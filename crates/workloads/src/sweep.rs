@@ -23,6 +23,8 @@ use nm_core::parallel::{gemm_parallel, spmm_parallel, CpuSpmmOptions, Strategy};
 use nm_core::pattern::NmConfig;
 use nm_core::sparse::NmSparseMatrix;
 use nm_kernels::backend::BackendKind;
+use nm_kernels::measure::AutotuneMode;
+use nm_kernels::nm::NmVersion;
 use nm_kernels::plan::Plan;
 use nm_kernels::session::Session;
 use std::time::Instant;
@@ -89,6 +91,13 @@ pub struct ExecReport {
     /// Max |sim − cpu| over the output — the cross-check that the chosen
     /// simulated kernel and the CPU path compute the same matrix.
     pub sim_vs_cpu_max_diff: f32,
+    /// Wall time of the measured-autotuned native CPU ladder, milliseconds
+    /// — the evidence-based lane. `None` when the session's
+    /// [`AutotuneMode`] is `Off`.
+    pub measured_ms: Option<f64>,
+    /// The ladder step the measured plan picked for this host (`None`
+    /// when autotuning is off).
+    pub measured_version: Option<NmVersion>,
 }
 
 /// One layer's row in the sweep report.
@@ -194,7 +203,7 @@ pub fn sweep_model(
         let hits_before = session.stats().hits;
         let plan = session.plan(opts.seq_len, shape.n, shape.k, cfg)?;
         let cache_hit = session.stats().hits > hits_before;
-        let est_ms = plan.best().seconds * 1e3;
+        let est_ms = plan.best()?.seconds * 1e3;
         let dense_ms = plan.estimates.dense.seconds * 1e3;
         layers.push(LayerReport {
             layer: shape.layer,
@@ -242,6 +251,22 @@ pub fn sweep_model(
             let _ = gemm_parallel(&a, &bd);
             let cpu_dense_ms = t0.elapsed().as_secs_f64() * 1e3;
 
+            // Measured-autotune lane: when the session measures, load the
+            // scaled layer through the evidence-based CPU path and record
+            // what the measurement picked. Plans (and the measured cache
+            // entries) for the scaled shapes are separate keys, so the
+            // full-size planning accounting above stays untouched.
+            let (measured_ms, measured_version) = if session.autotune() != AutotuneMode::Off {
+                let measured = session.load(sb.clone(), me)?;
+                let run = measured.forward(&a)?;
+                (
+                    Some(run.wall_seconds * 1e3),
+                    measured.plan().measured.map(|m| m.ladder_version),
+                )
+            } else {
+                (None, None)
+            };
+
             // Simulated kernel, functional face, through a prepared
             // handle carrying the full-size plan.
             let layer = session.load_planned(row.plan.clone(), sb, BackendKind::Sim)?;
@@ -253,6 +278,8 @@ pub fn sweep_model(
                 cpu_ms,
                 cpu_dense_ms,
                 sim_vs_cpu_max_diff: run.c.max_abs_diff(&c_cpu),
+                measured_ms,
+                measured_version,
             });
         }
     }

@@ -40,7 +40,10 @@ fn main() {
                 // The plan carries the tuned V3 estimate (ns % L == 0 by
                 // construction for these L) and the dense baseline.
                 let plan = session.plan(m, n, k, cfg).expect("plan");
-                let sim = plan.estimates.nm_v3.unwrap_or_else(|| plan.best());
+                let sim = plan
+                    .estimates
+                    .nm_v3
+                    .unwrap_or_else(|| plan.best().expect("planned layers carry an estimate"));
                 let dense_sim = plan.estimates.dense;
                 let policy_name = match policy {
                     PrunePolicy::Magnitude => "magnitude",

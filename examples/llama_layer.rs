@@ -81,7 +81,7 @@ fn main() {
         // Online: the amortized forward pass the wall clock measures.
         let run = layer.forward(&a).expect("forward");
         let plan = layer.plan();
-        let sim = plan.best();
+        let sim = plan.best().expect("planned layers carry an estimate");
         let err = total_confusion(&run.c, &oracle);
         println!(
             "{:>9} {:>6.1}x {:>11.1}m {:>11.2}x {:>9.3}m {:>9.2}x {:>12.5}  {}",
@@ -90,7 +90,8 @@ fn main() {
             run.wall_seconds * 1e3,
             dense_wall.as_secs_f64() / run.wall_seconds,
             sim.seconds * 1e3,
-            plan.speedup_vs_dense(),
+            plan.speedup_vs_dense()
+                .expect("planned layers carry an estimate"),
             err,
             plan.choice,
         );

@@ -52,7 +52,10 @@ fn main() {
             let d = plan.decision;
             // The V3 estimate when the family could launch, else the
             // plan's winner (e.g. dense at N = M).
-            let rep = plan.estimates.nm_v3.unwrap_or_else(|| plan.best());
+            let rep = plan
+                .estimates
+                .nm_v3
+                .unwrap_or_else(|| plan.best().expect("planned layers carry an estimate"));
             let b = derive_blocking(&dev, plan.params, cfg, k, true, false).expect("blocking");
             let ai = BlockAi {
                 ms: b.params.ms,

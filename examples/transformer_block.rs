@@ -128,7 +128,12 @@ fn main() {
     for (layer, _) in &multipliers {
         let est = layer.plan().estimates;
         dense_ms += est.dense.seconds * 1e3;
-        sparse_ms += layer.plan().best().seconds * 1e3;
+        sparse_ms += layer
+            .plan()
+            .best()
+            .expect("planned layers carry an estimate")
+            .seconds
+            * 1e3;
     }
     println!(
         "simulated A100 block matmuls: sparse {:.4} ms vs dense {:.4} ms ({:.2}x)",

@@ -1,0 +1,187 @@
+//! The measured-autotune contract, proven end to end through the public
+//! session API:
+//!
+//! * **measure-once** — the measurement-pass probe shows that a second
+//!   `Session::load` of the same shape re-measures nothing (the evidence
+//!   is a counted plan-cache hit), both within one session and across
+//!   file-backed sessions sharing a cache path,
+//! * **evidence-carrying plans** — the prepared layer's plan records
+//!   `Measured` provenance and the winning ladder version/tiling,
+//! * **numerics** — as a property over arbitrary shapes, configurations
+//!   and seeds, a measured plan's forward pass agrees with the scalar
+//!   reference exactly as tightly as the cost-model plan's does.
+
+use nm_spmm::core::spmm::spmm_reference;
+use nm_spmm::kernels::measure::measurement_passes;
+use nm_spmm::kernels::plan::Provenance;
+use nm_spmm::kernels::{AutotuneMode, Session, SessionBuilder};
+use nm_spmm::prelude::*;
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn tmp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("nm-spmm-measured-{}-{name}", std::process::id()));
+    p
+}
+
+fn quick_session() -> Session {
+    SessionBuilder::new(a100_80g())
+        .autotune(AutotuneMode::Quick)
+        .build()
+        .unwrap()
+}
+
+fn prune(k: usize, n: usize, cfg: NmConfig, seed: u64) -> NmSparseMatrix {
+    NmSparseMatrix::prune_magnitude(&MatrixF32::random(k, n, seed), cfg).unwrap()
+}
+
+/// The acceptance-criterion proof: loading the same shape twice measures
+/// once. The second load is a plan-cache hit on the host-scoped key, and
+/// the measurement-pass counter — not just the cache accounting — shows
+/// zero re-measurement.
+#[test]
+fn second_load_of_the_same_shape_re_measures_nothing() {
+    let mut s = quick_session();
+    let cfg = NmConfig::new(2, 8, 32).unwrap();
+    let sb = prune(256, 128, cfg, 11);
+    let a = MatrixF32::random(64, 256, 12);
+    let expect = spmm_reference(&a, &sb);
+
+    let before = measurement_passes();
+    let first = s.load(sb.clone(), 64).unwrap();
+    assert_eq!(
+        measurement_passes(),
+        before + 1,
+        "a cold measured load runs exactly one measurement pass"
+    );
+    assert_eq!(first.plan().provenance, Provenance::Measured);
+    let evidence = first
+        .plan()
+        .measured
+        .expect("measured plan carries evidence");
+    assert!(evidence.samples > 0);
+    assert!(evidence.gflops > 0.0);
+    assert!(
+        first.plan().key.host.is_some(),
+        "measured plans must be keyed to the host that produced the evidence"
+    );
+
+    let after_first = measurement_passes();
+    let second = s.load(sb.clone(), 64).unwrap();
+    assert_eq!(
+        measurement_passes(),
+        after_first,
+        "a warm measured load must re-measure nothing"
+    );
+    assert_eq!(first.plan(), second.plan(), "both loads share one plan");
+
+    // Both handles compute the same (correct) result.
+    for layer in [&first, &second] {
+        let run = layer.forward(&a).unwrap();
+        assert!(
+            run.c.allclose(&expect, 1e-3, 1e-4),
+            "max diff {}",
+            run.c.max_abs_diff(&expect)
+        );
+    }
+}
+
+/// Measured evidence survives the process boundary: a second session
+/// opened on the same cache file replays the persisted winner instead of
+/// re-benchmarking, and a session with autotuning off never measures.
+#[test]
+fn measured_evidence_persists_across_file_backed_sessions() {
+    let path = tmp_path("evidence.json");
+    let _ = std::fs::remove_file(&path);
+    let cfg = NmConfig::new(2, 16, 32).unwrap();
+    let sb = prune(256, 96, cfg, 21);
+
+    let chosen = {
+        let mut s = SessionBuilder::new(a100_80g())
+            .autotune(AutotuneMode::Quick)
+            .plan_cache(&path)
+            .build()
+            .unwrap();
+        let before = measurement_passes();
+        let layer = s.load(sb.clone(), 32).unwrap();
+        assert_eq!(measurement_passes(), before + 1);
+        layer.plan().measured.expect("evidence").ladder_version
+    };
+
+    // Same host, same cache file: the evidence replays, nothing re-runs.
+    let mut s2 = SessionBuilder::new(a100_80g())
+        .autotune(AutotuneMode::Quick)
+        .plan_cache(&path)
+        .build()
+        .unwrap();
+    let before = measurement_passes();
+    let layer = s2.load(sb.clone(), 32).unwrap();
+    assert_eq!(
+        measurement_passes(),
+        before,
+        "persisted evidence must be replayed, not re-measured"
+    );
+    assert_eq!(layer.plan().provenance, Provenance::Measured);
+    assert_eq!(
+        layer.plan().measured.expect("evidence").ladder_version,
+        chosen,
+        "the replayed winner is the persisted one"
+    );
+
+    // Autotune off on the same cache: the measured path never engages —
+    // `load` prepares the cost-model default and measures nothing.
+    let mut s3 = SessionBuilder::new(a100_80g())
+        .autotune(AutotuneMode::Off)
+        .plan_cache(&path)
+        .build()
+        .unwrap();
+    let before = measurement_passes();
+    let layer = s3.load(sb, 32).unwrap();
+    assert_eq!(measurement_passes(), before);
+    assert_eq!(layer.plan().provenance, Provenance::CostModel);
+
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Small valid (N, M, L=32) configurations the CPU ladder's packed and
+/// unpacked paths both see.
+fn arb_cfg() -> impl Strategy<Value = NmConfig> {
+    prop_oneof![
+        Just(NmConfig::new(8, 16, 32).unwrap()), // 50%: unpacked path
+        Just(NmConfig::new(2, 8, 32).unwrap()),  // 75%: packed path
+        Just(NmConfig::new(2, 16, 32).unwrap()), // 87.5%: packed path
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For arbitrary shapes and seeds, the plan the measurement picks —
+    /// whatever ladder version and tiling wins on this host — computes
+    /// the same matrix as the scalar reference.
+    #[test]
+    fn measured_plans_match_the_reference(
+        cfg in arb_cfg(),
+        rows in 1usize..40,
+        n_blocks in 1usize..4,
+        k_blocks in 2usize..5,
+        seed in 0u64..1000,
+    ) {
+        let n = n_blocks * 32;
+        let k = k_blocks * 32;
+        let sb = prune(k, n, cfg, seed);
+        let a = MatrixF32::random(rows, k, seed ^ 0xab);
+        let expect = spmm_reference(&a, &sb);
+
+        let mut s = quick_session();
+        let layer = s.load(sb, rows).unwrap();
+        prop_assert_eq!(layer.plan().provenance, Provenance::Measured);
+        let run = layer.forward(&a).unwrap();
+        prop_assert!(
+            run.c.allclose(&expect, 1e-3, 1e-4),
+            "measured plan diverges from reference: max diff {}",
+            run.c.max_abs_diff(&expect)
+        );
+    }
+}
