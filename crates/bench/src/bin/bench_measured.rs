@@ -39,6 +39,17 @@
 //! `--assert-ab` turns the comparison into a gate: on the 512³ shapes
 //! (where the analytic GPU model is known to invert the CPU ladder
 //! ordering) the measured plan must not lose to the static default.
+//!
+//! ## The decode lane
+//!
+//! Skinny shapes (`m ∈ {1, 2, 4, 8}`) ride along with every sweep and
+//! report **effective GB/s** next to GFLOP/s — at decode batch sizes the
+//! product is bandwidth-bound, so bytes of compressed-operand traffic per
+//! second is the honest axis. `m = 1` shapes also time two rivals: the
+//! seed `spmv` loop from `nm-core` and the 4-row GEMM tile forced onto
+//! the one-row input. `--decode` runs the decode set alone and gates it
+//! (measured plans must hold, and the prepared SpMV path must beat both
+//! rivals); CI writes that run to `BENCH_decode.json`.
 
 use gpu_sim::device::a100_80g;
 use nm_bench::{spd, TextTable};
@@ -51,6 +62,7 @@ use nm_core::spmm::spmm_reference;
 use nm_kernels::plan::version_name;
 use nm_kernels::{
     AutotuneMode, BackendKind, CpuTiling, Isa, MicroKernel, NmVersion, Session, SessionBuilder,
+    ShapeClass, DECODE_MAX_ROWS,
 };
 use std::time::Instant;
 
@@ -150,12 +162,113 @@ fn quick_shapes() -> Vec<Shape> {
     ]
 }
 
+/// The decode sweep: skinny activation shapes (`m ≤` [`DECODE_MAX_ROWS`])
+/// at the acceptance sparsity, where the product is bandwidth-bound and
+/// the interesting metric is GB/s of compressed-operand traffic, not
+/// GFLOP/s. `m = 1` shapes additionally run the seed `spmv` loop and a
+/// forced 4-row GEMM tile as rivals (see [`bench_shape`]). These shapes
+/// ride along in full mode and stand alone under `--decode`.
+fn decode_shapes(quick: bool) -> Vec<Shape> {
+    if quick {
+        return vec![
+            Shape {
+                label: "decode-1-512-75",
+                m: 1,
+                n: 512,
+                k: 512,
+                cfg: cfg(2, 8),
+            },
+            Shape {
+                label: "decode-8-512-75",
+                m: 8,
+                n: 512,
+                k: 512,
+                cfg: cfg(2, 8),
+            },
+        ];
+    }
+    let mut shapes = vec![
+        Shape {
+            label: "decode-1-2048-75",
+            m: 1,
+            n: 2048,
+            k: 2048,
+            cfg: cfg(2, 8),
+        },
+        Shape {
+            label: "decode-2-2048-75",
+            m: 2,
+            n: 2048,
+            k: 2048,
+            cfg: cfg(2, 8),
+        },
+        Shape {
+            label: "decode-4-2048-75",
+            m: 4,
+            n: 2048,
+            k: 2048,
+            cfg: cfg(2, 8),
+        },
+        Shape {
+            label: "decode-8-2048-75",
+            m: 8,
+            n: 2048,
+            k: 2048,
+            cfg: cfg(2, 8),
+        },
+    ];
+    shapes.push(Shape {
+        label: "llama-decode-75",
+        m: 1,
+        n: 4096,
+        k: 4096,
+        cfg: cfg(2, 8),
+    });
+    shapes
+}
+
+/// Useful memory traffic of one decode-shape product, in bytes: the
+/// compressed operand (`4·w·n` value bytes + `w·q` one-byte offsets) plus
+/// the activation read (`4·m·k`) and the result write (`4·m·n`). At
+/// `m ≤ 8` the product is bandwidth-bound — every B′ value is used at
+/// most `m` times — so effective GB/s against this traffic is the honest
+/// throughput axis; GFLOP/s is reported alongside for continuity.
+fn decode_traffic_bytes(m: usize, n: usize, k: usize, sb: &NmSparseMatrix) -> f64 {
+    let values = 4.0 * sb.w() as f64 * n as f64;
+    let offsets = sb.w() as f64 * sb.q() as f64;
+    let activation = 4.0 * m as f64 * k as f64;
+    let result = 4.0 * m as f64 * n as f64;
+    values + offsets + activation + result
+}
+
+/// One steady-state iteration is granted to kernels whose first run took
+/// longer than this; past [`WARMUP_BUDGET_SECONDS`] the cold number is
+/// kept rather than doubling a multi-second run.
+const BIG_KERNEL_SECONDS: f64 = 0.15;
+
+/// Cap on the extra time a big kernel's warmup re-run may cost.
+const WARMUP_BUDGET_SECONDS: f64 = 2.5;
+
 /// Measured seconds (best of an adaptive rep count) for one kernel run.
+///
+/// Small kernels repeat until ~0.4 s of total time and score the minimum.
+/// Big kernels (first run > 0.15 s) used to run exactly once, which made
+/// large-shape ladder numbers cold-run artifacts — the first iteration
+/// pays page faults and cache warming the production steady state never
+/// sees. They now get one budget-capped warmup: the cold run is treated
+/// as warmup and one steady-state iteration is timed, unless the first
+/// run already exceeded the warmup budget (then its number is kept —
+/// doubling a multi-second kernel buys little).
 fn time_best<F: FnMut() -> f64>(mut run_once: F) -> f64 {
     let mut best = run_once();
+    if best >= BIG_KERNEL_SECONDS {
+        if best < WARMUP_BUDGET_SECONDS {
+            best = best.min(run_once());
+        }
+        return best;
+    }
     let mut spent = best;
-    // Small problems repeat until ~0.4 s of total time; big ones run once.
-    while spent < 0.4 && best < 0.15 {
+    while spent < 0.4 && best < BIG_KERNEL_SECONDS {
         let t = run_once();
         best = best.min(t);
         spent += t;
@@ -167,7 +280,7 @@ struct KernelResult {
     seconds: f64,
     gflops: f64,
     /// The micro-kernel ISA the run dispatched to; `None` for the scalar
-    /// reference (it has no micro-kernel).
+    /// reference (it has no micro-kernel) and for the seed `spmv` loop.
     isa: Option<Isa>,
 }
 
@@ -194,7 +307,11 @@ struct ShapeResult {
     n: usize,
     k: usize,
     cfg: NmConfig,
-    /// `reference`, `cpu_v1`, `cpu_v2`, `cpu_v3` in that order.
+    /// [`decode_traffic_bytes`] for decode shapes, `None` for prefill —
+    /// the denominator behind every GB/s this harness reports.
+    traffic_bytes: Option<f64>,
+    /// `reference`, `cpu_v1`, `cpu_v2`, `cpu_v3` in that order; decode
+    /// shapes with `m = 1` append `spmv_seed` and `gemm4_forced`.
     kernels: Vec<(&'static str, KernelResult)>,
     /// The measured-plan lane; `None` when autotuning is off. The
     /// cost-model lane of the A/B is `cpu_v3` above — exactly the plan a
@@ -212,8 +329,37 @@ impl ShapeResult {
             .1
     }
 
+    fn maybe(&self, name: &str) -> Option<&KernelResult> {
+        self.kernels
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, k)| k)
+    }
+
     fn speedup_vs_ref(&self, name: &str) -> f64 {
         self.get("reference").seconds / self.get(name).seconds
+    }
+
+    /// Whether this shape sits in the decode band (`m ≤ 8` rows) — the
+    /// same classification [`ShapeClass::of_rows`] gives the planner.
+    fn is_decode(&self) -> bool {
+        self.m <= DECODE_MAX_ROWS
+    }
+
+    /// Effective GB/s of a lane that ran in `seconds`, against the
+    /// shape's useful decode traffic; `None` on prefill shapes.
+    fn gbps(&self, seconds: f64) -> Option<f64> {
+        self.traffic_bytes.map(|t| t / seconds / 1e9)
+    }
+
+    /// The fastest prepared-path lane (ladder versions plus the measured
+    /// A/B lane when it ran) — what a decode server would actually hit.
+    fn best_prepared_seconds(&self) -> f64 {
+        let ladder = ["cpu_v1", "cpu_v2", "cpu_v3"]
+            .iter()
+            .map(|name| self.get(name).seconds)
+            .fold(f64::INFINITY, f64::min);
+        self.ab.as_ref().map_or(ladder, |ab| ladder.min(ab.seconds))
     }
 }
 
@@ -230,6 +376,7 @@ fn bench_shape(session: &mut Session, shape: &Shape, seed: u64) -> Result<ShapeR
             .map_err(|e| format!("{label}: prune failed: {e}"))?,
     );
     let useful = 2.0 * m as f64 * n as f64 * sb.w() as f64;
+    let traffic_bytes = (m <= DECODE_MAX_ROWS).then(|| decode_traffic_bytes(m, n, k, &sb));
 
     // The scalar reference is both the baseline and the numeric oracle.
     let mut expect = None;
@@ -300,6 +447,80 @@ fn bench_shape(session: &mut Session, shape: &Shape, seed: u64) -> Result<ShapeR
         ));
     }
 
+    // Decode rivals, m = 1 only: the pre-ladder seed loop from nm-core
+    // (cold re-read of the compressed operand every call, no staging, no
+    // SIMD) and the GEMM tile forced onto the SpMV shape — a 4-row
+    // zero-padded operand through the prepared ladder, which is what a
+    // fixed 4×16 register tile does to a one-row input. Both are scored
+    // at the *useful* (1-row) FLOPs and traffic, so the padding waste
+    // shows up as lost throughput rather than being normalized away.
+    if m == 1 {
+        let x: Vec<f32> = a.row(0).to_vec();
+        let mut y_out = None;
+        let seed_s = time_best(|| {
+            let t0 = Instant::now();
+            let y = nm_core::batched::spmv(&x, &sb).expect("seed spmv accepts k-length input");
+            let dt = t0.elapsed().as_secs_f64();
+            y_out = Some(y);
+            dt
+        });
+        let got = MatrixF32::from_vec(1, n, y_out.expect("seed spmv ran"));
+        if !got.allclose(&expect, 1e-3, 1e-4) {
+            return Err(format!(
+                "{label}: seed spmv disagrees with the reference (max diff {})",
+                got.max_abs_diff(&expect)
+            ));
+        }
+        kernels.push((
+            "spmv_seed",
+            KernelResult {
+                seconds: seed_s,
+                gflops: useful / seed_s / 1e9,
+                isa: None,
+            },
+        ));
+
+        let layer = session
+            .load_on(sb.clone(), 4, BackendKind::Cpu(NmVersion::V1))
+            .map_err(|e| format!("{label}: gemm4_forced preparation failed: {e}"))?;
+        let mut a4 = vec![0f32; 4 * k];
+        a4[..k].copy_from_slice(a.row(0));
+        let a4 = MatrixF32::from_vec(4, k, a4);
+        let mut out = None;
+        let mut failure = None;
+        let gemm_s = time_best(|| match layer.forward(&a4) {
+            Ok(run) => {
+                let dt = run.wall_seconds;
+                out = Some(run.c);
+                dt
+            }
+            Err(e) => {
+                failure = Some(format!("{label}: gemm4_forced failed: {e}"));
+                f64::INFINITY
+            }
+        });
+        if let Some(failure) = failure {
+            return Err(failure);
+        }
+        let c4 = out.expect("gemm4 ran");
+        let got = MatrixF32::from_vec(1, n, c4.row(0).to_vec());
+        if !got.allclose(&expect, 1e-3, 1e-4) {
+            return Err(format!(
+                "{label}: gemm4_forced row 0 disagrees with the reference (max diff {})",
+                got.max_abs_diff(&expect)
+            ));
+        }
+        let isa = layer.isa().expect("CPU backend reports an ISA");
+        kernels.push((
+            "gemm4_forced",
+            KernelResult {
+                seconds: gemm_s,
+                gflops: useful / gemm_s / 1e9,
+                isa: Some(isa),
+            },
+        ));
+    }
+
     // The A/B lane: `Session::load` with measured autotuning routes
     // through the short-run harness (cache-consulted, so repeat shapes
     // re-measure nothing) and prepares on the evidence-picked ladder
@@ -353,6 +574,7 @@ fn bench_shape(session: &mut Session, shape: &Shape, seed: u64) -> Result<ShapeR
         n,
         k,
         cfg: c,
+        traffic_bytes,
         kernels,
         ab,
     })
@@ -376,6 +598,9 @@ fn results_to_json(
                         ("seconds", JsonValue::Number(kr.seconds)),
                         ("gflops", JsonValue::Number(kr.gflops)),
                     ];
+                    if let Some(gbps) = r.gbps(kr.seconds) {
+                        fields.push(("gbps", JsonValue::Number(gbps)));
+                    }
                     if let Some(isa) = kr.isa {
                         fields.push(("isa", JsonValue::from_str_value(isa.name())));
                     }
@@ -394,6 +619,10 @@ fn results_to_json(
                 ("m_win", JsonValue::from_usize(r.cfg.m)),
                 ("l", JsonValue::from_usize(r.cfg.l)),
                 ("sparsity", JsonValue::Number(r.cfg.sparsity())),
+                (
+                    "shape_class",
+                    JsonValue::from_str_value(&ShapeClass::of_rows(r.m).tag()),
+                ),
                 ("kernels", JsonValue::object(kernels)),
                 (
                     "stepwise",
@@ -411,6 +640,9 @@ fn results_to_json(
                     ]),
                 ),
             ];
+            if let Some(t) = r.traffic_bytes {
+                fields.push(("traffic_bytes", JsonValue::Number(t)));
+            }
             if let Some(ab) = &r.ab {
                 // Both lanes of the plan A/B, normalized against the
                 // same-run reference so the comparison survives a change
@@ -440,6 +672,11 @@ fn results_to_json(
                                 ("provenance", JsonValue::from_str_value("measured")),
                                 ("seconds", JsonValue::Number(ab.seconds)),
                                 ("gflops", JsonValue::Number(ab.gflops)),
+                                (
+                                    "gbps",
+                                    r.gbps(ab.seconds)
+                                        .map_or(JsonValue::Null, JsonValue::Number),
+                                ),
                                 (
                                     "speedup_vs_ref",
                                     JsonValue::Number(r.get("reference").seconds / ab.seconds),
@@ -633,9 +870,73 @@ fn check_ab(results: &[ShapeResult]) -> Vec<String> {
     failures
 }
 
+/// The `--decode` gate, in the spirit of [`check_ab`] but for the skinny
+/// band. Two claims are enforced on every decode shape in the run:
+///
+/// 1. **Evidence holds** — where the A/B lane ran, the measured plan must
+///    not lose to the cost-model V3 default (same 5% noise allowance as
+///    `check_ab`; decode is exactly where GEMM-trained cost models are
+///    known to mislead, so evidence losing here means the skinny
+///    candidates in `measure::tiling_candidates` stopped winning).
+/// 2. **The prepared SpMV path earns its keep** — on `m = 1` shapes the
+///    best prepared lane must beat both rivals outright: the seed `spmv`
+///    loop (no staging, no SIMD) and `gemm4_forced` (the 4-row GEMM tile
+///    padded onto the one-row input). Losing to either means the decode
+///    path is pure complexity.
+///
+/// Returns failure lines; empty = pass. A run that compares nothing is
+/// itself a failure so a renamed shape set cannot silently disarm it.
+fn check_decode(results: &[ShapeResult]) -> Vec<String> {
+    let mut failures = Vec::new();
+    let mut compared = 0usize;
+    for r in results {
+        if !r.is_decode() {
+            continue;
+        }
+        if let Some(ab) = &r.ab {
+            compared += 1;
+            let ratio = r.get("cpu_v3").seconds / ab.seconds;
+            if ratio < 0.95 {
+                failures.push(format!(
+                    "{}: the measured decode plan ({}, mb={}) ran at {ratio:.2}x the \
+                     cost-model V3 plan — skinny candidates must not lose to the \
+                     GEMM default on a decode shape",
+                    r.label,
+                    version_name(ab.version),
+                    ab.tiling.mb,
+                ));
+            }
+        }
+        if r.m != 1 {
+            continue;
+        }
+        let best = r.best_prepared_seconds();
+        for rival in ["spmv_seed", "gemm4_forced"] {
+            let Some(kr) = r.maybe(rival) else { continue };
+            compared += 1;
+            if best >= kr.seconds {
+                failures.push(format!(
+                    "{}: the prepared SpMV path ({best:.6}s) does not beat {rival} \
+                     ({:.6}s) — the decode path must outrun both the seed loop and \
+                     the forced GEMM tile",
+                    r.label, kr.seconds,
+                ));
+            }
+        }
+    }
+    if compared == 0 {
+        failures.push(
+            "--decode gate compared nothing: no decode shape carried an A/B lane or \
+             an m=1 rival (run a shape set containing decode-* shapes)"
+                .into(),
+        );
+    }
+    failures
+}
+
 fn usage() -> ! {
     eprintln!(
-        "usage: bench_measured [--quick] [--out PATH] [--check-against PATH] \
+        "usage: bench_measured [--quick] [--decode] [--out PATH] [--check-against PATH] \
          [--threshold F] [--seed N] [--autotune off|quick|full] [--assert-ab]\n\
          \n\
          --threshold F   allowed fractional regression of speedup-vs-reference,\n\
@@ -644,6 +945,10 @@ fn usage() -> ! {
          \u{20}                short-run autotuning) next to the cost-model default\n\
          --assert-ab     fail (exit 1) when the measured plan loses to the\n\
          \u{20}                cost-model plan on the 512-cubed shapes; needs --autotune\n\
+         --decode        run the decode shape set only (m <= 8; --quick picks the\n\
+         \u{20}                small set) and gate it: measured plans must hold and the\n\
+         \u{20}                prepared SpMV path must beat the seed loop and the forced\n\
+         \u{20}                GEMM tile on m=1 (exit 1 on failure)\n\
          \n\
          environment: NM_SPMM_ISA=scalar|avx2|avx512|neon|native and\n\
          NM_SPMM_FORCE_SCALAR=1 override the micro-kernel ISA dispatch;\n\
@@ -668,6 +973,7 @@ fn main() {
     let mut seed = 42u64;
     let mut autotune: Option<AutotuneMode> = None;
     let mut assert_ab = false;
+    let mut decode_only = false;
 
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -675,6 +981,7 @@ fn main() {
         match argv[i].as_str() {
             "--quick" => quick = true,
             "--assert-ab" => assert_ab = true,
+            "--decode" => decode_only = true,
             "--autotune" => {
                 i += 1;
                 let value = argv.get(i).cloned().unwrap_or_else(|| usage());
@@ -735,8 +1042,21 @@ fn main() {
         usage();
     }
 
-    let shapes = if quick { quick_shapes() } else { full_shapes() };
-    let mode = if quick { "quick" } else { "full" };
+    // Decode shapes ride along with every sweep (so BENCH_pr.json always
+    // carries the skinny band) and stand alone under --decode.
+    let shapes = if decode_only {
+        decode_shapes(quick)
+    } else {
+        let mut s = if quick { quick_shapes() } else { full_shapes() };
+        s.extend(decode_shapes(quick));
+        s
+    };
+    let mode = match (decode_only, quick) {
+        (true, true) => "decode-quick",
+        (true, false) => "decode-full",
+        (false, true) => "quick",
+        (false, false) => "full",
+    };
     // The micro-kernel the runs below will dispatch to (honoring the
     // NM_SPMM_* overrides); resolving it here surfaces a bad override as
     // a usage error before any benchmarking starts.
@@ -844,6 +1164,45 @@ fn main() {
         t.print();
     }
 
+    if results.iter().any(|r| r.is_decode()) {
+        println!("\n== decode lanes (effective GB/s at useful traffic) ==\n");
+        let mut t = TextTable::new(&[
+            "shape",
+            "m",
+            "V1 GB/s",
+            "V2 GB/s",
+            "V3 GB/s",
+            "seed GB/s",
+            "gemm4 GB/s",
+            "best/seed",
+            "best/gemm4",
+        ]);
+        for r in results.iter().filter(|r| r.is_decode()) {
+            let gb = |name: &str| {
+                r.maybe(name)
+                    .and_then(|kr| r.gbps(kr.seconds))
+                    .map_or("-".to_string(), |v| format!("{v:.2}"))
+            };
+            let best = r.best_prepared_seconds();
+            let vs_best = |name: &str| {
+                r.maybe(name)
+                    .map_or("-".to_string(), |kr| spd(kr.seconds / best))
+            };
+            t.row(&[
+                r.label.to_string(),
+                r.m.to_string(),
+                gb("cpu_v1"),
+                gb("cpu_v2"),
+                gb("cpu_v3"),
+                gb("spmv_seed"),
+                gb("gemm4_forced"),
+                vs_best("spmv_seed"),
+                vs_best("gemm4_forced"),
+            ]);
+        }
+        t.print();
+    }
+
     let doc = results_to_json(
         &results,
         mode,
@@ -905,6 +1264,21 @@ fn main() {
             std::process::exit(1);
         }
     }
+
+    if decode_only {
+        let failures = check_decode(&results);
+        if failures.is_empty() {
+            println!(
+                "decode gate: measured plans hold and the prepared SpMV path beats \
+                 both rivals on m=1"
+            );
+        } else {
+            for f in &failures {
+                eprintln!("  DECODE FAILURE: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -920,6 +1294,7 @@ mod tests {
             n: 512,
             k: 512,
             cfg: NmConfig::new(2, 8, 32).unwrap(),
+            traffic_bytes: None,
             kernels: vec![
                 (
                     "reference",
@@ -1117,5 +1492,142 @@ mod tests {
         let r = result_with_v3_seconds(0.5); // 2.0x
         let regressions = check_against(&[r], &baseline("A-512-75", 8.0), 0.25, false);
         assert_eq!(regressions.len(), 1);
+    }
+
+    /// An `m = 1` decode shape against a 1-second reference: the fastest
+    /// ladder lane runs in `prepared_seconds`, the rivals as given.
+    fn decode_result(prepared_seconds: f64, seed_seconds: f64, gemm_seconds: f64) -> ShapeResult {
+        let lane = |seconds: f64, isa: Option<Isa>| KernelResult {
+            seconds,
+            gflops: 1.0 / seconds,
+            isa,
+        };
+        ShapeResult {
+            label: "decode-1-512-75",
+            m: 1,
+            n: 512,
+            k: 512,
+            cfg: NmConfig::new(2, 8, 32).unwrap(),
+            traffic_bytes: Some(1e9),
+            kernels: vec![
+                ("reference", lane(1.0, None)),
+                ("cpu_v1", lane(prepared_seconds, Some(Isa::Scalar))),
+                ("cpu_v2", lane(prepared_seconds * 2.0, Some(Isa::Scalar))),
+                ("cpu_v3", lane(prepared_seconds * 2.0, Some(Isa::Scalar))),
+                ("spmv_seed", lane(seed_seconds, None)),
+                ("gemm4_forced", lane(gemm_seconds, Some(Isa::Scalar))),
+            ],
+            ab: None,
+        }
+    }
+
+    #[test]
+    fn decode_gate_passes_when_the_prepared_path_beats_both_rivals() {
+        let r = decode_result(0.1, 0.5, 0.4);
+        assert!(check_decode(&[r]).is_empty());
+    }
+
+    #[test]
+    fn decode_gate_fails_when_a_rival_wins_or_ties() {
+        // The seed loop outruns every prepared lane: the decode path is
+        // pure complexity on this shape, which must fail.
+        let failures = check_decode(&[decode_result(0.5, 0.1, 1.0)]);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("spmv_seed"));
+        // A tie is not a win — the gate demands strictly faster.
+        let failures = check_decode(&[decode_result(0.5, 0.5, 1.0)]);
+        assert_eq!(failures.len(), 1);
+        // Losing only to the forced GEMM tile also fires.
+        let failures = check_decode(&[decode_result(0.5, 1.0, 0.25)]);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("gemm4_forced"));
+    }
+
+    #[test]
+    fn decode_gate_holds_measured_plans_to_the_cost_model() {
+        // An m=8 decode shape (no m=1 rivals) whose measured plan ran
+        // twice as slow as the V3 default: evidence lost on the band it
+        // exists for.
+        let mut r = with_ab(result_with_v3_seconds(0.5), 1.0);
+        r.m = 8;
+        let failures = check_decode(&[r]);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("must not lose"));
+        // At the 5% noise floor it passes (strict `< 0.95`).
+        let mut r = with_ab(result_with_v3_seconds(0.95), 1.0);
+        r.m = 8;
+        assert!(check_decode(&[r]).is_empty());
+    }
+
+    #[test]
+    fn decode_gate_comparing_nothing_is_a_failure() {
+        // Prefill-only results (m = 512) arm nothing …
+        let failures = check_decode(&[result_with_v3_seconds(0.5)]);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("compared nothing"));
+        // … and so does an m=8 decode shape with neither an A/B lane nor
+        // m=1 rivals.
+        let mut r = result_with_v3_seconds(0.5);
+        r.m = 8;
+        let failures = check_decode(&[r]);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("compared nothing"));
+    }
+
+    #[test]
+    fn gbps_is_reported_against_the_shape_traffic() {
+        // 1 GB of traffic in 0.5 s → 2 GB/s; prefill shapes have no
+        // bandwidth axis at all.
+        let r = decode_result(0.1, 0.5, 0.4);
+        assert_eq!(r.gbps(0.5), Some(2.0));
+        let prefill = result_with_v3_seconds(0.5);
+        assert_eq!(prefill.gbps(0.5), None);
+    }
+
+    #[test]
+    fn decode_traffic_counts_operand_activation_and_result_bytes() {
+        // Traffic is geometry-only, so a hand computation pins it:
+        // values 4·w·n, offsets w·q, activation 4·m·k, result 4·m·n.
+        let b = MatrixF32::random(64, 32, 7);
+        let sb = NmSparseMatrix::prune(&b, cfg(2, 8), PrunePolicy::Magnitude).unwrap();
+        let (w, q) = (sb.w() as f64, sb.q() as f64);
+        let want = 4.0 * w * 32.0 + w * q + 4.0 * 64.0 + 4.0 * 32.0;
+        assert_eq!(decode_traffic_bytes(1, 32, 64, &sb), want);
+    }
+
+    #[test]
+    fn big_kernels_get_one_budget_capped_warmup() {
+        // A slow-but-affordable first run is treated as cold warmup: one
+        // steady-state iteration follows and the minimum is scored.
+        let mut calls = 0;
+        let best = time_best(|| {
+            calls += 1;
+            if calls == 1 {
+                0.5
+            } else {
+                0.2
+            }
+        });
+        assert_eq!(calls, 2);
+        assert_eq!(best, 0.2);
+        // Past the warmup budget the cold number is kept — no re-run.
+        let mut calls = 0;
+        let best = time_best(|| {
+            calls += 1;
+            3.0
+        });
+        assert_eq!(calls, 1);
+        assert_eq!(best, 3.0);
+    }
+
+    #[test]
+    fn small_kernels_repeat_to_the_time_budget() {
+        let mut calls = 0;
+        let best = time_best(|| {
+            calls += 1;
+            0.1
+        });
+        assert_eq!(calls, 4, "0.1 s kernels repeat until ~0.4 s is spent");
+        assert_eq!(best, 0.1);
     }
 }

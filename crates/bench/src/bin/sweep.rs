@@ -40,6 +40,7 @@ struct Args {
     seq: usize,
     cache: Option<String>,
     exec: bool,
+    decode: bool,
     autotune: Option<AutotuneMode>,
 }
 
@@ -55,6 +56,7 @@ fn parse_args() -> Args {
         seq: 2048,
         cache: None,
         exec: false,
+        decode: false,
         autotune: None,
     };
     let argv: Vec<String> = std::env::args().collect();
@@ -111,6 +113,10 @@ fn parse_args() -> Args {
             }
             "--exec" => {
                 args.exec = true;
+                i += 1;
+            }
+            "--decode" => {
+                args.decode = true;
                 i += 1;
             }
             "--autotune" => {
@@ -206,6 +212,7 @@ fn llama_sweep(args: &Args, session: &mut Session, model_name: &str) {
         } else {
             ExecutePolicy::EstimateOnly
         },
+        decode: args.decode,
         ..Default::default()
     };
     println!(
@@ -266,6 +273,45 @@ fn llama_sweep(args: &Args, session: &mut Session, model_name: &str) {
                     ]);
                 }
             }
+            t.print();
+        }
+        if args.decode {
+            // The decode lane: per-layer estimates at the generation
+            // batch sizes, planned under ShapeClass::Decode keys.
+            let mut t = TextTable::new(&[
+                "layer",
+                "m=1 ms",
+                "m=2 ms",
+                "m=4 ms",
+                "m=8 ms",
+                "decode ms",
+                "cached",
+            ]);
+            for l in &report.layers {
+                let est = |batch: usize| {
+                    l.decode
+                        .iter()
+                        .find(|d| d.batch == batch)
+                        .map_or("-".to_string(), |d| format!("{:.4}", d.est_ms))
+                };
+                t.row(&[
+                    l.layer.to_string(),
+                    est(1),
+                    est(2),
+                    est(4),
+                    est(8),
+                    l.exec
+                        .and_then(|e| e.decode_ms)
+                        .map_or("-".to_string(), |ms| format!("{ms:.3}")),
+                    if l.decode.iter().all(|d| d.cache_hit) {
+                        "hit"
+                    } else {
+                        "miss"
+                    }
+                    .to_string(),
+                ]);
+            }
+            println!("-- decode lanes ({}) --", label(&cfg));
             t.print();
         }
         println!(

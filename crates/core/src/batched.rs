@@ -7,17 +7,31 @@
 //! pattern lives in the `nm-kernels` session API (`Session::load` →
 //! `PreparedLayer::forward`/`forward_batch`), which owns the plan, the
 //! backend and the staged state behind one reusable handle; the
-//! `BatchedSpmm` type that used to live here was folded into it. What
-//! remains here is the shape the tiled kernels cannot serve well:
+//! `BatchedSpmm` type that used to live here was folded into it.
 //!
-//! * [`spmv`] — the `m = 1` case with a dedicated cache-friendly loop
-//!   (gather-dot per output column group instead of tile blocking).
+//! The decode side now lives there too: `PreparedLayer::forward_vec`
+//! runs the `m = 1` shape through the prepared SpMV path — the same
+//! staged `B′`, `col_info` packing and vectorized register-tile ladder
+//! the matrix path uses, at zero additional offline cost. What remains
+//! here is the dependency-free seed loop:
+//!
+//! * [`spmv`] — a thin, self-contained compatibility implementation
+//!   (gather-scale per output column group, no staging, no SIMD).
 
 use crate::error::{NmError, Result};
 use crate::sparse::NmSparseMatrix;
 
 /// Sparse matrix-vector product `y[n] = x[k] ⊛ (B′, D)` — the decode-step
-/// shape (`m = 1`). A flat gather-scale loop beats tile blocking here.
+/// shape (`m = 1`) as a single self-contained loop.
+///
+/// **Deprecated in favor of the prepared path.** This free function
+/// re-reads the compressed operand cold on every call; the `nm-kernels`
+/// session API (`PreparedLayer::forward_vec`, or `spmv_cpu_prepared` one
+/// level lower) runs the same product through the staged, cache-blocked,
+/// SIMD-dispatched ladder and amortizes all weight-derived work across
+/// calls. It is kept as a dependency-free reference and compatibility
+/// entry point — `nm-core` sits below the kernels crate and cannot reach
+/// the prepared machinery itself.
 pub fn spmv(x: &[f32], sb: &NmSparseMatrix) -> Result<Vec<f32>> {
     if x.len() != sb.k() {
         return Err(NmError::DimensionMismatch {

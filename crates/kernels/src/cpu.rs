@@ -12,8 +12,9 @@
 //!   streams sequentially. Full 16- (or 32-) float window chunks run
 //!   through an explicitly vectorized register micro-tile
 //!   ([`crate::simd::MicroKernel`] — AVX2/AVX-512/NEON selected once at
-//!   preparation time, scalar fallback elsewhere); ragged edges take a
-//!   general scalar path.
+//!   preparation time, scalar fallback elsewhere) via a 4→2→1 row ladder,
+//!   so skinny decode panels (1–3 rows, including `m = 1` SpMV) stay
+//!   vectorized; ragged column windows take a general scalar path.
 //! * **V2 — sparsity-aware packing** ([`NmVersion::V2`]): above the 70%
 //!   sparsity threshold, each `(k-block, column-block)` pair additionally
 //!   stages only the window-union columns of `A` into a dense panel through
@@ -72,8 +73,8 @@ pub struct CpuTiling {
     /// staged `B′` block within the cache-capacity budget
     /// (`B_BLOCK_BYTES`).
     pub kb: usize,
-    /// Rows per general-path register tile (the fast path uses the fixed
-    /// 4×16 micro-tile); from `mt`.
+    /// Rows per general-path register tile (the fast path uses the 4→2→1
+    /// row ladder of vectorized micro-tiles); from `mt`.
     pub mt: usize,
 }
 
@@ -439,6 +440,28 @@ pub fn spmm_cpu_prepared(
     Ok(c)
 }
 
+/// Prepared sparse matrix–vector product: `y = x ⊛ B′` through the same
+/// [`CpuPrepared`] staging the matrix path uses — the decode (`m = 1`)
+/// entry point of the ladder. The vector is viewed as a `1 × k` operand
+/// and runs the 1-row rung of the fast-path ladder; no extra staging or
+/// copies beyond the `1 × k` view are made, so a preparation built for
+/// prefill serves decode for free.
+///
+/// # Errors
+/// [`NmError::DimensionMismatch`] when `x.len() != sb.k()` or when `sb`
+/// disagrees with what `prep` was prepared from (shape, config, or
+/// content fingerprint) — the same contract as [`spmm_cpu_prepared`].
+pub fn spmv_cpu_prepared(x: &[f32], sb: &NmSparseMatrix, prep: &CpuPrepared) -> Result<Vec<f32>> {
+    if x.len() != sb.k() {
+        return Err(NmError::DimensionMismatch {
+            expected: format!("x of length k = {}", sb.k()),
+            found: format!("x of length {}", x.len()),
+        });
+    }
+    let a = MatrixF32::from_vec(1, x.len(), x.to_vec());
+    spmm_cpu_prepared(&a, sb, prep).map(MatrixF32::into_vec)
+}
+
 /// `B′` re-laid out block-contiguously: one dense `ub_act × nbw` row-major
 /// panel per `(column-block, k-block)` pair — the paper's `transformLayout`
 /// plus the shared-memory `Bs` tile, materialized once per call and shared
@@ -581,6 +604,10 @@ pub(crate) mod instrument {
     thread_local! {
         /// Blocks computed through the vectorized fast path.
         pub static FAST_BLOCKS: Cell<usize> = const { Cell::new(0) };
+        /// Skinny (1- or 2-row) rungs of the fast-path row ladder — the
+        /// decode tiles. Zero before the ladder existed: rows < 4 fell
+        /// through to the general scalar path.
+        pub static SKINNY_RUNGS: Cell<usize> = const { Cell::new(0) };
     }
 }
 
@@ -738,11 +765,14 @@ fn run_panel(
     }
 }
 
-/// One `(column-block, k-block)` contribution to the panel's `C` rows:
-/// full 4-row tiles through the vectorized register micro-kernel when
-/// `fast` — the 4×32 dual-accumulator tile when `L` allows it, the 4×16
-/// tile otherwise — the remainder (and every non-fast block) through the
-/// general scalar path.
+/// One `(column-block, k-block)` contribution to the panel's `C` rows.
+/// When `fast`, every row goes through the vectorized register
+/// micro-kernel via a 4→2→1 row ladder — full 4-row tiles, then a 2-row
+/// and a 1-row skinny tile for the remainder, so decode panels (`rows <
+/// 4`) and prefill tail rows are vectorized too, never demoted to the
+/// scalar path. The dual-accumulator 32-wide tiles are used when `L`
+/// allows it. Non-fast blocks (ragged windows, odd `L`, out-of-bounds
+/// gathers) take the general scalar path.
 #[allow(clippy::too_many_arguments)]
 fn compute_block(
     source: &RowSource<'_>,
@@ -764,7 +794,6 @@ fn compute_block(
     av_scratch: &mut [f32],
 ) {
     let nbw = jb_hi - jb;
-    let fast_rows = if fast { rows - rows % MW } else { 0 };
     #[cfg(test)]
     if fast {
         instrument::FAST_BLOCKS.with(|c| c.set(c.get() + 1));
@@ -773,33 +802,31 @@ fn compute_block(
     // per-broadcast FMA work through the dual-accumulator kernel.
     let wide = l.is_multiple_of(NW2);
 
-    for r0 in (0..fast_rows).step_by(MW) {
-        let ar = [
-            source.row(r0),
-            source.row(r0 + 1),
-            source.row(r0 + 2),
-            source.row(r0 + 3),
-        ];
-        for j in j_lo..j_hi {
-            let lo = j * l;
-            let idxj = &idx[(j - j_lo) * ub_act..(j - j_lo + 1) * ub_act];
-            if wide {
-                for off in (0..l).step_by(NW2) {
-                    let acc = mk.run4x32(&ar, idxj, bs, nbw, lo - jb + off);
-                    add_tile(c_panel, &acc, r0, n, lo + off);
-                }
-            } else {
-                for off in (0..l).step_by(NW) {
-                    let acc = mk.run4x16(&ar, idxj, bs, nbw, lo - jb + off);
-                    add_tile(c_panel, &acc, r0, n, lo + off);
-                }
-            }
+    let mut r0 = 0;
+    if fast {
+        while r0 + MW <= rows {
+            run_fast_rows::<MW>(
+                source, mk, idx, ub_act, bs, l, n, jb, nbw, j_lo, j_hi, wide, r0, c_panel,
+            );
+            r0 += MW;
+        }
+        if rows - r0 >= 2 {
+            run_fast_rows::<2>(
+                source, mk, idx, ub_act, bs, l, n, jb, nbw, j_lo, j_hi, wide, r0, c_panel,
+            );
+            r0 += 2;
+        }
+        if r0 < rows {
+            run_fast_rows::<1>(
+                source, mk, idx, ub_act, bs, l, n, jb, nbw, j_lo, j_hi, wide, r0, c_panel,
+            );
+            r0 += 1;
         }
     }
 
-    // General path: remainder rows of fast blocks, and whole non-fast
-    // blocks (ragged windows, odd L, out-of-bounds gathers).
-    let mut r0 = fast_rows;
+    // General path: whole non-fast blocks (ragged windows, odd L,
+    // out-of-bounds gathers). Fast blocks never reach here — the row
+    // ladder above covered every row.
     while r0 < rows {
         let rt = mt.min(rows - r0);
         let acc = &mut acc_scratch[..rt * nbw];
@@ -833,12 +860,55 @@ fn compute_block(
     }
 }
 
-/// Accumulate one `MW × W` register tile into the panel rows starting at
+/// One rung of the fast-path row ladder: `R` consecutive panel rows
+/// through the vectorized `R×16` / `R×32` register tile across every
+/// window of this `(column-block, k-block)` pair.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn run_fast_rows<const R: usize>(
+    source: &RowSource<'_>,
+    mk: MicroKernel,
+    idx: &[u32],
+    ub_act: usize,
+    bs: &[f32],
+    l: usize,
+    n: usize,
+    jb: usize,
+    nbw: usize,
+    j_lo: usize,
+    j_hi: usize,
+    wide: bool,
+    r0: usize,
+    c_panel: &mut [f32],
+) {
+    #[cfg(test)]
+    if R < MW {
+        instrument::SKINNY_RUNGS.with(|c| c.set(c.get() + 1));
+    }
+    let ar: [&[f32]; R] = std::array::from_fn(|i| source.row(r0 + i));
+    for j in j_lo..j_hi {
+        let lo = j * l;
+        let idxj = &idx[(j - j_lo) * ub_act..(j - j_lo + 1) * ub_act];
+        if wide {
+            for off in (0..l).step_by(NW2) {
+                let acc = mk.tile32(&ar, idxj, bs, nbw, lo - jb + off);
+                add_tile(c_panel, &acc, r0, n, lo + off);
+            }
+        } else {
+            for off in (0..l).step_by(NW) {
+                let acc = mk.tile16(&ar, idxj, bs, nbw, lo - jb + off);
+                add_tile(c_panel, &acc, r0, n, lo + off);
+            }
+        }
+    }
+}
+
+/// Accumulate one `R × W` register tile into the panel rows starting at
 /// `r0`, column `col`.
 #[inline(always)]
-fn add_tile<const W: usize>(
+fn add_tile<const R: usize, const W: usize>(
     c_panel: &mut [f32],
-    acc: &[[f32; W]; MW],
+    acc: &[[f32; W]; R],
     r0: usize,
     n: usize,
     col: usize,
@@ -1205,5 +1275,75 @@ mod tests {
             mt: 4,
         };
         check(23, 50, 35, c, t);
+    }
+
+    #[test]
+    fn skinny_decode_rows_match_reference_across_levels() {
+        // The decode regime: 1–5 activation rows through every ladder rung
+        // (4-row tiles, the 2- and 1-row skinny tiles, and general-path
+        // remainders) at all four paper sparsity levels.
+        for c in NmConfig::paper_levels(16) {
+            let t = CpuTiling::auto(c, 8, 64, 128).unwrap();
+            for m in [1, 2, 3, 5] {
+                check(m, 128, 64, c, t);
+            }
+        }
+    }
+
+    #[test]
+    fn skinny_panels_stay_on_the_vectorized_fast_path() {
+        // A single-row (decode) operand on a block-aligned shape: every
+        // block must classify as fast AND run its row through the 1-row
+        // skinny rung, not the general scalar path.
+        let c = cfg(2, 8, 16);
+        let t = CpuTiling {
+            mb: 8,
+            nb: 32,
+            kb: 32,
+            mt: 4,
+        };
+        let (k, n) = (64, 32);
+        let b = MatrixF32::random(k, n, 52);
+        let sb = NmSparseMatrix::prune_magnitude(&b, c).unwrap();
+        let prep = CpuPrepared::with_kernel(NmVersion::V1, &sb, t, MicroKernel::scalar()).unwrap();
+        for (m, want_skinny) in [(1, 2), (2, 2), (3, 4), (6, 2)] {
+            let a = MatrixF32::random(m, k, 51);
+            let before_fast = instrument::FAST_BLOCKS.with(|c| c.get());
+            let before_skinny = instrument::SKINNY_RUNGS.with(|c| c.get());
+            let got = spmm_cpu_prepared(&a, &sb, &prep).unwrap();
+            let fast = instrument::FAST_BLOCKS.with(|c| c.get()) - before_fast;
+            let skinny = instrument::SKINNY_RUNGS.with(|c| c.get()) - before_skinny;
+            assert!(got.allclose(&spmm_reference(&a, &sb), 1e-3, 1e-4));
+            // One column block × two k-blocks, all fast.
+            assert_eq!(fast, 2, "m = {m}: both blocks must classify fast");
+            // m=1 → one 1-row rung per block; m=2 → one 2-row rung; m=3 →
+            // a 2-row and a 1-row rung; m=6 → one 4-row tile + a 2-row rung.
+            assert_eq!(skinny, want_skinny, "m = {m}: skinny-rung count");
+        }
+    }
+
+    #[test]
+    fn spmv_prepared_matches_the_matrix_path_and_validates_length() {
+        let c = cfg(2, 8, 16);
+        let (k, n) = (96, 64);
+        let b = MatrixF32::random(k, n, 61);
+        let sb = NmSparseMatrix::prune_magnitude(&b, c).unwrap();
+        let t = CpuTiling::auto(c, 1, n, k).unwrap();
+        let x = MatrixF32::random(1, k, 62);
+        let expect = spmm_reference(&x, &sb);
+        for version in [NmVersion::V1, NmVersion::V2, NmVersion::V3] {
+            let prep = CpuPrepared::new(version, &sb, t).unwrap();
+            let y = spmv_cpu_prepared(x.row(0), &sb, &prep).unwrap();
+            let got = MatrixF32::from_vec(1, n, y);
+            assert!(
+                got.allclose(&expect, 1e-3, 1e-4),
+                "{version:?}: max diff {}",
+                got.max_abs_diff(&expect)
+            );
+            assert!(matches!(
+                spmv_cpu_prepared(&x.row(0)[..k - 1], &sb, &prep),
+                Err(NmError::DimensionMismatch { .. })
+            ));
+        }
     }
 }

@@ -91,7 +91,7 @@ pub mod sputnik;
 
 pub use autotune::{tune, TuneResult};
 pub use backend::{BackendKind, CpuBackend, ExecBackend, ExecRun, SimBackend};
-pub use cpu::{spmm_cpu, spmm_cpu_prepared, CpuPrepared, CpuTiling};
+pub use cpu::{spmm_cpu, spmm_cpu_prepared, spmv_cpu_prepared, CpuPrepared, CpuTiling};
 pub use dense::DenseGemmKernel;
 pub use engine::{CacheStats, Engine};
 pub use measure::{
@@ -102,6 +102,7 @@ pub use nmsparse::NmSparseKernel;
 pub use params::{Blocking, BlockingParams};
 pub use plan::{
     KernelChoice, MeasuredChoice, Plan, PlanCache, PlanHost, PlanKey, Planner, Provenance,
+    ShapeClass, DECODE_MAX_ROWS,
 };
 pub use session::{PreparedLayer, PreparedModel, Session, SessionBuilder};
 pub use simd::{Isa, MicroKernel};

@@ -193,6 +193,14 @@ pub fn measurement_passes() -> u64 {
 /// tiling first, then (when `variants` is set) power-of-two `mb`/`nb`
 /// neighbors around it. Duplicate-free; every candidate keeps `nb` a
 /// multiple of `L`, so none is structurally rejectable.
+///
+/// Decode-class plans ([`ShapeClass::Decode`](crate::plan::ShapeClass))
+/// additionally enumerate **skinny** geometries in every mode: a row
+/// panel sized to the activation (the SpMV geometry at one row, running
+/// the 1/2-row rungs of the register-tile ladder) and wider column blocks
+/// for the bandwidth-bound `B′` stream. The GEMM-vs-SpMV call for skinny
+/// shapes is therefore made from this measured evidence, never from the
+/// GEMM cost model.
 pub fn tiling_candidates(plan: &Plan, sb: &NmSparseMatrix, variants: bool) -> Vec<CpuTiling> {
     let cfg = sb.cfg();
     let base = CpuTiling::derive(plan.params, cfg, sb.k())
@@ -201,20 +209,44 @@ pub fn tiling_candidates(plan: &Plan, sb: &NmSparseMatrix, variants: bool) -> Ve
         return Vec::new();
     };
     let mut out = vec![base];
-    if variants {
-        let mut push = |t: CpuTiling| {
-            if t.mb >= t.mt && t.nb >= cfg.l && !out.contains(&t) {
-                out.push(t);
+    let push = |out: &mut Vec<CpuTiling>, t: CpuTiling| {
+        if t.mb >= t.mt && t.nb >= cfg.l && !out.contains(&t) {
+            out.push(t);
+        }
+    };
+    if let Some(rows) = plan.key.shape.decode_rows() {
+        let mt = base.mt.min(rows).max(1);
+        push(
+            &mut out,
+            CpuTiling {
+                mb: rows,
+                mt,
+                ..base
+            },
+        );
+        for nb in [base.nb * 2, base.nb * 4] {
+            if nb.is_multiple_of(cfg.l) {
+                push(
+                    &mut out,
+                    CpuTiling {
+                        mb: rows,
+                        mt,
+                        nb,
+                        ..base
+                    },
+                );
             }
-        };
+        }
+    }
+    if variants {
         for mb in [base.mb / 2, base.mb * 2] {
             if mb >= 1 {
-                push(CpuTiling { mb, ..base });
+                push(&mut out, CpuTiling { mb, ..base });
             }
         }
         for nb in [base.nb / 2, base.nb * 2] {
             if nb >= 1 && nb.is_multiple_of(cfg.l) {
-                push(CpuTiling { nb, ..base });
+                push(&mut out, CpuTiling { nb, ..base });
             }
         }
     }
@@ -391,6 +423,33 @@ mod tests {
             .samples
             .iter()
             .any(|s| s.version == a.best.ladder_version && s.tiling == a.best.cpu_tiling));
+    }
+
+    #[test]
+    fn decode_plans_enumerate_skinny_candidates_in_every_mode() {
+        let cfg = NmConfig::new(2, 8, 32).unwrap();
+        let plan = Planner::new(a100_80g()).plan(1, 128, 128, cfg).unwrap();
+        assert!(plan.key.shape.is_decode());
+        let b = MatrixF32::random(128, 128, 9);
+        let sb = NmSparseMatrix::prune(&b, cfg, PrunePolicy::Random { seed: 10 }).unwrap();
+        let quick = tiling_candidates(&plan, &sb, false);
+        assert!(
+            quick.len() > 1,
+            "decode must compare skinny geometries even in quick mode: {quick:?}"
+        );
+        assert!(
+            quick.iter().any(|t| t.mb == 1 && t.mt == 1),
+            "the SpMV geometry (one-row panel) must be a candidate: {quick:?}"
+        );
+        let full = tiling_candidates(&plan, &sb, true);
+        assert!(full.len() > quick.len(), "full mode still adds variants");
+        let mut dedup = full.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), full.len(), "no duplicate candidates");
+        // The harness can actually time the skinny candidates.
+        let spec = MeasureSpec::for_mode(AutotuneMode::Quick).unwrap();
+        let outcome = measure(&plan, &sb, 1, None, spec).unwrap();
+        assert_eq!(outcome.samples.len(), quick.len() * 3, "3 ladder steps");
     }
 
     #[test]

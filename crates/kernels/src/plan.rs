@@ -47,6 +47,94 @@ fn pad_dim(d: usize) -> usize {
     d.max(1).div_ceil(CLASS_GRANULE) * CLASS_GRANULE
 }
 
+/// Largest activation-row count classified as decode. Autoregressive
+/// serving batches a handful of tokens per step; past 8 rows the 4-row
+/// register tiles amortize well and the GEMM regime applies.
+pub const DECODE_MAX_ROWS: usize = 8;
+
+/// The execution regime of a shape — a first-class planner dimension.
+///
+/// Prefill (square-ish GEMM) and decode (1–8 activation rows, the
+/// autoregressive serving regime) want different plans: decode is
+/// bandwidth-bound streaming of `B′` where the GEMM autotuner's tile
+/// search is meaningless, so decode keys skip it and lean on measured
+/// evidence instead. Keying the class separately means an `m = 1` SpMV
+/// and an `m = 512` GEMM over the same weights can never collide on one
+/// cache entry (both pad to the same 32-row granule).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ShapeClass {
+    /// The GEMM regime: more than [`DECODE_MAX_ROWS`] activation rows.
+    Prefill,
+    /// Autoregressive decode with this exact activation-row count
+    /// (1..=[`DECODE_MAX_ROWS`]); `Decode(1)` is SpMV.
+    Decode(usize),
+}
+
+impl ShapeClass {
+    /// Classify a concrete (unpadded) activation-row count.
+    pub fn of_rows(m: usize) -> Self {
+        if (1..=DECODE_MAX_ROWS).contains(&m) {
+            ShapeClass::Decode(m)
+        } else {
+            ShapeClass::Prefill
+        }
+    }
+
+    /// Whether this is the decode regime.
+    pub fn is_decode(&self) -> bool {
+        matches!(self, ShapeClass::Decode(_))
+    }
+
+    /// The exact decode row count, when decode.
+    pub fn decode_rows(&self) -> Option<usize> {
+        match self {
+            ShapeClass::Decode(rows) => Some(*rows),
+            ShapeClass::Prefill => None,
+        }
+    }
+
+    /// Stable identifier used in the JSON cache (`"prefill"`,
+    /// `"decode:4"`).
+    pub fn tag(&self) -> String {
+        match self {
+            ShapeClass::Prefill => "prefill".to_string(),
+            ShapeClass::Decode(rows) => format!("decode:{rows}"),
+        }
+    }
+
+    /// Inverse of [`ShapeClass::tag`].
+    pub fn from_tag(tag: &str) -> Result<Self> {
+        if tag == "prefill" {
+            return Ok(ShapeClass::Prefill);
+        }
+        if let Some(rows) = tag.strip_prefix("decode:") {
+            let rows: usize = rows.parse().map_err(|_| NmError::Persist {
+                reason: format!("malformed shape class `{tag}`"),
+            })?;
+            if (1..=DECODE_MAX_ROWS).contains(&rows) {
+                return Ok(ShapeClass::Decode(rows));
+            }
+        }
+        Err(NmError::Persist {
+            reason: format!("unknown shape class `{tag}`"),
+        })
+    }
+
+    /// Deterministic ordering rank for cache serialization.
+    fn sort_rank(&self) -> (u8, usize) {
+        match self {
+            ShapeClass::Prefill => (0, 0),
+            ShapeClass::Decode(rows) => (1, *rows),
+        }
+    }
+}
+
+impl std::fmt::Display for ShapeClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.tag())
+    }
+}
+
 /// Deterministic fingerprint of every timing-relevant [`DeviceConfig`]
 /// parameter (FNV-1a over a canonical rendering). Part of the cache key,
 /// so plans computed against an edited device model — same marketing name,
@@ -134,6 +222,11 @@ pub struct PlanKey {
     pub m_win: usize,
     /// Vector length (`L`).
     pub l: usize,
+    /// Prefill vs decode — classified on the *unpadded* row count, so
+    /// skinny decode shapes (which all pad to the same 32-row granule)
+    /// plan, measure and cache separately from each other and from
+    /// prefill.
+    pub shape: ShapeClass,
     /// The measurement scope for measured entries; `None` for cost-model
     /// plans. Part of the key, so measured evidence never shadows the
     /// analytic plan for the same shape (and vice versa).
@@ -152,6 +245,7 @@ impl PlanKey {
             n_keep: cfg.n,
             m_win: cfg.m,
             l: cfg.l,
+            shape: ShapeClass::of_rows(m),
             host: None,
         }
     }
@@ -177,6 +271,9 @@ impl std::fmt::Display for PlanKey {
             "{} {}x{}x{} {}:{}(L={})",
             self.device, self.m, self.n, self.k, self.n_keep, self.m_win, self.l
         )?;
+        if self.shape.is_decode() {
+            write!(f, " [{}]", self.shape)?;
+        }
         if let Some(host) = &self.host {
             write!(f, " @{host}")?;
         }
@@ -655,6 +752,7 @@ fn plan_to_json(plan: &Plan) -> JsonValue {
                 ("n_keep", JsonValue::from_usize(k.n_keep)),
                 ("m_win", JsonValue::from_usize(k.m_win)),
                 ("l", JsonValue::from_usize(k.l)),
+                ("shape", JsonValue::from_str_value(&k.shape.tag())),
                 ("host", host_to_json(&k.host)),
             ]),
         ),
@@ -725,6 +823,14 @@ fn plan_from_json(v: &JsonValue) -> Result<Plan> {
         n_keep: kv.usize_field("n_keep")?,
         m_win: kv.usize_field("m_win")?,
         l: kv.usize_field("l")?,
+        // Version-1/2 documents predate the shape-class dimension; they
+        // were all planned through the GEMM path, so they load as prefill.
+        shape: match kv.get("shape") {
+            None | Some(JsonValue::Null) => ShapeClass::Prefill,
+            Some(s) => ShapeClass::from_tag(s.as_str().ok_or_else(|| NmError::Persist {
+                reason: "`shape` is not a string".into(),
+            })?)?,
+        },
         // Version-1 documents predate measured provenance and carry no
         // host scope.
         host: host_from_json(kv.get("host"))?,
@@ -807,7 +913,10 @@ fn plan_from_json(v: &JsonValue) -> Result<Plan> {
 /// * v2 — adds `key.host`, `provenance` and `measured` (evidence-based
 ///   planning). v1 documents still load: they become CostModel-provenance
 ///   entries with no host scope.
-const CACHE_FORMAT_VERSION: usize = 2;
+/// * v3 — adds `key.shape` (prefill vs decode). v1/v2 documents still
+///   load: their entries were planned through the GEMM path, so they
+///   become prefill-class keys.
+const CACHE_FORMAT_VERSION: usize = 3;
 
 /// Oldest cache-file version [`PlanCache::from_json`] still accepts.
 const CACHE_FORMAT_OLDEST: usize = 1;
@@ -886,6 +995,7 @@ impl PlanCache {
                 p.key.n_keep,
                 p.key.m_win,
                 p.key.l,
+                p.key.shape.sort_rank(),
                 p.key.host.clone(),
             )
         });
@@ -1023,15 +1133,28 @@ fn compute_plan(dev: &DeviceConfig, key: PlanKey) -> Result<Plan> {
 
     // Exhaustive search over the valid blocking space for V3 (the paper's
     // kernel); fall back to the Para_Init_Table preset when the space is
-    // empty (e.g. an L no supported ns is a multiple of).
-    let (params, evaluated, nm_v3) = match autotune::tune(dev, m, n, k, cfg) {
-        Ok(t) => (t.params, t.evaluated, Some((&t.report).into())),
-        Err(_) => {
-            let preset = BlockingParams::para_init_table(m, n);
-            let rep = NmSpmmKernel::new(NmVersion::V3, preset)
-                .estimate(dev, m, n, k, cfg, None)
-                .ok();
-            (preset, 0, rep.as_ref().map(EstimateSummary::from))
+    // empty (e.g. an L no supported ns is a multiple of). Decode keys
+    // skip the search entirely: the autotuner ranks *GEMM* tilings by
+    // modeled FLOP throughput, which is meaningless at 1–8 activation
+    // rows where the kernel streams `B′` once — the preset records a
+    // valid launch geometry and the real skinny-vs-GEMM call is made from
+    // measurement ([`crate::measure`]), not the cost model.
+    let (params, evaluated, nm_v3) = if key.shape.is_decode() {
+        let preset = BlockingParams::para_init_table(m, n);
+        let rep = NmSpmmKernel::new(NmVersion::V3, preset)
+            .estimate(dev, m, n, k, cfg, None)
+            .ok();
+        (preset, 0, rep.as_ref().map(EstimateSummary::from))
+    } else {
+        match autotune::tune(dev, m, n, k, cfg) {
+            Ok(t) => (t.params, t.evaluated, Some((&t.report).into())),
+            Err(_) => {
+                let preset = BlockingParams::para_init_table(m, n);
+                let rep = NmSpmmKernel::new(NmVersion::V3, preset)
+                    .estimate(dev, m, n, k, cfg, None)
+                    .ok();
+                (preset, 0, rep.as_ref().map(EstimateSummary::from))
+            }
         }
     };
 
@@ -1407,23 +1530,89 @@ mod tests {
 
     #[test]
     fn version_1_documents_load_as_cost_model_provenance() {
-        // Produce a v2 document holding only analytic plans, then rewrite
-        // it into the exact v1 schema (no host, no provenance, no
-        // measured) — the serializer is ours, so the surgery is exact.
+        // Produce a v3 document holding only analytic plans, then rewrite
+        // it into the exact v1 schema (no shape, no host, no provenance,
+        // no measured) — the serializer is ours, so the surgery is exact.
         let mut planner = Planner::new(a100_80g());
         let plan = planner.plan(512, 1024, 2048, cfg(4, 16)).unwrap();
-        let v2 = planner.cache().to_json().unwrap();
-        let v1 = v2
-            .replace("\"version\":2", "\"version\":1")
+        let v3 = planner.cache().to_json().unwrap();
+        let v1 = v3
+            .replace("\"version\":3", "\"version\":1")
+            .replace("\"shape\":\"prefill\",", "")
             .replace(",\"host\":null", "")
             .replace("\"provenance\":\"cost_model\",\"measured\":null,", "");
         assert!(!v1.contains("provenance"), "surgery must remove v2 fields");
+        assert!(!v1.contains("shape"), "surgery must remove v3 fields");
         let cache = PlanCache::from_json(&v1).unwrap();
         let loaded = cache.peek(&plan.key).expect("v1 entry must load");
         assert_eq!(loaded.provenance, Provenance::CostModel);
         assert_eq!(loaded.measured, None);
         assert_eq!(loaded.key.host, None);
+        assert_eq!(loaded.key.shape, ShapeClass::Prefill);
         assert_eq!(loaded, &plan, "v1 reload equals the in-process plan");
+    }
+
+    #[test]
+    fn decode_shapes_key_separately_from_prefill_and_each_other() {
+        // m = 1..8 all pad to the same 32-row granule; before the shape
+        // class they collided on one cache entry with each other AND with
+        // a 32-row prefill problem.
+        let dev = a100_80g();
+        let level = cfg(4, 16);
+        let prefill = PlanKey::new(&dev, 32, 4096, 4096, level);
+        assert_eq!(prefill.shape, ShapeClass::Prefill);
+        let mut seen = vec![prefill];
+        for rows in 1..=DECODE_MAX_ROWS {
+            let key = PlanKey::new(&dev, rows, 4096, 4096, level);
+            assert_eq!(key.m, 32, "decode rows still pad for plan purity");
+            assert_eq!(key.shape, ShapeClass::Decode(rows));
+            assert!(
+                !seen.contains(&key),
+                "decode:{rows} must not collide with any earlier key"
+            );
+            seen.push(key);
+        }
+        assert_eq!(ShapeClass::of_rows(9), ShapeClass::Prefill);
+        assert_eq!(
+            ShapeClass::of_rows(0),
+            ShapeClass::Prefill,
+            "empty is not decode"
+        );
+    }
+
+    #[test]
+    fn decode_plans_skip_the_gemm_autotuner_and_round_trip() {
+        let mut planner = Planner::new(a100_80g());
+        let decode = planner.plan(1, 4096, 4096, cfg(2, 16)).unwrap();
+        assert!(decode.key.shape.is_decode());
+        assert_eq!(
+            decode.evaluated, 0,
+            "decode must not search GEMM tilings; selection is measured"
+        );
+        let prefill = planner.plan(512, 4096, 4096, cfg(2, 16)).unwrap();
+        assert!(prefill.evaluated > 0, "prefill keeps the exhaustive search");
+
+        let cache = planner.into_cache();
+        let json = cache.to_json().unwrap();
+        assert!(json.contains("\"shape\":\"decode:1\""));
+        let reloaded = PlanCache::from_json(&json).unwrap();
+        assert_eq!(reloaded.peek(&decode.key), Some(&decode));
+        assert_eq!(json, reloaded.to_json().unwrap(), "deterministic order");
+    }
+
+    #[test]
+    fn shape_class_tags_round_trip() {
+        for class in [
+            ShapeClass::Prefill,
+            ShapeClass::Decode(1),
+            ShapeClass::Decode(DECODE_MAX_ROWS),
+        ] {
+            assert_eq!(ShapeClass::from_tag(&class.tag()).unwrap(), class);
+        }
+        assert!(ShapeClass::from_tag("decode:0").is_err());
+        assert!(ShapeClass::from_tag("decode:9").is_err());
+        assert!(ShapeClass::from_tag("decode:x").is_err());
+        assert!(ShapeClass::from_tag("gemm").is_err());
     }
 
     #[test]

@@ -472,6 +472,30 @@ impl PreparedLayer {
             .run_prepared(&self.device, &self.plan, &*self.state, a, &self.weights)
     }
 
+    /// The decode entry point: multiply one activation **vector**,
+    /// `y[n] = x[k] ⊛ (B′, D)` — the prepared SpMV path.
+    ///
+    /// The exact staged state `forward` uses serves this call (on the CPU
+    /// ladder the one-row rung of the vectorized register-tile ladder
+    /// streams the same staged `B′`), so a layer prepared once — e.g. for
+    /// a prefill shape — serves autoregressive decode with **zero**
+    /// additional offline work; only the `1 × k` operand view is built
+    /// per call.
+    ///
+    /// # Errors
+    /// [`NmError::DimensionMismatch`] when `x.len()` disagrees with the
+    /// weights' reduction depth.
+    pub fn forward_vec(&self, x: &[f32]) -> Result<ExecRun> {
+        if x.len() != self.weights.k() {
+            return Err(NmError::DimensionMismatch {
+                expected: format!("x of length k = {}", self.weights.k()),
+                found: format!("x of length {}", x.len()),
+            });
+        }
+        let a = MatrixF32::from_vec(1, x.len(), x.to_vec());
+        self.forward(&a)
+    }
+
     /// Multiply a whole batch of activation matrices, one [`ExecRun`]
     /// each, in batch order.
     ///
@@ -628,6 +652,38 @@ mod tests {
         let layer = s.load(weights(64, 32, cfg, 1), 16).unwrap();
         let bad = MatrixF32::random(16, 48, 2);
         let err = layer.forward(&bad).unwrap_err();
+        assert!(matches!(err, NmError::DimensionMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn forward_vec_is_the_prepared_spmv_path_with_zero_extra_staging() {
+        let mut s = session();
+        let cfg = NmConfig::new(2, 8, 16).unwrap();
+        let sb = weights(96, 64, cfg, 71);
+        // Prepared once, for a *prefill* shape — the decode call below
+        // must ride on exactly this offline work.
+        let layer = s
+            .load_on(sb.clone(), 128, BackendKind::Cpu(NmVersion::V3))
+            .unwrap();
+        let x = MatrixF32::random(1, 96, 72);
+        let staged_before = crate::cpu::offline_staging_passes();
+        let vec_run = layer.forward_vec(x.row(0)).unwrap();
+        let mat_run = layer.forward(&x).unwrap();
+        assert_eq!(
+            crate::cpu::offline_staging_passes(),
+            staged_before,
+            "decode must reuse prefill's staged CpuPrepared, not re-stage"
+        );
+        assert_eq!(vec_run.c.shape(), (1, 64));
+        let expect = spmm_reference(&x, &sb);
+        assert!(vec_run.c.allclose(&expect, 1e-3, 1e-4));
+        assert_eq!(
+            vec_run.c.as_slice(),
+            mat_run.c.as_slice(),
+            "the vector and 1-row matrix entries take the same data path"
+        );
+        // Length validation is structured, like forward's.
+        let err = layer.forward_vec(&x.row(0)[..95]).unwrap_err();
         assert!(matches!(err, NmError::DimensionMismatch { .. }), "{err}");
     }
 

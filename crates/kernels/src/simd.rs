@@ -20,6 +20,19 @@
 //! then feeds twice the FMA work, and the extra independent accumulator
 //! chains hide FMA latency.
 //!
+//! ## Skinny tiles — the decode path
+//!
+//! Autoregressive decode multiplies one (or a handful of) activation rows
+//! against the same pruned weights; forcing those shapes through the 4-row
+//! tile would compute and then discard up to 3 rows of work. Every tile
+//! therefore also exists at **1 and 2 rows**
+//! ([`MicroKernel::run1x16`] / [`MicroKernel::run2x16`] /
+//! [`MicroKernel::run1x32`] / [`MicroKernel::run2x32`]): the same
+//! streamed-`B′` inner loop, const-generic over the row count, so a row
+//! panel runs a 4→2→1 ladder and no row ever pays for a sibling it does
+//! not have. At one row the tile *is* a vectorized SpMV over the staged
+//! block — the kernel the prepared decode path is built on.
+//!
 //! ## Dispatch discipline
 //!
 //! Feature detection (`is_x86_feature_detected!` /
@@ -255,22 +268,7 @@ impl MicroKernel {
         stride: usize,
         boff: usize,
     ) -> [[f32; NW]; MW] {
-        debug_check::<NW>(ar, idx, bs, stride, boff);
-        match self.isa {
-            #[cfg(target_arch = "x86_64")]
-            // SAFETY: `self` can only be constructed for a detected ISA.
-            Isa::Avx2 => unsafe { x86::avx2_4x16(ar, idx, bs, stride, boff) },
-            #[cfg(target_arch = "x86_64")]
-            // SAFETY: as above — avx512f was detected at construction.
-            Isa::Avx512 => unsafe { x86::avx512_4x16(ar, idx, bs, stride, boff) },
-            #[cfg(target_arch = "aarch64")]
-            // SAFETY: as above — neon was detected at construction.
-            Isa::Neon => unsafe { arm::neon_4x16(ar, idx, bs, stride, boff) },
-            // Scalar, plus foreign-architecture variants that the
-            // constructors make unreachable; falling back to the portable
-            // tile keeps even a broken invariant memory-safe.
-            _ => scalar_tile::<NW>(ar, idx, bs, stride, boff),
-        }
+        self.tile16(ar, idx, bs, stride, boff)
     }
 
     /// The 4×32 dual-accumulator tile: as [`MicroKernel::run4x16`] but
@@ -286,18 +284,117 @@ impl MicroKernel {
         stride: usize,
         boff: usize,
     ) -> [[f32; NW2]; MW] {
-        debug_check::<NW2>(ar, idx, bs, stride, boff);
+        self.tile32(ar, idx, bs, stride, boff)
+    }
+
+    /// The 2×16 skinny tile: two rows of the same streamed-`B′` inner loop
+    /// — the middle rung of the fast path's 4→2→1 row ladder.
+    #[inline]
+    pub fn run2x16(
+        &self,
+        ar: &[&[f32]; 2],
+        idx: &[u32],
+        bs: &[f32],
+        stride: usize,
+        boff: usize,
+    ) -> [[f32; NW]; 2] {
+        self.tile16(ar, idx, bs, stride, boff)
+    }
+
+    /// The 2×32 skinny dual-accumulator tile (`L % 32 == 0` blocks).
+    #[inline]
+    pub fn run2x32(
+        &self,
+        ar: &[&[f32]; 2],
+        idx: &[u32],
+        bs: &[f32],
+        stride: usize,
+        boff: usize,
+    ) -> [[f32; NW2]; 2] {
+        self.tile32(ar, idx, bs, stride, boff)
+    }
+
+    /// The 1×16 tile: a vectorized sparse vector-matrix product over one
+    /// staged `B′` block — the decode-path (`m = 1`) kernel.
+    #[inline]
+    pub fn run1x16(
+        &self,
+        ar: &[&[f32]; 1],
+        idx: &[u32],
+        bs: &[f32],
+        stride: usize,
+        boff: usize,
+    ) -> [[f32; NW]; 1] {
+        self.tile16(ar, idx, bs, stride, boff)
+    }
+
+    /// The 1×32 dual-accumulator SpMV tile (`L % 32 == 0` blocks).
+    #[inline]
+    pub fn run1x32(
+        &self,
+        ar: &[&[f32]; 1],
+        idx: &[u32],
+        bs: &[f32],
+        stride: usize,
+        boff: usize,
+    ) -> [[f32; NW2]; 1] {
+        self.tile32(ar, idx, bs, stride, boff)
+    }
+
+    /// Row-generic 16-wide dispatch behind the public entry points. One
+    /// match on the construct-time ISA; the per-ISA bodies are const-generic
+    /// over the row count, so 1-, 2- and 4-row tiles share one
+    /// implementation per ISA instead of drifting apart. Crate-visible so
+    /// the CPU ladder's row ladder can stay generic over the rung size.
+    #[inline]
+    pub(crate) fn tile16<const R: usize>(
+        &self,
+        ar: &[&[f32]; R],
+        idx: &[u32],
+        bs: &[f32],
+        stride: usize,
+        boff: usize,
+    ) -> [[f32; NW]; R] {
+        debug_check::<R, NW>(ar, idx, bs, stride, boff);
         match self.isa {
             #[cfg(target_arch = "x86_64")]
             // SAFETY: `self` can only be constructed for a detected ISA.
-            Isa::Avx2 => unsafe { x86::avx2_4x32(ar, idx, bs, stride, boff) },
+            Isa::Avx2 => unsafe { x86::avx2_rx16(ar, idx, bs, stride, boff) },
             #[cfg(target_arch = "x86_64")]
             // SAFETY: as above — avx512f was detected at construction.
-            Isa::Avx512 => unsafe { x86::avx512_4x32(ar, idx, bs, stride, boff) },
+            Isa::Avx512 => unsafe { x86::avx512_rx16(ar, idx, bs, stride, boff) },
             #[cfg(target_arch = "aarch64")]
             // SAFETY: as above — neon was detected at construction.
-            Isa::Neon => unsafe { arm::neon_4x32(ar, idx, bs, stride, boff) },
-            _ => scalar_tile::<NW2>(ar, idx, bs, stride, boff),
+            Isa::Neon => unsafe { arm::neon_rx16(ar, idx, bs, stride, boff) },
+            // Scalar, plus foreign-architecture variants that the
+            // constructors make unreachable; falling back to the portable
+            // tile keeps even a broken invariant memory-safe.
+            _ => scalar_tile::<R, NW>(ar, idx, bs, stride, boff),
+        }
+    }
+
+    /// Row-generic 32-wide dispatch; see [`MicroKernel::tile16`].
+    #[inline]
+    pub(crate) fn tile32<const R: usize>(
+        &self,
+        ar: &[&[f32]; R],
+        idx: &[u32],
+        bs: &[f32],
+        stride: usize,
+        boff: usize,
+    ) -> [[f32; NW2]; R] {
+        debug_check::<R, NW2>(ar, idx, bs, stride, boff);
+        match self.isa {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `self` can only be constructed for a detected ISA.
+            Isa::Avx2 => unsafe { x86::avx2_rx32(ar, idx, bs, stride, boff) },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as above — avx512f was detected at construction.
+            Isa::Avx512 => unsafe { x86::avx512_rx32(ar, idx, bs, stride, boff) },
+            #[cfg(target_arch = "aarch64")]
+            // SAFETY: as above — neon was detected at construction.
+            Isa::Neon => unsafe { arm::neon_rx32(ar, idx, bs, stride, boff) },
+            _ => scalar_tile::<R, NW2>(ar, idx, bs, stride, boff),
         }
     }
 }
@@ -342,8 +439,8 @@ fn force_scalar_requested(value: &str) -> Result<bool> {
 /// debug builds at the dispatch boundary (so the `#[target_feature]`
 /// bodies can use unchecked loads).
 #[inline]
-fn debug_check<const W: usize>(
-    ar: &[&[f32]; MW],
+fn debug_check<const R: usize, const W: usize>(
+    ar: &[&[f32]; R],
     idx: &[u32],
     bs: &[f32],
     stride: usize,
@@ -363,19 +460,19 @@ fn debug_check<const W: usize>(
     let _ = (ar, idx, bs, stride, boff);
 }
 
-/// The portable tile, generic over width — the pre-SIMD `micro4x16`
-/// kept as the fallback and the forced-scalar A/B baseline. What LLVM
-/// auto-vectorizes here is bounded by the build's target baseline
-/// (plain SSE2 for default `x86-64`), which is exactly the gap the
-/// explicit kernels close.
-fn scalar_tile<const W: usize>(
-    ar: &[&[f32]; MW],
+/// The portable tile, generic over row count and width — the pre-SIMD
+/// `micro4x16` kept as the fallback and the forced-scalar A/B baseline.
+/// What LLVM auto-vectorizes here is bounded by the build's target
+/// baseline (plain SSE2 for default `x86-64`), which is exactly the gap
+/// the explicit kernels close.
+fn scalar_tile<const R: usize, const W: usize>(
+    ar: &[&[f32]; R],
     idx: &[u32],
     bs: &[f32],
     stride: usize,
     boff: usize,
-) -> [[f32; W]; MW] {
-    let mut acc = [[0f32; W]; MW];
+) -> [[f32; W]; R] {
+    let mut acc = [[0f32; W]; R];
     for (ui, &s) in idx.iter().enumerate() {
         let b = &bs[ui * stride + boff..ui * stride + boff + W];
         let s = s as usize;
@@ -397,23 +494,24 @@ mod x86 {
     //! Loads are unchecked — the bounds are the caller contract checked by
     //! [`super::debug_check`] at the dispatch boundary.
 
-    use super::{MW, NW, NW2};
+    use super::{NW, NW2};
     use std::arch::x86_64::*;
 
     /// # Safety
     /// Requires `avx2` and `fma` at runtime, plus the bounds contract of
-    /// [`super::MicroKernel::run4x16`].
+    /// [`super::MicroKernel::run4x16`]. `R ≤ 4` keeps the accumulators in
+    /// the register file.
     #[target_feature(enable = "avx2,fma")]
-    pub(super) unsafe fn avx2_4x16(
-        ar: &[&[f32]; MW],
+    pub(super) unsafe fn avx2_rx16<const R: usize>(
+        ar: &[&[f32]; R],
         idx: &[u32],
         bs: &[f32],
         stride: usize,
         boff: usize,
-    ) -> [[f32; NW]; MW] {
-        // 8 ymm accumulators (4 rows × 2 vectors) + 2 streamed B vectors
-        // + 1 broadcast: comfortably inside the 16 ymm registers.
-        let mut acc = [[_mm256_setzero_ps(); 2]; MW];
+    ) -> [[f32; NW]; R] {
+        // 2R ymm accumulators (R ≤ 4 rows × 2 vectors) + 2 streamed B
+        // vectors + 1 broadcast: comfortably inside the 16 ymm registers.
+        let mut acc = [[_mm256_setzero_ps(); 2]; R];
         for (ui, &s) in idx.iter().enumerate() {
             let b = bs.as_ptr().add(ui * stride + boff);
             let b0 = _mm256_loadu_ps(b);
@@ -425,7 +523,7 @@ mod x86 {
                 acc_row[1] = _mm256_fmadd_ps(av, b1, acc_row[1]);
             }
         }
-        let mut out = [[0f32; NW]; MW];
+        let mut out = [[0f32; NW]; R];
         for (acc_row, out_row) in acc.iter().zip(out.iter_mut()) {
             _mm256_storeu_ps(out_row.as_mut_ptr(), acc_row[0]);
             _mm256_storeu_ps(out_row.as_mut_ptr().add(8), acc_row[1]);
@@ -435,19 +533,20 @@ mod x86 {
 
     /// # Safety
     /// Requires `avx2` and `fma` at runtime, plus the bounds contract of
-    /// [`super::MicroKernel::run4x32`].
+    /// [`super::MicroKernel::run4x32`]. `R ≤ 4` keeps the accumulators in
+    /// the register file.
     #[target_feature(enable = "avx2,fma")]
-    pub(super) unsafe fn avx2_4x32(
-        ar: &[&[f32]; MW],
+    pub(super) unsafe fn avx2_rx32<const R: usize>(
+        ar: &[&[f32]; R],
         idx: &[u32],
         bs: &[f32],
         stride: usize,
         boff: usize,
-    ) -> [[f32; NW2]; MW] {
-        // 16 ymm accumulators fill the register file; LLVM folds the
-        // four B loads into FMA memory operands, so only the broadcast
-        // needs a live register.
-        let mut acc = [[_mm256_setzero_ps(); 4]; MW];
+    ) -> [[f32; NW2]; R] {
+        // 4R ymm accumulators fill the register file at R = 4; LLVM folds
+        // the four B loads into FMA memory operands, so only the broadcast
+        // needs a live register. Skinny rows leave headroom.
+        let mut acc = [[_mm256_setzero_ps(); 4]; R];
         for (ui, &s) in idx.iter().enumerate() {
             let b = bs.as_ptr().add(ui * stride + boff);
             let b0 = _mm256_loadu_ps(b);
@@ -463,7 +562,7 @@ mod x86 {
                 acc_row[3] = _mm256_fmadd_ps(av, b3, acc_row[3]);
             }
         }
-        let mut out = [[0f32; NW2]; MW];
+        let mut out = [[0f32; NW2]; R];
         for (acc_row, out_row) in acc.iter().zip(out.iter_mut()) {
             for (v, &vec) in acc_row.iter().enumerate() {
                 _mm256_storeu_ps(out_row.as_mut_ptr().add(v * 8), vec);
@@ -476,15 +575,15 @@ mod x86 {
     /// Requires `avx512f` at runtime, plus the bounds contract of
     /// [`super::MicroKernel::run4x16`].
     #[target_feature(enable = "avx512f")]
-    pub(super) unsafe fn avx512_4x16(
-        ar: &[&[f32]; MW],
+    pub(super) unsafe fn avx512_rx16<const R: usize>(
+        ar: &[&[f32]; R],
         idx: &[u32],
         bs: &[f32],
         stride: usize,
         boff: usize,
-    ) -> [[f32; NW]; MW] {
+    ) -> [[f32; NW]; R] {
         // One zmm per row: the whole 16-wide tile row is a single vector.
-        let mut acc = [_mm512_setzero_ps(); MW];
+        let mut acc = [_mm512_setzero_ps(); R];
         for (ui, &s) in idx.iter().enumerate() {
             let b = _mm512_loadu_ps(bs.as_ptr().add(ui * stride + boff));
             let s = s as usize;
@@ -493,7 +592,7 @@ mod x86 {
                 *acc_row = _mm512_fmadd_ps(av, b, *acc_row);
             }
         }
-        let mut out = [[0f32; NW]; MW];
+        let mut out = [[0f32; NW]; R];
         for (acc_row, out_row) in acc.iter().zip(out.iter_mut()) {
             _mm512_storeu_ps(out_row.as_mut_ptr(), *acc_row);
         }
@@ -504,15 +603,15 @@ mod x86 {
     /// Requires `avx512f` at runtime, plus the bounds contract of
     /// [`super::MicroKernel::run4x32`].
     #[target_feature(enable = "avx512f")]
-    pub(super) unsafe fn avx512_4x32(
-        ar: &[&[f32]; MW],
+    pub(super) unsafe fn avx512_rx32<const R: usize>(
+        ar: &[&[f32]; R],
         idx: &[u32],
         bs: &[f32],
         stride: usize,
         boff: usize,
-    ) -> [[f32; NW2]; MW] {
-        // Dual zmm accumulators per row — 8 of the 32 zmm registers.
-        let mut acc = [[_mm512_setzero_ps(); 2]; MW];
+    ) -> [[f32; NW2]; R] {
+        // Dual zmm accumulators per row — 2R of the 32 zmm registers.
+        let mut acc = [[_mm512_setzero_ps(); 2]; R];
         for (ui, &s) in idx.iter().enumerate() {
             let b = bs.as_ptr().add(ui * stride + boff);
             let b0 = _mm512_loadu_ps(b);
@@ -524,7 +623,7 @@ mod x86 {
                 acc_row[1] = _mm512_fmadd_ps(av, b1, acc_row[1]);
             }
         }
-        let mut out = [[0f32; NW2]; MW];
+        let mut out = [[0f32; NW2]; R];
         for (acc_row, out_row) in acc.iter().zip(out.iter_mut()) {
             _mm512_storeu_ps(out_row.as_mut_ptr(), acc_row[0]);
             _mm512_storeu_ps(out_row.as_mut_ptr().add(16), acc_row[1]);
@@ -538,22 +637,22 @@ mod arm {
     //! NEON tiles. NEON is architecturally mandatory on aarch64, but the
     //! same construct-time verification discipline applies.
 
-    use super::{MW, NW, NW2};
+    use super::{NW, NW2};
     use std::arch::aarch64::*;
 
     /// # Safety
     /// Requires `neon` at runtime, plus the bounds contract of
     /// [`super::MicroKernel::run4x16`].
     #[target_feature(enable = "neon")]
-    pub(super) unsafe fn neon_4x16(
-        ar: &[&[f32]; MW],
+    pub(super) unsafe fn neon_rx16<const R: usize>(
+        ar: &[&[f32]; R],
         idx: &[u32],
         bs: &[f32],
         stride: usize,
         boff: usize,
-    ) -> [[f32; NW]; MW] {
-        // 16 of the 32 q-registers hold the tile (4 rows × 4 vectors).
-        let mut acc = [[vdupq_n_f32(0.0); 4]; MW];
+    ) -> [[f32; NW]; R] {
+        // 4R of the 32 q-registers hold the tile (R ≤ 4 rows × 4 vectors).
+        let mut acc = [[vdupq_n_f32(0.0); 4]; R];
         for (ui, &s) in idx.iter().enumerate() {
             let b = bs.as_ptr().add(ui * stride + boff);
             let bv = [
@@ -570,7 +669,7 @@ mod arm {
                 }
             }
         }
-        let mut out = [[0f32; NW]; MW];
+        let mut out = [[0f32; NW]; R];
         for (acc_row, out_row) in acc.iter().zip(out.iter_mut()) {
             for (v, &vec) in acc_row.iter().enumerate() {
                 vst1q_f32(out_row.as_mut_ptr().add(v * 4), vec);
@@ -583,22 +682,23 @@ mod arm {
     /// Requires `neon` at runtime, plus the bounds contract of
     /// [`super::MicroKernel::run4x32`].
     #[target_feature(enable = "neon")]
-    pub(super) unsafe fn neon_4x32(
-        ar: &[&[f32]; MW],
+    pub(super) unsafe fn neon_rx32<const R: usize>(
+        ar: &[&[f32]; R],
         idx: &[u32],
         bs: &[f32],
         stride: usize,
         boff: usize,
-    ) -> [[f32; NW2]; MW] {
+    ) -> [[f32; NW2]; R] {
         // A fused 4×32 tile would keep 32 q-register accumulators live at
         // once — the whole aarch64 vector file, guaranteeing spills in the
-        // hot loop. Run the halves as two *sequential* 4×16 passes over
-        // the k-block instead (16 live accumulators each); the repeated
-        // `A` broadcasts cost far less than per-iteration spill/reload
-        // traffic would.
-        let lo = neon_4x16(ar, idx, bs, stride, boff);
-        let hi = neon_4x16(ar, idx, bs, stride, boff + NW);
-        let mut out = [[0f32; NW2]; MW];
+        // hot loop. Run the halves as two *sequential* R×16 passes over
+        // the k-block instead (16 live accumulators each at R = 4); the
+        // repeated `A` broadcasts cost far less than per-iteration
+        // spill/reload traffic would, and the second pass re-reads a
+        // `B′` block that the first pass left cache-resident.
+        let lo = neon_rx16(ar, idx, bs, stride, boff);
+        let hi = neon_rx16(ar, idx, bs, stride, boff + NW);
+        let mut out = [[0f32; NW2]; R];
         for ((out_row, lo_row), hi_row) in out.iter_mut().zip(&lo).zip(&hi) {
             out_row[..NW].copy_from_slice(lo_row);
             out_row[NW..].copy_from_slice(hi_row);
@@ -758,6 +858,70 @@ mod tests {
         for mk in MicroKernel::available() {
             assert_eq!(mk.run4x16(&ar, &[], &bs, 32, 0), [[0.0; NW]; MW]);
             assert_eq!(mk.run4x32(&ar, &[], &bs, 32, 0), [[0.0; NW2]; MW]);
+            assert_eq!(
+                mk.run2x16(&[&rows[0], &rows[1]], &[], &bs, 32, 0),
+                [[0.0; NW]; 2]
+            );
+            assert_eq!(mk.run1x32(&[&rows[0]], &[], &bs, 32, 0), [[0.0; NW2]; 1]);
+        }
+    }
+
+    #[test]
+    fn skinny_tiles_match_the_four_row_tile_row_for_row() {
+        // Rows accumulate independently in every implementation, so the
+        // 1- and 2-row tiles must reproduce the corresponding rows of the
+        // 4-row tile bit for bit — same ISA, same per-row operation order.
+        let (rows, idx, bs) = tile_inputs(24, 40, 64);
+        let ar4: [&[f32]; MW] = [&rows[0], &rows[1], &rows[2], &rows[3]];
+        for mk in MicroKernel::available() {
+            let want16 = mk.run4x16(&ar4, &idx, &bs, 40, 3);
+            let want32 = mk.run4x32(&ar4, &idx, &bs, 40, 3);
+            let got2x16 = mk.run2x16(&[&rows[0], &rows[1]], &idx, &bs, 40, 3);
+            let got2x32 = mk.run2x32(&[&rows[2], &rows[3]], &idx, &bs, 40, 3);
+            let got1x16 = mk.run1x16(&[&rows[3]], &idx, &bs, 40, 3);
+            let got1x32 = mk.run1x32(&[&rows[0]], &idx, &bs, 40, 3);
+            assert_eq!(
+                [got2x16[0], got2x16[1]],
+                [want16[0], want16[1]],
+                "{mk} 2x16"
+            );
+            assert_eq!(
+                [got2x32[0], got2x32[1]],
+                [want32[2], want32[3]],
+                "{mk} 2x32"
+            );
+            assert_eq!(got1x16[0], want16[3], "{mk} 1x16");
+            assert_eq!(got1x32[0], want32[0], "{mk} 1x32");
+        }
+    }
+
+    #[test]
+    fn skinny_tiles_agree_across_isas() {
+        let (rows, idx, bs) = tile_inputs(24, 40, 64);
+        let scalar = MicroKernel::scalar();
+        let want16 = scalar.run1x16(&[&rows[0]], &idx, &bs, 40, 3);
+        let want32 = scalar.run2x32(&[&rows[1], &rows[2]], &idx, &bs, 40, 3);
+        for mk in MicroKernel::available() {
+            let got16 = mk.run1x16(&[&rows[0]], &idx, &bs, 40, 3);
+            let got32 = mk.run2x32(&[&rows[1], &rows[2]], &idx, &bs, 40, 3);
+            for c in 0..NW {
+                assert!(
+                    (got16[0][c] - want16[0][c]).abs() <= 1e-4 * want16[0][c].abs() + 1e-5,
+                    "{mk} 1x16 [{c}]: {} vs {}",
+                    got16[0][c],
+                    want16[0][c]
+                );
+            }
+            for (r, (got_row, want_row)) in got32.iter().zip(&want32).enumerate() {
+                for c in 0..NW2 {
+                    assert!(
+                        (got_row[c] - want_row[c]).abs() <= 1e-4 * want_row[c].abs() + 1e-5,
+                        "{mk} 2x32 [{r}][{c}]: {} vs {}",
+                        got_row[c],
+                        want_row[c]
+                    );
+                }
+            }
         }
     }
 }

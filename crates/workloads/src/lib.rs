@@ -24,5 +24,6 @@ pub mod shapes;
 pub mod sweep;
 
 pub use gen::{ProblemInstance, ProblemSpec};
+pub use models::DECODE_BATCH_SIZES;
 pub use shapes::TableIiShape;
-pub use sweep::{sweep_model, ExecutePolicy, LayerReport, SweepOptions, SweepReport};
+pub use sweep::{sweep_model, DecodeLane, ExecutePolicy, LayerReport, SweepOptions, SweepReport};

@@ -9,6 +9,13 @@
 
 use crate::llama::LayerShape;
 
+/// Decode batch sizes swept by the skinny lane: one generating sequence
+/// up to the planner's decode band ceiling
+/// ([`nm_kernels::DECODE_MAX_ROWS`]). Every entry classifies as
+/// `ShapeClass::Decode`, so a sweep over these sizes exercises the
+/// prepared SpMV path rather than the GEMM ladder.
+pub const DECODE_BATCH_SIZES: [usize; 4] = [1, 2, 4, 8];
+
 /// BERT-base and BERT-large encoder layers.
 pub fn bert_shapes() -> Vec<LayerShape> {
     let mut out = Vec::new();
@@ -150,6 +157,16 @@ mod tests {
         assert!(mistral_7b_shapes()
             .iter()
             .any(|s| s.n == 28672 && s.k == 4096));
+    }
+
+    #[test]
+    fn decode_batch_sizes_sit_inside_the_planner_band() {
+        use nm_kernels::{ShapeClass, DECODE_MAX_ROWS};
+        for b in DECODE_BATCH_SIZES {
+            assert!(b <= DECODE_MAX_ROWS, "batch {b} escapes the decode band");
+            assert!(ShapeClass::of_rows(b).is_decode());
+        }
+        assert!(DECODE_BATCH_SIZES.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

@@ -16,6 +16,12 @@
 //! share one weight shape, and repeated sweeps (more sequence lengths,
 //! more sparsity levels, a reloaded cache file) hit without re-tuning.
 //! [`SweepReport`] carries the hit/miss delta so callers can prove it.
+//!
+//! With [`SweepOptions::decode`] set, every layer also gets a **decode
+//! lane** per [`DECODE_BATCH_SIZES`] batch — the skinny shapes a
+//! generating server runs between prefills, planned under
+//! `ShapeClass::Decode` keys (no GEMM autotune) — and, when execution is
+//! requested, one real `m = 1` step through the prepared SpMV path.
 
 use nm_core::error::Result;
 use nm_core::matrix::MatrixF32;
@@ -30,6 +36,7 @@ use nm_kernels::session::Session;
 use std::time::Instant;
 
 use crate::llama::{layer_shapes, LayerShape, LlamaModel};
+use crate::models::DECODE_BATCH_SIZES;
 
 /// Whether (and at what size) the sweep runs layers functionally.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,12 +64,18 @@ impl ExecutePolicy {
 /// Knobs for [`sweep_model`].
 #[derive(Debug, Clone, Copy)]
 pub struct SweepOptions {
-    /// Input sequence length `m` shared by every layer.
+    /// Input sequence length `m` shared by every layer (the prefill lane).
     pub seq_len: usize,
     /// Functional-execution policy.
     pub execute: ExecutePolicy,
     /// Seed for the generated operands (execution only).
     pub seed: u64,
+    /// Also plan every layer at each [`DECODE_BATCH_SIZES`] batch — the
+    /// skinny lane a generating server runs between prefills. Decode
+    /// plans skip the GEMM autotuner, so this lane is cheap; when
+    /// execution is requested, the `m = 1` step additionally runs
+    /// `forward_vec` through the native CPU ladder for real.
+    pub decode: bool,
 }
 
 impl Default for SweepOptions {
@@ -71,6 +84,7 @@ impl Default for SweepOptions {
             seq_len: 512,
             execute: ExecutePolicy::EstimateOnly,
             seed: 0x5eed,
+            decode: false,
         }
     }
 }
@@ -98,6 +112,27 @@ pub struct ExecReport {
     /// The ladder step the measured plan picked for this host (`None`
     /// when autotuning is off).
     pub measured_version: Option<NmVersion>,
+    /// Wall milliseconds of one prepared decode step (`m = 1`,
+    /// `forward_vec` on the native CPU ladder) against the scaled
+    /// weights; `None` unless [`SweepOptions::decode`] was set.
+    pub decode_ms: Option<f64>,
+    /// Max |decode − cpu row 0| — the cross-check that the prepared SpMV
+    /// path and the parallel CPU path agree on the first activation row.
+    pub decode_vs_cpu_max_diff: Option<f32>,
+}
+
+/// One decode batch size's planning row in a [`LayerReport`].
+#[derive(Debug, Clone)]
+pub struct DecodeLane {
+    /// Activation rows (the decode batch size).
+    pub batch: usize,
+    /// The resolved decode plan — keyed `ShapeClass::Decode`, planned
+    /// without the GEMM autotuner.
+    pub plan: Plan,
+    /// Whether the plan came out of the cache.
+    pub cache_hit: bool,
+    /// Estimated milliseconds of the chosen kernel at this batch.
+    pub est_ms: f64,
 }
 
 /// One layer's row in the sweep report.
@@ -119,6 +154,9 @@ pub struct LayerReport {
     pub est_ms: f64,
     /// Estimated milliseconds of the dense baseline at full size.
     pub dense_ms: f64,
+    /// The decode lanes ([`DECODE_BATCH_SIZES`] batches); empty unless
+    /// [`SweepOptions::decode`] was set.
+    pub decode: Vec<DecodeLane>,
     /// Functional measurements, when execution was requested.
     pub exec: Option<ExecReport>,
 }
@@ -214,10 +252,32 @@ pub fn sweep_model(
             cache_hit,
             est_ms,
             dense_ms,
+            decode: Vec::new(),
             exec: None,
         });
     }
     let after = session.stats();
+
+    // Decode lanes: the same layers at generation batch sizes. Planned
+    // after the snapshot above so the prefill hit/miss accounting stays
+    // untouched; decode plans skip the GEMM autotuner, so this pass is
+    // cheap even for big models.
+    if opts.decode {
+        for (row, shape) in layers.iter_mut().zip(&shapes) {
+            for batch in DECODE_BATCH_SIZES {
+                let hits_before = session.stats().hits;
+                let plan = session.plan(batch, shape.n, shape.k, cfg)?;
+                let cache_hit = session.stats().hits > hits_before;
+                let est_ms = plan.best()?.seconds * 1e3;
+                row.decode.push(DecodeLane {
+                    batch,
+                    plan,
+                    cache_hit,
+                    est_ms,
+                });
+            }
+        }
+    }
 
     // Execution pass: real numerics through the chosen simulated kernel
     // and the CPU path, at (possibly scaled) dimensions. Each layer is
@@ -267,6 +327,28 @@ pub fn sweep_model(
                 (None, None)
             };
 
+            // One decode step for real: the first activation row through
+            // the prepared SpMV path (`forward_vec` on the native CPU
+            // ladder), cross-checked against row 0 of the parallel CPU
+            // result. The decode plan is a separate `ShapeClass::Decode`
+            // cache key, outside the prefill accounting.
+            let (decode_ms, decode_vs_cpu_max_diff) = if opts.decode {
+                let dplan = session.plan(1, ne, ke, cfg)?;
+                let dlayer =
+                    session.load_planned(dplan, sb.clone(), BackendKind::Cpu(NmVersion::V3))?;
+                let drun = dlayer.forward_vec(a.row(0))?;
+                let diff = drun
+                    .c
+                    .row(0)
+                    .iter()
+                    .zip(c_cpu.row(0))
+                    .map(|(x, y)| (x - y).abs())
+                    .fold(0f32, f32::max);
+                (Some(drun.wall_seconds * 1e3), Some(diff))
+            } else {
+                (None, None)
+            };
+
             // Simulated kernel, functional face, through a prepared
             // handle carrying the full-size plan.
             let layer = session.load_planned(row.plan.clone(), sb, BackendKind::Sim)?;
@@ -280,6 +362,8 @@ pub fn sweep_model(
                 sim_vs_cpu_max_diff: run.c.max_abs_diff(&c_cpu),
                 measured_ms,
                 measured_version,
+                decode_ms,
+                decode_vs_cpu_max_diff,
             });
         }
     }
@@ -307,6 +391,7 @@ mod tests {
             seq_len: 256,
             execute,
             seed: 7,
+            decode: false,
         }
     }
 
@@ -399,6 +484,49 @@ mod tests {
         }
         // Execution must not have perturbed the planning-pass accounting.
         assert_eq!(report.cache_misses as usize + report.cache_hits as usize, 5);
+    }
+
+    #[test]
+    fn decode_lanes_plan_every_batch_without_touching_prefill_accounting() {
+        let mut eng = session();
+        let cfg = NmConfig::new(4, 16, 32).unwrap();
+        let mut opts = small_opts(ExecutePolicy::EstimateOnly);
+        opts.decode = true;
+        let report = sweep_model(&mut eng, &LLAMA_FAMILY[0], cfg, &opts).unwrap();
+        // The pinned prefill arithmetic is unchanged by the decode pass.
+        assert_eq!(report.cache_hits, 1, "gate/up still share one entry");
+        assert_eq!(report.cache_misses, 4);
+        for l in &report.layers {
+            let batches: Vec<usize> = l.decode.iter().map(|d| d.batch).collect();
+            assert_eq!(batches, DECODE_BATCH_SIZES.to_vec(), "{}", l.layer);
+            for d in &l.decode {
+                assert!(d.plan.key.shape.is_decode(), "{} m={}", l.layer, d.batch);
+                assert!(d.est_ms > 0.0);
+            }
+        }
+        // mlp.up's decode lanes replay mlp.gate's keys: all cache hits.
+        let up = report.layers.iter().find(|l| l.layer == "mlp.up").unwrap();
+        assert!(up.decode.iter().all(|d| d.cache_hit));
+    }
+
+    #[test]
+    fn decode_execution_runs_forward_vec_and_agrees_with_the_cpu_row() {
+        let mut eng = session();
+        let cfg = NmConfig::new(2, 16, 32).unwrap();
+        let mut opts = small_opts(ExecutePolicy::Scaled(64));
+        opts.decode = true;
+        let report = sweep_model(&mut eng, &LLAMA_FAMILY[0], cfg, &opts).unwrap();
+        for l in &report.layers {
+            let e = l.exec.expect("execution requested");
+            let ms = e.decode_ms.expect("decode step ran");
+            assert!(ms > 0.0);
+            let diff = e.decode_vs_cpu_max_diff.expect("cross-checked");
+            assert!(
+                diff < 1e-2,
+                "{}: prepared SpMV and the CPU path disagree by {diff}",
+                l.layer
+            );
+        }
     }
 
     #[test]

@@ -102,6 +102,7 @@ fn sweep_through_session_executes_and_caches() {
         seq_len: 256,
         execute: ExecutePolicy::Scaled(64),
         seed: 11,
+        decode: true,
     };
     let report = sweep_model(&mut session, &LLAMA_FAMILY[0], cfg, &opts).unwrap();
     assert_eq!(report.layers.len(), 5);
@@ -113,6 +114,16 @@ fn sweep_through_session_executes_and_caches() {
             "{}: sim and CPU disagree by {}",
             layer.layer,
             exec.sim_vs_cpu_max_diff
+        );
+        // The decode lane planned every batch size and ran one real
+        // m=1 step through the prepared SpMV path.
+        assert_eq!(layer.decode.len(), 4, "{}", layer.layer);
+        assert!(layer.decode.iter().all(|d| d.plan.key.shape.is_decode()));
+        let diff = exec.decode_vs_cpu_max_diff.expect("decode step ran");
+        assert!(
+            diff < 1e-2,
+            "{}: decode step and CPU disagree by {diff}",
+            layer.layer
         );
     }
     // Second identical sweep: every plan is a cache hit.
