@@ -32,6 +32,19 @@ pub fn mean(xs: &[f64]) -> f64 {
     xs.iter().sum::<f64>() / xs.len() as f64
 }
 
+/// Nearest-rank percentile (`q` in `(0, 1]`) of an **unsorted** slice;
+/// the latency-distribution helper `bench_serving` reports p50/p95/p99
+/// with. Returns 0 for an empty slice.
+pub fn percentile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 /// Minimal fixed-width table printer for harness output.
 pub struct TextTable {
     headers: Vec<String>,

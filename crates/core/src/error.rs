@@ -49,6 +49,30 @@ pub enum NmError {
         /// Human-readable reason for the rejection.
         reason: String,
     },
+    /// A serving request rejected at admission because the bounded
+    /// submission queue is at capacity — structured backpressure, never
+    /// silent blocking or a silent drop. Retry later or shed load.
+    Overloaded {
+        /// The queue bound that was hit.
+        capacity: usize,
+    },
+    /// A serving request shed before any compute was spent on it because
+    /// its deadline had already passed while it sat in the queue.
+    DeadlineExceeded {
+        /// The request's latency budget, in milliseconds.
+        deadline_ms: u64,
+        /// How long the request had been queued when it was shed, in
+        /// milliseconds.
+        queued_ms: u64,
+    },
+    /// Work abandoned for a reason other than load or deadline — e.g. the
+    /// serving front-end shut down while the request was still queued.
+    /// Every abandoned request receives this structured error; nothing is
+    /// ever dropped silently.
+    Canceled {
+        /// Human-readable reason for the cancellation.
+        reason: String,
+    },
 }
 
 impl fmt::Display for NmError {
@@ -75,6 +99,22 @@ impl fmt::Display for NmError {
             }
             NmError::Unsupported { reason } => {
                 write!(f, "unsupported on this host: {reason}")
+            }
+            NmError::Overloaded { capacity } => {
+                write!(
+                    f,
+                    "server overloaded: submission queue at capacity {capacity}"
+                )
+            }
+            NmError::DeadlineExceeded {
+                deadline_ms,
+                queued_ms,
+            } => write!(
+                f,
+                "deadline exceeded: {deadline_ms} ms budget, shed after {queued_ms} ms queued"
+            ),
+            NmError::Canceled { reason } => {
+                write!(f, "request canceled: {reason}")
             }
         }
     }
@@ -127,6 +167,21 @@ mod tests {
             reason: "avx512 micro-kernel needs avx512f".into(),
         };
         assert!(e.to_string().contains("avx512f"));
+
+        let e = NmError::Overloaded { capacity: 128 };
+        assert!(e.to_string().contains("128"));
+
+        let e = NmError::DeadlineExceeded {
+            deadline_ms: 50,
+            queued_ms: 75,
+        };
+        let s = e.to_string();
+        assert!(s.contains("50") && s.contains("75"));
+
+        let e = NmError::Canceled {
+            reason: "server shut down".into(),
+        };
+        assert!(e.to_string().contains("server shut down"));
     }
 
     #[test]

@@ -84,6 +84,19 @@ impl Engine {
         self.planner.plan(m, n, k, cfg)
     }
 
+    /// Plan under an explicit shape class (cached) — see
+    /// [`Planner::plan_as`].
+    pub fn plan_as(
+        &mut self,
+        class: crate::plan::ShapeClass,
+        m: usize,
+        n: usize,
+        k: usize,
+        cfg: NmConfig,
+    ) -> Result<Plan> {
+        self.planner.plan_as(class, m, n, k, cfg)
+    }
+
     /// Counted lookup under an arbitrary key — the session layer's path to
     /// measured (host-scoped) entries. Bumps the hit or miss counter.
     pub fn lookup(&mut self, key: &crate::plan::PlanKey) -> Option<Plan> {

@@ -104,7 +104,9 @@ pub use plan::{
     KernelChoice, MeasuredChoice, Plan, PlanCache, PlanHost, PlanKey, Planner, Provenance,
     ShapeClass, DECODE_MAX_ROWS,
 };
-pub use session::{PreparedLayer, PreparedModel, Session, SessionBuilder};
+pub use session::{
+    BatchRouting, BatchRun, LoadSpec, PreparedLayer, PreparedModel, Session, SessionBuilder,
+};
 pub use simd::{Isa, MicroKernel};
 pub use sparse_tc::SparseTensorCoreKernel;
 pub use sputnik::SputnikKernel;

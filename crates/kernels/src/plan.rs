@@ -1099,7 +1099,46 @@ impl Planner {
     /// Deterministic: equal `(device, shape class, N:M)` keys always return
     /// equal plans, whether computed or replayed from the cache.
     pub fn plan(&mut self, m: usize, n: usize, k: usize, cfg: NmConfig) -> Result<Plan> {
-        let key = PlanKey::new(&self.dev, m, n, k, cfg);
+        self.plan_as(ShapeClass::of_rows(m), m, n, k, cfg)
+    }
+
+    /// As [`Planner::plan`], but under an **explicit** shape class instead
+    /// of the one `m` classifies to — the planner face of the
+    /// [`LoadSpec`](crate::session::LoadSpec) shape-class override.
+    ///
+    /// `ShapeClass::Decode(r)` plans the decode regime for `r` rows
+    /// regardless of `m` (a layer loaded for a prefill row count can get a
+    /// decode-band plan without re-loading); `ShapeClass::Prefill` forces
+    /// the GEMM regime even for a skinny `m ≤ DECODE_MAX_ROWS` shape.
+    ///
+    /// # Errors
+    /// [`NmError::InvalidConfig`] when `Decode(r)` names a row count
+    /// outside `1..=DECODE_MAX_ROWS`.
+    pub fn plan_as(
+        &mut self,
+        class: ShapeClass,
+        m: usize,
+        n: usize,
+        k: usize,
+        cfg: NmConfig,
+    ) -> Result<Plan> {
+        if let ShapeClass::Decode(rows) = class {
+            if !(1..=DECODE_MAX_ROWS).contains(&rows) {
+                return Err(NmError::InvalidConfig {
+                    reason: format!(
+                        "decode shape class supports 1..={DECODE_MAX_ROWS} rows, got {rows}"
+                    ),
+                });
+            }
+        }
+        // A decode override plans *as* that row count; a prefill override
+        // keeps the caller's dimensions and only forces the regime.
+        let eff_m = match class {
+            ShapeClass::Decode(rows) => rows,
+            ShapeClass::Prefill => m,
+        };
+        let mut key = PlanKey::new(&self.dev, eff_m, n, k, cfg);
+        key.shape = class;
         if let Some(plan) = self.cache.lookup(&key) {
             return Ok(plan.clone());
         }

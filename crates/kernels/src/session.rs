@@ -53,7 +53,7 @@ use crate::backend::{BackendKind, CpuBackend, ExecBackend, ExecRun, PreparedStat
 use crate::engine::{CacheStats, Engine};
 use crate::measure::{self, AutotuneMode, MeasureSpec};
 use crate::nm::NmVersion;
-use crate::plan::{Plan, PlanHost};
+use crate::plan::{Plan, PlanHost, ShapeClass};
 use crate::simd::{Isa, MicroKernel};
 use gpu_sim::device::DeviceConfig;
 use nm_core::error::{NmError, Result};
@@ -201,9 +201,105 @@ impl SessionBuilder {
     }
 }
 
+/// A typed description of **one layer load** — what [`Session::load_with`]
+/// consumes, and what the `load`/`load_on`/`load_planned` conveniences
+/// build behind the scenes.
+///
+/// A spec starts from the one piece of information every load needs — the
+/// activation row count — and layers optional overrides on top:
+///
+/// * [`LoadSpec::backend`] — prepare on an explicit backend instead of
+///   the session default. An explicit backend also **opts out of the
+///   measured-autotune path**: measurement evidence is only gathered and
+///   consulted for default-backend loads, exactly as `load` vs `load_on`
+///   always behaved.
+/// * [`LoadSpec::shape_class`] — plan under an explicit
+///   [`ShapeClass`] instead of the one `rows` classifies to: a layer
+///   serving autoregressive decode can be planned on the decode band
+///   (`ShapeClass::Decode(m)`, `m ≤ DECODE_MAX_ROWS`) even though it was
+///   loaded for a prefill row count, and vice versa.
+/// * [`LoadSpec::planned`] — the escape hatch: skip planning entirely
+///   and prepare against an externally resolved [`Plan`] (cache
+///   accounting untouched). Mutually exclusive with `shape_class`; the
+///   plan *is* the shape decision.
+///
+/// ```
+/// use nm_kernels::session::LoadSpec;
+/// use nm_kernels::{BackendKind, NmVersion, ShapeClass};
+///
+/// let spec = LoadSpec::rows(64)
+///     .backend(BackendKind::Cpu(NmVersion::V3))
+///     .shape_class(ShapeClass::Decode(4));
+/// assert_eq!(spec.rows_hint(), 64);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LoadSpec {
+    rows: usize,
+    backend: Option<BackendKind>,
+    shape_class: Option<ShapeClass>,
+    plan: Option<Plan>,
+}
+
+impl LoadSpec {
+    /// A spec for activations of `rows` rows, with every override unset:
+    /// session-default backend, shape class derived from `rows`, planning
+    /// through the cache.
+    pub fn rows(rows: usize) -> Self {
+        Self {
+            rows,
+            backend: None,
+            shape_class: None,
+            plan: None,
+        }
+    }
+
+    /// Prepare on an explicit backend instead of the session default
+    /// (also opts out of measured autotuning — see the type docs).
+    pub fn backend(mut self, backend: BackendKind) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Plan under an explicit shape class instead of the one `rows`
+    /// classifies to (validated by the planner; `Decode(m)` must have
+    /// `m` in `1..=DECODE_MAX_ROWS`).
+    pub fn shape_class(mut self, class: ShapeClass) -> Self {
+        self.shape_class = Some(class);
+        self
+    }
+
+    /// Skip planning and prepare against this externally resolved plan.
+    /// Mutually exclusive with [`LoadSpec::shape_class`].
+    pub fn planned(mut self, plan: Plan) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// The activation row count this spec was built for.
+    pub fn rows_hint(&self) -> usize {
+        self.rows
+    }
+
+    /// The backend override, when one is set.
+    pub fn backend_hint(&self) -> Option<BackendKind> {
+        self.backend
+    }
+
+    /// The shape-class override, when one is set.
+    pub fn shape_class_hint(&self) -> Option<ShapeClass> {
+        self.shape_class
+    }
+
+    /// Whether this spec carries a pre-resolved plan.
+    pub fn is_planned(&self) -> bool {
+        self.plan.is_some()
+    }
+}
+
 /// An execution context: planner + plan cache + backend configuration.
 ///
-/// Sessions hand out [`PreparedLayer`] handles via [`Session::load`];
+/// Sessions hand out [`PreparedLayer`] handles via [`Session::load_with`]
+/// (and the `load`/`load_on`/`load_planned` conveniences built on it);
 /// estimate-only consumers can also call [`Session::plan`] directly.
 #[derive(Debug)]
 pub struct Session {
@@ -246,6 +342,19 @@ impl Session {
         self.engine.plan(m, n, k, cfg)
     }
 
+    /// As [`Session::plan`], but under an explicit [`ShapeClass`] —
+    /// see [`Planner::plan_as`](crate::plan::Planner::plan_as).
+    pub fn plan_as(
+        &mut self,
+        class: ShapeClass,
+        m: usize,
+        n: usize,
+        k: usize,
+        cfg: NmConfig,
+    ) -> Result<Plan> {
+        self.engine.plan_as(class, m, n, k, cfg)
+    }
+
     /// Plan-cache counters — entries, hits, misses.
     pub fn stats(&self) -> CacheStats {
         self.engine.stats()
@@ -257,51 +366,103 @@ impl Session {
         self.engine.save()
     }
 
-    /// Do **all** the offline work for one layer, once: plan for
-    /// activations of `rows` rows against these weights, instantiate the
-    /// session's default backend, and run its preparation (staging +
+    /// Do **all** the offline work for one layer, once, as described by a
+    /// typed [`LoadSpec`]: plan (or adopt the spec's pre-resolved plan),
+    /// instantiate the backend, and run its preparation (staging +
     /// packing + dispatch). The returned handle amortizes every one of
     /// those costs across its `forward` calls.
     ///
-    /// With [`SessionBuilder::autotune`] set to `Quick` or `Full` and a
-    /// CPU default backend, the offline work additionally includes the
-    /// measured-autotune pass: consult the plan cache for a measured
-    /// entry scoped to this host (ISA + thread count); on a miss, run the
-    /// [`measure`](mod@crate::measure) harness, persist the winner through
-    /// the cache's backing file (when one is configured), and prepare the
-    /// layer on the measured-best ladder version and tiling instead of
-    /// the session default.
+    /// This is the **single load entry point**; [`Session::load`],
+    /// [`Session::load_on`] and [`Session::load_planned`] are thin
+    /// conveniences over it. The spec resolves in this order:
+    ///
+    /// 1. A [`LoadSpec::planned`] plan is adopted as-is (cache accounting
+    ///    untouched) and prepared on the spec's backend, defaulting to
+    ///    the session backend.
+    /// 2. Otherwise the layer is planned through the shared cache — under
+    ///    the [`LoadSpec::shape_class`] override when one is set, else
+    ///    under the class `rows` derives.
+    /// 3. A load with **no backend override** on a CPU-default session
+    ///    with [`SessionBuilder::autotune`] `Quick`/`Full` additionally
+    ///    takes the measured-autotune pass: consult the plan cache for a
+    ///    measured entry scoped to this host (ISA + thread count); on a
+    ///    miss, run the [`measure`](mod@crate::measure) harness, persist
+    ///    the winner through the cache's backing file (when one is
+    ///    configured), and prepare on the measured-best ladder version
+    ///    and tiling. An explicit [`LoadSpec::backend`] never measures —
+    ///    the same contract `load` vs `load_on` always had.
     ///
     /// # Errors
-    /// Planning failures, [`NmError::InvalidBlocking`] when the tuned
-    /// blocking cannot drive the backend, and [`NmError::Unsupported`]
-    /// when an environment ISA override names an ISA this host cannot
-    /// execute.
+    /// [`NmError::InvalidConfig`] when the spec sets both `planned` and
+    /// `shape_class` (the plan *is* the shape decision) or names an
+    /// out-of-band decode class; planning failures;
+    /// [`NmError::InvalidBlocking`] when the tuned blocking cannot drive
+    /// the backend; [`NmError::Unsupported`] when an environment ISA
+    /// override names an ISA this host cannot execute.
+    pub fn load_with(
+        &mut self,
+        weights: impl Into<Arc<NmSparseMatrix>>,
+        spec: LoadSpec,
+    ) -> Result<PreparedLayer> {
+        let weights = weights.into();
+        if spec.plan.is_some() && spec.shape_class.is_some() {
+            return Err(NmError::InvalidConfig {
+                reason: "LoadSpec::planned and LoadSpec::shape_class are mutually exclusive: \
+                         a pre-resolved plan already fixes the shape class"
+                    .into(),
+            });
+        }
+        if let Some(plan) = spec.plan {
+            return self.prepare_layer(plan, weights, spec.backend.unwrap_or(self.backend));
+        }
+        if spec.backend.is_none() {
+            if let (BackendKind::Cpu(_), Some(mspec)) =
+                (self.backend, MeasureSpec::for_mode(self.autotune))
+            {
+                return self.load_measured(weights, spec.rows, spec.shape_class, mspec);
+            }
+        }
+        let backend = spec.backend.unwrap_or(self.backend);
+        let plan = self.plan_spec(spec.shape_class, spec.rows, &weights)?;
+        self.prepare_layer(plan, weights, backend)
+    }
+
+    /// Plan one layer for `rows`-row activations, honoring an optional
+    /// shape-class override, through the shared (counted) cache.
+    fn plan_spec(
+        &mut self,
+        class: Option<ShapeClass>,
+        rows: usize,
+        weights: &NmSparseMatrix,
+    ) -> Result<Plan> {
+        let (n, k, cfg) = (weights.cols(), weights.k(), weights.cfg());
+        match class {
+            Some(c) => self.engine.plan_as(c, rows, n, k, cfg),
+            None => self.engine.plan(rows, n, k, cfg),
+        }
+    }
+
+    /// Convenience for the common case: [`Session::load_with`] under a
+    /// bare `LoadSpec::rows(rows)` — session-default backend, derived
+    /// shape class, measured autotuning when the session enables it.
     pub fn load(
         &mut self,
         weights: impl Into<Arc<NmSparseMatrix>>,
         rows: usize,
     ) -> Result<PreparedLayer> {
-        let weights = weights.into();
-        if let (BackendKind::Cpu(_), Some(spec)) =
-            (self.backend, MeasureSpec::for_mode(self.autotune))
-        {
-            return self.load_measured(weights, rows, spec);
-        }
-        self.load_on(weights, rows, self.backend)
+        self.load_with(weights, LoadSpec::rows(rows))
     }
 
-    /// The measured path of [`Session::load`]: cache consult → measure on
-    /// miss → persist → prepare on the measured winner.
+    /// The measured path of [`Session::load_with`]: cache consult →
+    /// measure on miss → persist → prepare on the measured winner.
     fn load_measured(
         &mut self,
         weights: Arc<NmSparseMatrix>,
         rows: usize,
+        class: Option<ShapeClass>,
         spec: MeasureSpec,
     ) -> Result<PreparedLayer> {
-        let base = self
-            .engine
-            .plan(rows, weights.cols(), weights.k(), weights.cfg())?;
+        let base = self.plan_spec(class, rows, &weights)?;
         // Resolve the micro-kernel first: the host ISA is part of the
         // measured cache key, so a cache file moved to a different
         // machine (or a different worker-count run) misses instead of
@@ -336,23 +497,22 @@ impl Session {
         self.prepare_layer(plan, weights, BackendKind::Cpu(version))
     }
 
-    /// As [`Session::load`], but on an explicit backend — per-layer
-    /// backend selection without rebuilding the session.
+    /// Convenience for per-layer backend selection:
+    /// [`Session::load_with`] under `LoadSpec::rows(rows).backend(..)`.
+    /// An explicit backend never takes the measured-autotune path.
     pub fn load_on(
         &mut self,
         weights: impl Into<Arc<NmSparseMatrix>>,
         rows: usize,
         backend: BackendKind,
     ) -> Result<PreparedLayer> {
-        let weights = weights.into();
-        let plan = self
-            .engine
-            .plan(rows, weights.cols(), weights.k(), weights.cfg())?;
-        self.prepare_layer(plan, weights, backend)
+        self.load_with(weights, LoadSpec::rows(rows).backend(backend))
     }
 
-    /// Prepare a layer against an **explicitly provided** plan, bypassing
-    /// the planner (and therefore the cache counters) entirely.
+    /// Convenience for the plan escape hatch: prepare a layer against an
+    /// **explicitly provided** plan, bypassing the planner (and therefore
+    /// the cache counters) entirely — `LoadSpec::planned` semantics,
+    /// callable on `&self` since nothing is planned.
     ///
     /// The weights need not match the plan's shape class — backends
     /// re-derive their tiling from the actual dimensions — which lets a
@@ -496,8 +656,9 @@ impl PreparedLayer {
         self.forward(&a)
     }
 
-    /// Multiply a whole batch of activation matrices, one [`ExecRun`]
-    /// each, in batch order.
+    /// Multiply a whole batch of activation matrices, one [`ExecRun`] per
+    /// member, in batch order, returned as one [`BatchRun`] carrying the
+    /// aggregate wall time and the routing decision.
     ///
     /// Every member's shape is validated **before any work starts**, so a
     /// mismatched member cannot discard the compute already spent on its
@@ -505,14 +666,15 @@ impl PreparedLayer {
     ///
     /// Parallelism lives at exactly one level: backends that run each
     /// call serially (CPU V1/V2) fan the batch members across the rayon
-    /// worker pool — that is what fills the machine for the
-    /// many-small-batches decode shape this entry point serves. Backends
-    /// that already parallelize *inside* each call — CPU V3's row panels,
-    /// and the simulated kernels' per-block fan-out — map their batch
-    /// serially instead: nesting both levels would multiply OS threads
-    /// (the pool has no shared work-stealing scheduler) and thrash rather
-    /// than speed up.
-    pub fn forward_batch(&self, batch: &[MatrixF32]) -> Result<Vec<ExecRun>> {
+    /// worker pool ([`BatchRouting::ParallelAcross`]) — that is what
+    /// fills the machine for the many-small-batches decode shape this
+    /// entry point serves. Backends that already parallelize *inside*
+    /// each call — CPU V3's row panels, and the simulated kernels'
+    /// per-block fan-out — map their batch serially instead
+    /// ([`BatchRouting::SerialWithin`]): nesting both levels would
+    /// multiply OS threads (the pool has no shared work-stealing
+    /// scheduler) and thrash rather than speed up.
+    pub fn forward_batch(&self, batch: &[MatrixF32]) -> Result<BatchRun> {
         for (i, a) in batch.iter().enumerate() {
             if a.cols() != self.weights.k() {
                 return Err(NmError::DimensionMismatch {
@@ -521,21 +683,102 @@ impl PreparedLayer {
                 });
             }
         }
-        let per_call_serial = matches!(
-            self.backend.kind(),
-            BackendKind::Cpu(NmVersion::V1) | BackendKind::Cpu(NmVersion::V2)
-        );
-        let runs: Vec<Result<ExecRun>> = if per_call_serial {
-            (0..batch.len())
-                .into_par_iter()
-                .map(|i| self.forward(&batch[i]))
-                .collect()
-        } else {
+        let routing = match self.backend.kind() {
+            BackendKind::Cpu(NmVersion::V1) | BackendKind::Cpu(NmVersion::V2) => {
+                BatchRouting::ParallelAcross
+            }
             // CPU V3 and the simulated kernels parallelize inside each
             // call; batch-level fan-out on top would nest thread pools.
-            batch.iter().map(|a| self.forward(a)).collect()
+            _ => BatchRouting::SerialWithin,
         };
-        runs.into_iter().collect()
+        let t0 = std::time::Instant::now();
+        let runs: Vec<Result<ExecRun>> = match routing {
+            BatchRouting::ParallelAcross => (0..batch.len())
+                .into_par_iter()
+                .map(|i| self.forward(&batch[i]))
+                .collect(),
+            BatchRouting::SerialWithin => batch.iter().map(|a| self.forward(a)).collect(),
+        };
+        let wall_seconds = t0.elapsed().as_secs_f64();
+        Ok(BatchRun {
+            runs: runs.into_iter().collect::<Result<_>>()?,
+            wall_seconds,
+            routing,
+        })
+    }
+}
+
+/// How [`PreparedLayer::forward_batch`] mapped batch members onto the
+/// machine — recorded on the [`BatchRun`] so callers (a serving batcher,
+/// a bench harness) can attribute the aggregate wall time correctly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BatchRouting {
+    /// Members fanned across the rayon worker pool; each member ran
+    /// serially inside its worker (CPU V1/V2).
+    ParallelAcross,
+    /// Members mapped serially, one after another; each member
+    /// parallelized internally (CPU V3's row panels, the simulated
+    /// kernels' block fan-out).
+    SerialWithin,
+}
+
+impl BatchRouting {
+    /// Stable identifier (`parallel_across`, `serial_within`) for
+    /// artifacts and logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BatchRouting::ParallelAcross => "parallel_across",
+            BatchRouting::SerialWithin => "serial_within",
+        }
+    }
+}
+
+impl std::fmt::Display for BatchRouting {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The result of one [`PreparedLayer::forward_batch`] call: the
+/// per-member [`ExecRun`]s in batch order, plus the two aggregates every
+/// caller was previously recomputing — the wall time of the whole batch
+/// call and the routing decision that produced it.
+///
+/// `wall_seconds` is measured around the entire fan-out, so under
+/// [`BatchRouting::ParallelAcross`] it is *less* than the sum of the
+/// member walls (that overlap is the point of batching); under
+/// [`BatchRouting::SerialWithin`] it is their sum plus dispatch overhead.
+#[derive(Debug, Clone)]
+pub struct BatchRun {
+    /// Per-member results, in batch order.
+    pub runs: Vec<ExecRun>,
+    /// Wall-clock seconds of the whole batch call, measured around the
+    /// fan-out (not the sum of member walls).
+    pub wall_seconds: f64,
+    /// How members were mapped onto the machine.
+    pub routing: BatchRouting,
+}
+
+impl BatchRun {
+    /// Number of members in the batch.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Whether the batch was empty.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Sum of the members' own kernel walls — the serial cost the batch
+    /// routing amortized (compare against [`BatchRun::wall_seconds`]).
+    pub fn member_seconds(&self) -> f64 {
+        self.runs.iter().map(|r| r.wall_seconds).sum()
+    }
+
+    /// Consume the batch into its per-member runs.
+    pub fn into_runs(self) -> Vec<ExecRun> {
+        self.runs
     }
 }
 
@@ -700,14 +943,20 @@ mod tests {
         let msg = err.to_string();
         assert!(msg.contains("batch[1]"), "{msg}: must name the bad member");
 
-        let runs = layer.forward_batch(&[good.clone(), good.clone()]).unwrap();
-        assert_eq!(runs.len(), 2);
+        let batch_run = layer.forward_batch(&[good.clone(), good.clone()]).unwrap();
+        assert_eq!(batch_run.len(), 2);
+        assert!(
+            batch_run.wall_seconds > 0.0,
+            "aggregate wall time must cover the fan-out"
+        );
         let expect = spmm_reference(&good, layer.weights());
-        for run in &runs {
+        for run in &batch_run.runs {
             assert!(run.c.allclose(&expect, 1e-3, 1e-4));
         }
+        assert!(batch_run.member_seconds() > 0.0);
         let empty = layer.forward_batch(&[]).unwrap();
         assert!(empty.is_empty());
+        assert_eq!(empty.into_runs().len(), 0);
     }
 
     #[test]
@@ -726,7 +975,9 @@ mod tests {
             .unwrap();
         let serial = v3.forward_batch(&batch).unwrap();
         let pooled = v1.forward_batch(&batch).unwrap();
-        for ((a, sr), pr) in batch.iter().zip(&serial).zip(&pooled) {
+        assert_eq!(serial.routing, BatchRouting::SerialWithin);
+        assert_eq!(pooled.routing, BatchRouting::ParallelAcross);
+        for ((a, sr), pr) in batch.iter().zip(&serial.runs).zip(&pooled.runs) {
             let expect = spmm_reference(a, &sb);
             assert!(sr.c.allclose(&expect, 1e-3, 1e-4));
             assert!(pr.c.allclose(&expect, 1e-3, 1e-4));
@@ -777,6 +1028,107 @@ mod tests {
         assert!(run
             .c
             .allclose(&spmm_reference(&a, layer.weights()), 1e-3, 1e-4));
+    }
+
+    #[test]
+    fn load_with_is_the_wrappers_single_implementation() {
+        // load / load_on must be byte-for-byte equivalent to the bare and
+        // backend-carrying specs: same plan key, same backend, same math.
+        let mut s = session();
+        let cfg = NmConfig::new(2, 8, 16).unwrap();
+        let sb = Arc::new(weights(96, 64, cfg, 61));
+        let a = MatrixF32::random(16, 96, 62);
+
+        let via_load = s.load(sb.clone(), 16).unwrap();
+        let via_spec = s.load_with(sb.clone(), LoadSpec::rows(16)).unwrap();
+        assert_eq!(via_load.plan().key, via_spec.plan().key);
+        assert_eq!(via_load.backend(), via_spec.backend());
+
+        let on = s
+            .load_on(sb.clone(), 16, BackendKind::Cpu(NmVersion::V1))
+            .unwrap();
+        let spec_on = s
+            .load_with(
+                sb.clone(),
+                LoadSpec::rows(16).backend(BackendKind::Cpu(NmVersion::V1)),
+            )
+            .unwrap();
+        assert_eq!(on.plan().key, spec_on.plan().key);
+        assert_eq!(spec_on.backend(), BackendKind::Cpu(NmVersion::V1));
+        let (r1, r2) = (on.forward(&a).unwrap(), spec_on.forward(&a).unwrap());
+        assert_eq!(r1.c.as_slice(), r2.c.as_slice());
+    }
+
+    #[test]
+    fn shape_class_override_plans_the_decode_band_for_prefill_rows() {
+        let mut s = session();
+        let cfg = NmConfig::new(2, 8, 16).unwrap();
+        let sb = Arc::new(weights(96, 64, cfg, 63));
+        // 64 rows classifies as Prefill; the spec forces the decode band.
+        let layer = s
+            .load_with(
+                sb.clone(),
+                LoadSpec::rows(64).shape_class(ShapeClass::Decode(4)),
+            )
+            .unwrap();
+        assert_eq!(layer.plan().key.shape, ShapeClass::Decode(4));
+        // The staged state still executes the real operand correctly.
+        let a = MatrixF32::random(4, 96, 64);
+        let run = layer.forward(&a).unwrap();
+        assert!(run.c.allclose(&spmm_reference(&a, &sb), 1e-3, 1e-4));
+
+        // And the reverse: force the GEMM regime onto a skinny shape.
+        let wide = s
+            .load_with(
+                sb.clone(),
+                LoadSpec::rows(2).shape_class(ShapeClass::Prefill),
+            )
+            .unwrap();
+        assert_eq!(wide.plan().key.shape, ShapeClass::Prefill);
+    }
+
+    #[test]
+    fn load_spec_rejects_contradictions_and_out_of_band_decode() {
+        let mut s = session();
+        let cfg = NmConfig::new(2, 8, 16).unwrap();
+        let sb = Arc::new(weights(96, 64, cfg, 65));
+        let plan = s.plan(64, 64, 96, cfg).unwrap();
+
+        let err = s
+            .load_with(
+                sb.clone(),
+                LoadSpec::rows(64)
+                    .planned(plan)
+                    .shape_class(ShapeClass::Prefill),
+            )
+            .unwrap_err();
+        assert!(matches!(err, NmError::InvalidConfig { .. }), "{err}");
+
+        let err = s
+            .load_with(
+                sb.clone(),
+                LoadSpec::rows(64).shape_class(ShapeClass::Decode(99)),
+            )
+            .unwrap_err();
+        assert!(matches!(err, NmError::InvalidConfig { .. }), "{err}");
+    }
+
+    #[test]
+    fn planned_spec_bypasses_cache_and_defaults_to_session_backend() {
+        let mut s = session();
+        let cfg = NmConfig::new(2, 8, 32).unwrap();
+        let plan = s.plan(64, 64, 64, cfg).unwrap();
+        let before = s.stats();
+        let sb = Arc::new(weights(64, 64, cfg, 66));
+        let layer = s.load_with(sb, LoadSpec::rows(64).planned(plan)).unwrap();
+        let after = s.stats();
+        assert_eq!((before.hits, before.misses), (after.hits, after.misses));
+        assert_eq!(layer.backend(), s.backend());
+        let spec = LoadSpec::rows(64);
+        assert_eq!(spec.rows_hint(), 64);
+        assert!(spec.backend_hint().is_none());
+        assert!(spec.shape_class_hint().is_none());
+        assert!(!spec.is_planned());
     }
 
     #[test]

@@ -1,0 +1,257 @@
+//! Serving observability: per-request samples, rolling latency
+//! percentiles, and the [`ServerStats`] snapshot API.
+
+use crate::request::RequestTiming;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// How many completed requests the rolling window keeps for percentile
+/// and throughput computation.
+const WINDOW: usize = 4096;
+
+#[derive(Debug)]
+struct Sample {
+    timing: RequestTiming,
+    done: Instant,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    submitted: u64,
+    completed: u64,
+    shed: u64,
+    rejected: u64,
+    batches: u64,
+    batched_requests: u64,
+}
+
+#[derive(Debug)]
+pub(crate) struct Recorder {
+    inner: Mutex<(Counters, VecDeque<Sample>)>,
+}
+
+impl Recorder {
+    pub(crate) fn new() -> Self {
+        Self {
+            inner: Mutex::new((Counters::default(), VecDeque::with_capacity(WINDOW))),
+        }
+    }
+
+    pub(crate) fn submitted(&self) {
+        self.inner.lock().unwrap().0.submitted += 1;
+    }
+
+    pub(crate) fn rejected(&self) {
+        self.inner.lock().unwrap().0.rejected += 1;
+    }
+
+    pub(crate) fn shed(&self) {
+        self.inner.lock().unwrap().0.shed += 1;
+    }
+
+    pub(crate) fn batch_dispatched(&self, size: usize) {
+        let mut g = self.inner.lock().unwrap();
+        g.0.batches += 1;
+        g.0.batched_requests += size as u64;
+    }
+
+    pub(crate) fn completed(&self, timing: RequestTiming) {
+        let mut g = self.inner.lock().unwrap();
+        g.0.completed += 1;
+        if g.1.len() == WINDOW {
+            g.1.pop_front();
+        }
+        g.1.push_back(Sample {
+            timing,
+            done: Instant::now(),
+        });
+    }
+
+    pub(crate) fn snapshot(&self, queue_depth: usize) -> ServerStats {
+        let g = self.inner.lock().unwrap();
+        let (c, samples) = (&g.0, &g.1);
+        let mut e2e_ms: Vec<f64> = samples
+            .iter()
+            .map(|s| s.timing.e2e().as_secs_f64() * 1e3)
+            .collect();
+        e2e_ms.sort_by(|a, b| a.total_cmp(b));
+        let mean = |f: fn(&RequestTiming) -> f64| -> f64 {
+            if samples.is_empty() {
+                0.0
+            } else {
+                samples.iter().map(|s| f(&s.timing)).sum::<f64>() / samples.len() as f64
+            }
+        };
+        let throughput_rps = match (samples.front(), samples.back()) {
+            (Some(first), Some(last)) if samples.len() > 1 => {
+                let span = last.done.duration_since(first.done).as_secs_f64();
+                if span > 0.0 {
+                    (samples.len() - 1) as f64 / span
+                } else {
+                    0.0
+                }
+            }
+            _ => 0.0,
+        };
+        ServerStats {
+            submitted: c.submitted,
+            completed: c.completed,
+            shed: c.shed,
+            rejected: c.rejected,
+            queue_depth,
+            batches: c.batches,
+            mean_batch_size: if c.batches == 0 {
+                0.0
+            } else {
+                c.batched_requests as f64 / c.batches as f64
+            },
+            p50_ms: percentile(&e2e_ms, 0.50),
+            p95_ms: percentile(&e2e_ms, 0.95),
+            p99_ms: percentile(&e2e_ms, 0.99),
+            mean_queue_wait_ms: mean(|t| t.queue_wait.as_secs_f64() * 1e3),
+            mean_compute_ms: mean(|t| t.compute.as_secs_f64() * 1e3),
+            throughput_rps,
+            window: samples.len(),
+        }
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice; 0 when empty.
+pub(crate) fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// A point-in-time snapshot of one server's counters and rolling latency
+/// distribution — everything the bench artifact and an operator dashboard
+/// need, taken from [`Server::stats`](crate::Server::stats).
+///
+/// Latency fields are over the rolling window of the last
+/// [`window`](ServerStats::window) completions (end-to-end: queue wait +
+/// compute); counters are lifetime totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerStats {
+    /// Requests admitted past the queue bound (lifetime).
+    pub submitted: u64,
+    /// Requests resolved with a [`Completion`](crate::Completion).
+    pub completed: u64,
+    /// Requests shed at dispatch because their deadline expired while
+    /// queued — resolved with `NmError::DeadlineExceeded`, no compute
+    /// spent.
+    pub shed: u64,
+    /// Submissions refused at the door with `NmError::Overloaded`.
+    pub rejected: u64,
+    /// Requests currently queued (admitted, not yet dispatched).
+    pub queue_depth: usize,
+    /// Batches dispatched (lifetime).
+    pub batches: u64,
+    /// Mean members per dispatched batch — the coalescing factor.
+    pub mean_batch_size: f64,
+    /// Median end-to-end latency over the window, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile end-to-end latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile end-to-end latency, milliseconds.
+    pub p99_ms: f64,
+    /// Mean queue wait over the window, milliseconds.
+    pub mean_queue_wait_ms: f64,
+    /// Mean per-request kernel wall over the window, milliseconds.
+    pub mean_compute_ms: f64,
+    /// Completions per second across the window's time span.
+    pub throughput_rps: f64,
+    /// Completions currently in the rolling window.
+    pub window: usize,
+}
+
+impl ServerStats {
+    /// Completed minus nothing, over everything that left the system:
+    /// the fraction of admitted requests that produced a result.
+    pub fn goodput_fraction(&self) -> f64 {
+        let finished = self.completed + self.shed;
+        if finished == 0 {
+            0.0
+        } else {
+            self.completed as f64 / finished as f64
+        }
+    }
+}
+
+impl std::fmt::Display for ServerStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} completed ({} shed, {} rejected), {} queued | p50 {:.2} ms, p99 {:.2} ms, \
+             {:.1} req/s, mean batch {:.2}",
+            self.completed,
+            self.shed,
+            self.rejected,
+            self.queue_depth,
+            self.p50_ms,
+            self.p99_ms,
+            self.throughput_rps,
+            self.mean_batch_size,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn timing(ms: u64) -> RequestTiming {
+        RequestTiming {
+            queue_wait: Duration::from_millis(ms / 2),
+            compute: Duration::from_millis(ms - ms / 2),
+        }
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 0.50), 50.0);
+        assert_eq!(percentile(&v, 0.95), 95.0);
+        assert_eq!(percentile(&v, 0.99), 99.0);
+        assert_eq!(percentile(&v, 1.0), 100.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn recorder_counts_and_summarizes() {
+        let r = Recorder::new();
+        for _ in 0..4 {
+            r.submitted();
+        }
+        r.rejected();
+        r.shed();
+        r.batch_dispatched(3);
+        for ms in [10, 20, 30] {
+            r.completed(timing(ms));
+        }
+        let s = r.snapshot(1);
+        assert_eq!((s.submitted, s.completed, s.shed, s.rejected), (4, 3, 1, 1));
+        assert_eq!(s.queue_depth, 1);
+        assert_eq!(s.mean_batch_size, 3.0);
+        assert_eq!(s.p50_ms, 20.0);
+        assert_eq!(s.p99_ms, 30.0);
+        assert!(s.mean_queue_wait_ms > 0.0 && s.mean_compute_ms > 0.0);
+        assert!((s.goodput_fraction() - 0.75).abs() < 1e-12);
+        assert!(s.to_string().contains("p99"));
+    }
+
+    #[test]
+    fn window_rolls_rather_than_grows() {
+        let r = Recorder::new();
+        for _ in 0..(WINDOW + 10) {
+            r.completed(timing(5));
+        }
+        let s = r.snapshot(0);
+        assert_eq!(s.window, WINDOW);
+        assert_eq!(s.completed, (WINDOW + 10) as u64);
+    }
+}

@@ -11,7 +11,6 @@
 use nm_spmm::core::confusion::report;
 use nm_spmm::core::prune::PrunePolicy;
 use nm_spmm::core::spmm::{gemm_reference_f64, spmm_reference};
-use nm_spmm::kernels::SessionBuilder;
 use nm_spmm::prelude::*;
 
 fn main() {

@@ -15,7 +15,6 @@
 use nm_spmm::core::confusion::total_confusion;
 use nm_spmm::core::parallel::gemm_parallel;
 use nm_spmm::core::spmm::gemm_reference_f64;
-use nm_spmm::kernels::{BackendKind, NmVersion, SessionBuilder};
 use nm_spmm::prelude::*;
 use nm_spmm::workloads::levels::{benchmark_levels, label};
 use nm_spmm::workloads::llama::layer_shapes;

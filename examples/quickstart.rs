@@ -9,7 +9,6 @@
 use nm_spmm::analysis::strategy::Strategy;
 use nm_spmm::core::confusion;
 use nm_spmm::core::spmm::{gemm_reference, spmm_reference};
-use nm_spmm::kernels::{BackendKind, NmVersion, SessionBuilder};
 use nm_spmm::prelude::*;
 
 fn main() {
@@ -62,14 +61,46 @@ fn main() {
     // 5. Batched serving: one prepared layer, many activation batches —
     //    members are validated up front and fanned across the worker pool.
     let batch: Vec<MatrixF32> = (0..4).map(|i| MatrixF32::random(32, k, 10 + i)).collect();
-    let runs = layer.forward_batch(&batch).expect("batch");
+    let batch_run = layer.forward_batch(&batch).expect("batch");
     println!(
-        "batched forward: {} members, {:.2} ms total wall",
-        runs.len(),
-        runs.iter().map(|r| r.wall_seconds).sum::<f64>() * 1e3
+        "batched forward: {} members, {:.2} ms aggregate wall ({} routing)",
+        batch_run.len(),
+        batch_run.wall_seconds * 1e3,
+        batch_run.routing,
     );
 
-    // 6. How good is the approximation of the dense product?
+    // 6. Serving: wrap a prepared layer in a Server — bounded queue,
+    //    continuous batching (concurrent decode requests stack into one
+    //    skinny kernel call), deadlines, latency stats. `LoadSpec` is the
+    //    typed load surface: this layer plans on the decode band even
+    //    though the session was sized for prefill.
+    let decode_layer = session
+        .load_with(
+            sb.clone(),
+            LoadSpec::rows(m).shape_class(ShapeClass::Decode(4)),
+        )
+        .expect("decode layer");
+    let server = Server::start(decode_layer, ServerConfig::default()).expect("server");
+    let tickets: Vec<Ticket> = (0..4)
+        .map(|i| {
+            let x = MatrixF32::random(1, k, 90 + i);
+            server
+                .submit_decode(x.row(0).to_vec(), SubmitOptions::default())
+                .expect("admitted")
+        })
+        .collect();
+    for t in tickets {
+        let done = t.wait().expect("served");
+        assert_eq!(done.c.shape(), (1, n));
+    }
+    let stats = server.stats();
+    println!(
+        "served {} decode requests: p50 {:.3} ms, mean batch {:.1} ({})",
+        stats.completed, stats.p50_ms, stats.mean_batch_size, stats,
+    );
+    drop(server);
+
+    // 7. How good is the approximation of the dense product?
     let dense_c = gemm_reference(&a, &b);
     let rep = confusion::report(&run.c, &dense_c);
     println!(
@@ -77,7 +108,7 @@ fn main() {
         rep.mean_abs_error, rep.rel_frobenius
     );
 
-    // 7. The same handle API runs every backend — the simulated GPU
+    // 8. The same handle API runs every backend — the simulated GPU
     //    kernels (timing model + event counts) and the native CPU ladder —
     //    and repeated loads plan from the cache.
     for backend in BackendKind::all() {
@@ -94,7 +125,7 @@ fn main() {
     }
     println!("plan cache: {}", session.stats());
 
-    // 8. Ask the analysis model why the plan looks the way it does.
+    // 9. Ask the analysis model why the plan looks the way it does.
     let plan = session.plan(m, n, k, cfg).expect("plan");
     let d = plan.decision;
     println!(

@@ -11,7 +11,6 @@
 use nm_spmm::analysis::ai::BlockAi;
 use nm_spmm::analysis::strategy::{PipelineHint, Strategy};
 use nm_spmm::kernels::params::{derive_blocking, BlockingParams};
-use nm_spmm::kernels::SessionBuilder;
 use nm_spmm::prelude::*;
 use nm_spmm::sim::device::paper_devices;
 

@@ -16,7 +16,6 @@ use nm_spmm::core::layerwise::{allocate, spec_from_weights};
 use nm_spmm::core::permute;
 use nm_spmm::core::serialize;
 use nm_spmm::core::spmm::gemm_reference;
-use nm_spmm::kernels::{BackendKind, NmVersion, SessionBuilder};
 use nm_spmm::prelude::*;
 use std::time::Instant;
 

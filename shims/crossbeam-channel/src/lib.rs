@@ -1,0 +1,463 @@
+//! Offline stand-in for the `crossbeam-channel` crate (no registry access
+//! in this build environment; see `shims/README.md`).
+//!
+//! Covers the surface this workspace uses: **bounded** multi-producer
+//! multi-consumer channels with non-blocking, blocking and timed
+//! operations —
+//!
+//! * [`bounded`] — a fixed-capacity FIFO ring shared by any number of
+//!   cloned [`Sender`]s and [`Receiver`]s,
+//! * [`Sender::try_send`] / [`Sender::send`] — admission without / with
+//!   blocking on a full ring,
+//! * [`Receiver::try_recv`] / [`Receiver::recv`] /
+//!   [`Receiver::recv_timeout`] — the consumer side, with the timed
+//!   variant a serving worker's idle tick is built on.
+//!
+//! The implementation is a `Mutex<VecDeque>` + two `Condvar`s rather than
+//! crossbeam's lock-free ring: correctness and API compatibility over
+//! throughput (the workloads queueing through this shim are matrix
+//! multiplications — microseconds to milliseconds each — so channel
+//! overhead is noise). `select!` and unbounded channels are deliberate
+//! gaps: nothing in-tree uses them.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Create a bounded MPMC channel with room for `cap` messages.
+///
+/// `cap` must be non-zero: zero-capacity rendezvous channels are part of
+/// the real crate but not of the surface this workspace uses.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(cap > 0, "bounded: capacity must be non-zero");
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner {
+            queue: VecDeque::with_capacity(cap),
+            senders: 1,
+            receivers: 1,
+        }),
+        cap,
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    inner: Mutex<Inner<T>>,
+    cap: usize,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// Error returned by [`Sender::try_send`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is at capacity; the message is handed back.
+    Full(T),
+    /// Every receiver is gone; the message is handed back.
+    Disconnected(T),
+}
+
+impl<T> TrySendError<T> {
+    /// Recover the message that could not be sent.
+    pub fn into_inner(self) -> T {
+        match self {
+            TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+        }
+    }
+}
+
+impl<T> std::fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TrySendError::Full(_) => "sending on a full channel",
+            TrySendError::Disconnected(_) => "sending on a disconnected channel",
+        })
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for TrySendError<T> {}
+
+/// Error returned by [`Sender::send`]: every receiver is gone.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty.
+    Empty,
+    /// The channel is empty and every sender is gone.
+    Disconnected,
+}
+
+impl std::fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TryRecvError::Empty => "receiving on an empty channel",
+            TryRecvError::Disconnected => "receiving on an empty and disconnected channel",
+        })
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+/// Error returned by [`Receiver::recv`]: the channel is empty and every
+/// sender is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived within the timeout.
+    Timeout,
+    /// The channel is empty and every sender is gone.
+    Disconnected,
+}
+
+impl std::fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RecvTimeoutError::Timeout => "timed out waiting on a channel",
+            RecvTimeoutError::Disconnected => "receiving on an empty and disconnected channel",
+        })
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
+/// The producing half of a channel; clone freely (multi-producer).
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The consuming half of a channel; clone freely (multi-consumer).
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Push a message without blocking; a full ring hands it back as
+    /// [`TrySendError::Full`].
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        let mut inner = self.shared.inner.lock().expect("channel poisoned");
+        if inner.receivers == 0 {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        if inner.queue.len() >= self.shared.cap {
+            return Err(TrySendError::Full(msg));
+        }
+        inner.queue.push_back(msg);
+        drop(inner);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Push a message, blocking while the ring is full.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut inner = self.shared.inner.lock().expect("channel poisoned");
+        loop {
+            if inner.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            if inner.queue.len() < self.shared.cap {
+                inner.queue.push_back(msg);
+                drop(inner);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            inner = self.shared.not_full.wait(inner).expect("channel poisoned");
+        }
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared
+            .inner
+            .lock()
+            .expect("channel poisoned")
+            .queue
+            .len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The fixed capacity this channel was created with.
+    pub fn capacity(&self) -> Option<usize> {
+        Some(self.shared.cap)
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Pop the oldest message without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut inner = self.shared.inner.lock().expect("channel poisoned");
+        match inner.queue.pop_front() {
+            Some(v) => {
+                drop(inner);
+                self.shared.not_full.notify_one();
+                Ok(v)
+            }
+            None if inner.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Pop the oldest message, blocking until one arrives or every sender
+    /// is gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut inner = self.shared.inner.lock().expect("channel poisoned");
+        loop {
+            if let Some(v) = inner.queue.pop_front() {
+                drop(inner);
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if inner.senders == 0 {
+                return Err(RecvError);
+            }
+            inner = self.shared.not_empty.wait(inner).expect("channel poisoned");
+        }
+    }
+
+    /// Pop the oldest message, blocking up to `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.shared.inner.lock().expect("channel poisoned");
+        loop {
+            if let Some(v) = inner.queue.pop_front() {
+                drop(inner);
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if inner.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            let Some(remaining) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                return Err(RecvTimeoutError::Timeout);
+            };
+            let (guard, _) = self
+                .shared
+                .not_empty
+                .wait_timeout(inner, remaining)
+                .expect("channel poisoned");
+            inner = guard;
+        }
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared
+            .inner
+            .lock()
+            .expect("channel poisoned")
+            .queue
+            .len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The fixed capacity this channel was created with.
+    pub fn capacity(&self) -> Option<usize> {
+        Some(self.shared.cap)
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.inner.lock().expect("channel poisoned").senders += 1;
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared
+            .inner
+            .lock()
+            .expect("channel poisoned")
+            .receivers += 1;
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.inner.lock().expect("channel poisoned");
+        inner.senders -= 1;
+        let last = inner.senders == 0;
+        drop(inner);
+        if last {
+            // Blocked receivers must observe the disconnect.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.inner.lock().expect("channel poisoned");
+        inner.receivers -= 1;
+        let last = inner.receivers == 0;
+        drop(inner);
+        if last {
+            // Blocked senders must observe the disconnect.
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sender").finish_non_exhaustive()
+    }
+}
+
+impl<T> std::fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Receiver").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_and_capacity_bound() {
+        let (tx, rx) = bounded::<u32>(3);
+        assert_eq!(tx.capacity(), Some(3));
+        for v in [1, 2, 3] {
+            tx.try_send(v).unwrap();
+        }
+        assert_eq!(tx.try_send(4), Err(TrySendError::Full(4)));
+        assert_eq!(rx.len(), 3);
+        assert_eq!(rx.try_recv(), Ok(1));
+        tx.try_send(4).unwrap();
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Ok(3));
+        assert_eq!(rx.try_recv(), Ok(4));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        assert!(rx.is_empty() && tx.is_empty());
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = bounded::<u8>(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.try_send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(7));
+    }
+
+    #[test]
+    fn disconnect_is_observed_on_both_sides() {
+        let (tx, rx) = bounded::<u8>(2);
+        tx.try_send(1).unwrap();
+        drop(tx);
+        // Queued messages drain first, then the disconnect shows.
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+
+        let (tx, rx) = bounded::<u8>(1);
+        drop(rx);
+        assert_eq!(tx.try_send(9), Err(TrySendError::Disconnected(9)));
+        assert_eq!(tx.send(9), Err(SendError(9)));
+    }
+
+    #[test]
+    fn mpmc_under_contention_delivers_every_message_once() {
+        let (tx, rx) = bounded::<usize>(4);
+        let producers = 4;
+        let per_producer = 250;
+        let received = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for p in 0..producers {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for i in 0..per_producer {
+                        tx.send(p * per_producer + i).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            for _ in 0..2 {
+                let rx = rx.clone();
+                let received = &received;
+                s.spawn(move || {
+                    while let Ok(v) = rx.recv() {
+                        received.lock().unwrap().push(v);
+                    }
+                });
+            }
+        });
+        let mut got = received.into_inner().unwrap();
+        got.sort_unstable();
+        let want: Vec<usize> = (0..producers * per_producer).collect();
+        assert_eq!(got, want, "every message exactly once");
+    }
+
+    #[test]
+    fn blocking_send_resumes_when_room_frees_up() {
+        let (tx, rx) = bounded::<u8>(1);
+        tx.try_send(1).unwrap();
+        std::thread::scope(|s| {
+            let tx2 = tx.clone();
+            s.spawn(move || tx2.send(2).unwrap());
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv_timeout(Duration::from_millis(500)), Ok(2));
+        });
+    }
+}

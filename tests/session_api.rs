@@ -143,12 +143,17 @@ fn forward_batch_is_validated_up_front_and_ordered() {
     let batch: Vec<MatrixF32> = (1..=3)
         .map(|i| MatrixF32::random(8 * i, 128, 200 + i as u64))
         .collect();
-    let runs = layer.forward_batch(&batch).unwrap();
-    assert_eq!(runs.len(), 3);
-    for (a, run) in batch.iter().zip(&runs) {
+    let batch_run = layer.forward_batch(&batch).unwrap();
+    assert_eq!(batch_run.len(), 3);
+    for (a, run) in batch.iter().zip(&batch_run.runs) {
         assert_eq!(run.c.rows(), a.rows(), "results must stay in batch order");
         assert!(run.c.allclose(&spmm_reference(a, &sb), 1e-3, 1e-4));
     }
+    // The aggregate the serving batcher consumes: one wall clock around
+    // the whole fan-out plus the routing decision that produced it.
+    assert!(batch_run.wall_seconds > 0.0);
+    assert!(batch_run.member_seconds() > 0.0);
+    assert!(!batch_run.routing.name().is_empty());
 
     // A mismatched member anywhere in the batch fails the whole call
     // before any work starts, naming the offender.
