@@ -47,22 +47,28 @@
 //! product is bandwidth-bound, so bytes of compressed-operand traffic per
 //! second is the honest axis. `m = 1` shapes also time two rivals: the
 //! seed `spmv` loop from `nm-core` and the 4-row GEMM tile forced onto
-//! the one-row input. `--decode` runs the decode set alone and gates it
-//! (measured plans must hold, and the prepared SpMV path must beat both
+//! the one-row input. Every decode shape also times the **storage-format
+//! rivals** head to head — the V3 preparation staged row-major
+//! (`cpu_v3`) versus staged SELL-C-σ sliced (`cpu_v3_sliced`) — and
+//! reports each format's compressed-operand bytes. `--decode` runs the
+//! decode set alone and gates it (measured plans must hold against
+//! *both* format lanes, and the prepared SpMV path must beat both
 //! rivals); CI writes that run to `BENCH_decode.json`.
 
 use gpu_sim::device::a100_80g;
 use nm_bench::{spd, TextTable};
+use nm_core::index::IndexLayout;
 use nm_core::json::JsonValue;
 use nm_core::matrix::MatrixF32;
 use nm_core::pattern::NmConfig;
 use nm_core::prune::PrunePolicy;
+use nm_core::sliced::{SlicedLayout, StorageFormat};
 use nm_core::sparse::NmSparseMatrix;
 use nm_core::spmm::spmm_reference;
 use nm_kernels::plan::version_name;
 use nm_kernels::{
-    AutotuneMode, BackendKind, CpuTiling, Isa, MicroKernel, NmVersion, Session, SessionBuilder,
-    ShapeClass, DECODE_MAX_ROWS,
+    AutotuneMode, BackendKind, CpuTiling, Isa, LoadSpec, MicroKernel, NmVersion, Session,
+    SessionBuilder, ShapeClass, DECODE_MAX_ROWS,
 };
 use std::time::Instant;
 
@@ -295,6 +301,9 @@ struct AbLane {
     version: NmVersion,
     /// The tile geometry the measurement picked.
     tiling: CpuTiling,
+    /// The storage format the measurement picked (decode keys compare
+    /// row-major against the sliced grid; prefill stays row-major).
+    storage: StorageFormat,
     /// The short-run harness's own throughput estimate for the winner —
     /// the evidence the plan cache persists.
     harness_gflops: f64,
@@ -310,8 +319,12 @@ struct ShapeResult {
     /// [`decode_traffic_bytes`] for decode shapes, `None` for prefill —
     /// the denominator behind every GB/s this harness reports.
     traffic_bytes: Option<f64>,
+    /// Compressed-operand bytes per storage format (tag → bytes), decode
+    /// shapes only — the per-format accounting behind the decode table.
+    storage_bytes: Vec<(String, usize)>,
     /// `reference`, `cpu_v1`, `cpu_v2`, `cpu_v3` in that order; decode
-    /// shapes with `m = 1` append `spmv_seed` and `gemm4_forced`.
+    /// shapes append the `cpu_v3_sliced` format rival, and `m = 1`
+    /// shapes append `spmv_seed` and `gemm4_forced`.
     kernels: Vec<(&'static str, KernelResult)>,
     /// The measured-plan lane; `None` when autotuning is off. The
     /// cost-model lane of the A/B is `cpu_v3` above — exactly the plan a
@@ -352,12 +365,13 @@ impl ShapeResult {
         self.traffic_bytes.map(|t| t / seconds / 1e9)
     }
 
-    /// The fastest prepared-path lane (ladder versions plus the measured
-    /// A/B lane when it ran) — what a decode server would actually hit.
+    /// The fastest prepared-path lane (ladder versions, the sliced
+    /// format rival, plus the measured A/B lane when it ran) — what a
+    /// decode server would actually hit.
     fn best_prepared_seconds(&self) -> f64 {
-        let ladder = ["cpu_v1", "cpu_v2", "cpu_v3"]
+        let ladder = ["cpu_v1", "cpu_v2", "cpu_v3", "cpu_v3_sliced"]
             .iter()
-            .map(|name| self.get(name).seconds)
+            .filter_map(|name| self.maybe(name).map(|kr| kr.seconds))
             .fold(f64::INFINITY, f64::min);
         self.ab.as_ref().map_or(ladder, |ab| ladder.min(ab.seconds))
     }
@@ -405,6 +419,7 @@ fn bench_shape(session: &mut Session, shape: &Shape, seed: u64) -> Result<ShapeR
     // kernel only. The session's pinned micro-kernel drives every
     // preparation, so the document's top-level `isa` and the per-kernel
     // entries agree by construction.
+    let mut expect_v3 = None;
     for (name, version) in [
         ("cpu_v1", NmVersion::V1),
         ("cpu_v2", NmVersion::V2),
@@ -437,8 +452,65 @@ fn bench_shape(session: &mut Session, shape: &Shape, seed: u64) -> Result<ShapeR
             ));
         }
         let isa = layer.isa().expect("CPU backend reports an ISA");
+        if version == NmVersion::V3 {
+            expect_v3 = Some(got.clone());
+        }
         kernels.push((
             name,
+            KernelResult {
+                seconds: secs,
+                gflops: useful / secs / 1e9,
+                isa: Some(isa),
+            },
+        ));
+    }
+
+    // The storage-format rival, decode shapes only: the same V3
+    // preparation pinned to the SELL-C-σ sliced layout, head to head
+    // with the row-major `cpu_v3` lane above. An explicit backend keeps
+    // this lane measurement-free (like the ladder lanes), so it times
+    // the *derived* sliced geometry — the measured A/B lane below is
+    // where evidence picks a format.
+    if m <= DECODE_MAX_ROWS {
+        let expect_v3 = expect_v3.as_ref().expect("cpu_v3 ran");
+        let pin = StorageFormat::Sliced(SlicedLayout::DEFAULT);
+        let layer = session
+            .load_with(
+                sb.clone(),
+                LoadSpec::rows(m)
+                    .backend(BackendKind::Cpu(NmVersion::V3))
+                    .storage(pin),
+            )
+            .map_err(|e| format!("{label}: cpu_v3_sliced preparation failed: {e}"))?;
+        let mut out = None;
+        let mut failure = None;
+        let secs = time_best(|| match layer.forward(&a) {
+            Ok(run) => {
+                let dt = run.wall_seconds;
+                out = Some(run.c);
+                dt
+            }
+            Err(e) => {
+                failure = Some(format!("{label}: cpu_v3_sliced failed: {e}"));
+                f64::INFINITY
+            }
+        });
+        if let Some(failure) = failure {
+            return Err(failure);
+        }
+        let got = out.expect("kernel ran");
+        // The sliced staging is bit-identical to the row-major one, so
+        // the cheap oracle is exact equality with the `cpu_v3` product —
+        // a tolerance here would hide a broken permutation.
+        if got.as_slice() != expect_v3.as_slice() {
+            return Err(format!(
+                "{label}: cpu_v3_sliced is not bit-identical to cpu_v3 (max diff {})",
+                got.max_abs_diff(expect_v3)
+            ));
+        }
+        let isa = layer.isa().expect("CPU backend reports an ISA");
+        kernels.push((
+            "cpu_v3_sliced",
             KernelResult {
                 seconds: secs,
                 gflops: useful / secs / 1e9,
@@ -561,11 +633,29 @@ fn bench_shape(session: &mut Session, shape: &Shape, seed: u64) -> Result<ShapeR
             gflops: useful / secs / 1e9,
             version: measured.ladder_version,
             tiling: measured.cpu_tiling,
+            storage: measured.storage,
             harness_gflops: measured.gflops,
             samples: measured.samples,
         })
     } else {
         None
+    };
+
+    // Per-format compressed-operand footprint, decode shapes only (the
+    // formats the rival lane above actually raced). Index bytes use the
+    // row-major u8 layout on both sides so the delta isolates the sliced
+    // format's permutation + padding overhead.
+    let storage_bytes = if m <= DECODE_MAX_ROWS {
+        let pin = StorageFormat::Sliced(SlicedLayout::DEFAULT);
+        vec![
+            (
+                StorageFormat::RowMajor.tag(),
+                sb.storage_bytes(IndexLayout::RowMajorU8),
+            ),
+            (pin.tag(), sb.storage_bytes_as(pin, IndexLayout::RowMajorU8)),
+        ]
+    } else {
+        Vec::new()
     };
 
     Ok(ShapeResult {
@@ -575,6 +665,7 @@ fn bench_shape(session: &mut Session, shape: &Shape, seed: u64) -> Result<ShapeR
         k,
         cfg: c,
         traffic_bytes,
+        storage_bytes,
         kernels,
         ab,
     })
@@ -643,6 +734,17 @@ fn results_to_json(
             if let Some(t) = r.traffic_bytes {
                 fields.push(("traffic_bytes", JsonValue::Number(t)));
             }
+            if !r.storage_bytes.is_empty() {
+                fields.push((
+                    "storage_bytes",
+                    JsonValue::object(
+                        r.storage_bytes
+                            .iter()
+                            .map(|(tag, bytes)| (tag.as_str(), JsonValue::from_usize(*bytes)))
+                            .collect(),
+                    ),
+                ));
+            }
             if let Some(ab) = &r.ab {
                 // Both lanes of the plan A/B, normalized against the
                 // same-run reference so the comparison survives a change
@@ -690,6 +792,7 @@ fn results_to_json(
                                         ("mt", JsonValue::from_usize(ab.tiling.mt)),
                                     ]),
                                 ),
+                                ("storage", JsonValue::from_str_value(&ab.storage.tag())),
                                 ("harness_gflops", JsonValue::Number(ab.harness_gflops)),
                                 ("samples", JsonValue::from_usize(ab.samples)),
                             ]),
@@ -871,14 +974,18 @@ fn check_ab(results: &[ShapeResult]) -> Vec<String> {
 }
 
 /// The `--decode` gate, in the spirit of [`check_ab`] but for the skinny
-/// band. Two claims are enforced on every decode shape in the run:
+/// band. Three claims are enforced on every decode shape in the run:
 ///
 /// 1. **Evidence holds** — where the A/B lane ran, the measured plan must
 ///    not lose to the cost-model V3 default (same 5% noise allowance as
 ///    `check_ab`; decode is exactly where GEMM-trained cost models are
 ///    known to mislead, so evidence losing here means the skinny
 ///    candidates in `measure::tiling_candidates` stopped winning).
-/// 2. **The prepared SpMV path earns its keep** — on `m = 1` shapes the
+/// 2. **Format evidence holds** — where the sliced rival lane ran, the
+///    measured plan must likewise stay within 5% of it; together with
+///    claim 1 the evidence-picked storage format never loses to either
+///    same-run format lane.
+/// 3. **The prepared SpMV path earns its keep** — on `m = 1` shapes the
 ///    best prepared lane must beat both rivals outright: the seed `spmv`
 ///    loop (no staging, no SIMD) and `gemm4_forced` (the 4-row GEMM tile
 ///    padded onto the one-row input). Losing to either means the decode
@@ -905,6 +1012,23 @@ fn check_decode(results: &[ShapeResult]) -> Vec<String> {
                     version_name(ab.version),
                     ab.tiling.mb,
                 ));
+            }
+            // 3. **Format evidence holds** — the measured winner must also
+            //    stay within the same 5% of the sliced rival lane. Combined
+            //    with gate 1 (row-major `cpu_v3`), the evidence-picked
+            //    format never loses to *either* same-run format lane.
+            if let Some(sliced) = r.maybe("cpu_v3_sliced") {
+                compared += 1;
+                let ratio = sliced.seconds / ab.seconds;
+                if ratio < 0.95 {
+                    failures.push(format!(
+                        "{}: the measured decode plan (format {}) ran at {ratio:.2}x the \
+                         sliced rival lane — the format dimension of the autotune grid \
+                         stopped tracking the better layout",
+                        r.label,
+                        ab.storage.tag(),
+                    ));
+                }
             }
         }
         if r.m != 1 {
@@ -1145,6 +1269,7 @@ fn main() {
             "measured GF/s",
             "picked",
             "tiling mb/nb/kb/mt",
+            "format",
             "meas/V3",
         ]);
         for r in &results {
@@ -1158,6 +1283,7 @@ fn main() {
                     "{}/{}/{}/{}",
                     ab.tiling.mb, ab.tiling.nb, ab.tiling.kb, ab.tiling.mt
                 ),
+                ab.storage.tag(),
                 spd(r.get("cpu_v3").seconds / ab.seconds),
             ]);
         }
@@ -1172,6 +1298,7 @@ fn main() {
             "V1 GB/s",
             "V2 GB/s",
             "V3 GB/s",
+            "sliced GB/s",
             "seed GB/s",
             "gemm4 GB/s",
             "best/seed",
@@ -1194,6 +1321,7 @@ fn main() {
                 gb("cpu_v1"),
                 gb("cpu_v2"),
                 gb("cpu_v3"),
+                gb("cpu_v3_sliced"),
                 gb("spmv_seed"),
                 gb("gemm4_forced"),
                 vs_best("spmv_seed"),
@@ -1295,6 +1423,7 @@ mod tests {
             k: 512,
             cfg: NmConfig::new(2, 8, 32).unwrap(),
             traffic_bytes: None,
+            storage_bytes: Vec::new(),
             kernels: vec![
                 (
                     "reference",
@@ -1329,6 +1458,7 @@ mod tests {
                 kb: 128,
                 mt: 8,
             },
+            storage: StorageFormat::RowMajor,
             harness_gflops: 1.0 / seconds,
             samples: 3,
         });
@@ -1509,6 +1639,7 @@ mod tests {
             k: 512,
             cfg: NmConfig::new(2, 8, 32).unwrap(),
             traffic_bytes: Some(1e9),
+            storage_bytes: Vec::new(),
             kernels: vec![
                 ("reference", lane(1.0, None)),
                 ("cpu_v1", lane(prepared_seconds, Some(Isa::Scalar))),
@@ -1556,6 +1687,39 @@ mod tests {
         // At the 5% noise floor it passes (strict `< 0.95`).
         let mut r = with_ab(result_with_v3_seconds(0.95), 1.0);
         r.m = 8;
+        assert!(check_decode(&[r]).is_empty());
+    }
+
+    #[test]
+    fn decode_gate_holds_measured_plans_to_the_sliced_lane() {
+        // An m=8 decode shape where the measured plan keeps pace with the
+        // row-major V3 lane but runs twice as slow as the sliced rival:
+        // the format dimension of the grid lost evidence it should hold.
+        let mut r = with_ab(result_with_v3_seconds(1.0), 1.0);
+        r.m = 8;
+        r.kernels.push((
+            "cpu_v3_sliced",
+            KernelResult {
+                seconds: 0.5,
+                gflops: 2.0,
+                isa: Some(Isa::Scalar),
+            },
+        ));
+        let failures = check_decode(&[r]);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("sliced rival lane"));
+        assert!(failures[0].contains("rowmajor"));
+        // Within the 5% noise floor both format gates pass.
+        let mut r = with_ab(result_with_v3_seconds(1.0), 1.0);
+        r.m = 8;
+        r.kernels.push((
+            "cpu_v3_sliced",
+            KernelResult {
+                seconds: 0.95,
+                gflops: 1.0 / 0.95,
+                isa: Some(Isa::Scalar),
+            },
+        ));
         assert!(check_decode(&[r]).is_empty());
     }
 

@@ -156,7 +156,15 @@ fn make_session(args: &Args) -> Session {
             }
         },
     };
-    let session = builder.autotune(autotune).build().expect("build session");
+    // Build errors are user errors here (e.g. a malformed NM_SPMM_STORAGE
+    // or NM_SPMM_ISA pin): report and exit 2, same as the autotune path.
+    let session = match builder.autotune(autotune).build() {
+        Ok(session) => session,
+        Err(e) => {
+            eprintln!("cannot build session: {e}");
+            std::process::exit(2);
+        }
+    };
     if autotune != AutotuneMode::Off {
         println!("measured autotune: {autotune} (scaled executions run the evidence-based lane)");
     }
@@ -285,6 +293,7 @@ fn llama_sweep(args: &Args, session: &mut Session, model_name: &str) {
                 "m=4 ms",
                 "m=8 ms",
                 "decode ms",
+                "format",
                 "cached",
             ]);
             for l in &report.layers {
@@ -303,6 +312,7 @@ fn llama_sweep(args: &Args, session: &mut Session, model_name: &str) {
                     l.exec
                         .and_then(|e| e.decode_ms)
                         .map_or("-".to_string(), |ms| format!("{ms:.3}")),
+                    l.decode.first().map_or("-".to_string(), |d| d.format.tag()),
                     if l.decode.iter().all(|d| d.cache_hit) {
                         "hit"
                     } else {

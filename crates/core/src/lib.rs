@@ -52,6 +52,7 @@ pub mod pattern;
 pub mod permute;
 pub mod prune;
 pub mod serialize;
+pub mod sliced;
 pub mod sparse;
 pub mod spmm;
 
@@ -62,6 +63,7 @@ pub use index::{IndexLayout, IndexMatrix};
 pub use json::JsonValue;
 pub use matrix::MatrixF32;
 pub use pattern::NmConfig;
+pub use sliced::{SlicedLayout, SlicedMatrix, StorageFormat};
 pub use sparse::NmSparseMatrix;
 
 /// Convenient glob-import of the most used types.
@@ -71,5 +73,6 @@ pub mod prelude {
     pub use crate::index::{IndexLayout, IndexMatrix};
     pub use crate::matrix::MatrixF32;
     pub use crate::pattern::NmConfig;
+    pub use crate::sliced::{SlicedLayout, SlicedMatrix, StorageFormat};
     pub use crate::sparse::NmSparseMatrix;
 }

@@ -1,0 +1,550 @@
+//! SELL-C-σ-style sliced storage for the compressed operand (`B′`, `D`).
+//!
+//! Kreutzer et al.'s SELL-C-σ stores a sparse matrix as *slices* of `C`
+//! consecutive rows, sorted by row population inside windows of `σ` rows,
+//! so that SIMD lanes of a slice stream comparable work. NM-SpMM's operand
+//! is structured rather than unstructured, so the translation is made
+//! along the dimension that is actually independent in the SpMV view
+//! `y = x ⊛ (B′, D)`: the **output columns**, grouped in pruning windows
+//! of `L` columns. Each window has one index column of `D` (every output
+//! column inside it gathers through the same per-row offset), which makes
+//! a window the natural SELL "row":
+//!
+//! * **slice** — `slice_height` (= `C`) consecutive windows after sorting,
+//!   stored as one dense `w × width` panel whose columns are contiguous
+//!   per compressed row (the slice is what the kernel streams);
+//! * **sort window** — windows are reordered inside disjoint groups of
+//!   `sort_window` (= `σ`) windows. Classic SELL sorts by row length; an
+//!   N:M window always holds exactly `w` entries, so the sort key is the
+//!   window's *offset mass* (the sum of its `D` column) — windows whose
+//!   kept vectors sit at similar depths inside each pruning window land in
+//!   the same slice and gather from correlated positions of `x`;
+//! * **permutation** — carried as a [`ChannelPermutation`]
+//!   (`perm[new] = old` over window indices, the same convention
+//!   `permute.rs` uses for `k`-rows). Because whole windows move, the
+//!   inverse permutation on write-back is a contiguous copy per window,
+//!   and the summation order over compressed rows is untouched — sliced
+//!   results can be *bit-identical* to the row-major path.
+//!
+//! The built product additionally materializes **absolute** gather indices
+//! (`u32`, one per compressed row per window) so the online kernel skips
+//! the per-call `base + D[u][j]` reconstruction the row-major staging
+//! performs; that is the format's speed, paid for with `4×` the index
+//! bytes of the `u8` row-major `D` ([`SlicedMatrix::storage_bytes`]
+//! reports the honest total).
+
+use crate::error::{NmError, Result};
+use crate::permute::ChannelPermutation;
+use crate::sparse::NmSparseMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Environment variable that pins the storage format for session loads
+/// (`rowmajor`, `sliced`, or `sliced:<C>:<σ>`). Validated strictly, like
+/// `NM_SPMM_ISA`: an unrecognized value is a structured error, never a
+/// silent fallback.
+pub const STORAGE_ENV: &str = "NM_SPMM_STORAGE";
+
+/// The SELL-C-σ parameters: slice height `C` and sort-window `σ`, both in
+/// pruning-window units along the output dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SlicedLayout {
+    /// Windows per slice (`C ≥ 1`).
+    pub slice_height: usize,
+    /// Windows per sort group (`σ ≥ 1`; `σ = 1` disables sorting).
+    pub sort_window: usize,
+}
+
+impl SlicedLayout {
+    /// The default decode-band layout (`C = 8`, `σ = 32`): slices wide
+    /// enough to amortize the panel switch, sorting across four slices.
+    pub const DEFAULT: SlicedLayout = SlicedLayout {
+        slice_height: 8,
+        sort_window: 32,
+    };
+
+    /// Validated constructor: both parameters must be positive.
+    pub fn new(slice_height: usize, sort_window: usize) -> Result<Self> {
+        if slice_height == 0 || sort_window == 0 {
+            return Err(NmError::InvalidConfig {
+                reason: format!(
+                    "sliced layout needs positive slice height and sort window \
+                     (got C={slice_height}, sigma={sort_window})"
+                ),
+            });
+        }
+        Ok(Self {
+            slice_height,
+            sort_window,
+        })
+    }
+
+    /// Build the sliced form of `sb` under these parameters.
+    pub fn build(&self, sb: &NmSparseMatrix) -> Result<SlicedMatrix> {
+        SlicedMatrix::build(sb, *self)
+    }
+
+    /// Bytes the sliced form of a `w × n` operand with `q` windows takes:
+    /// the values panels (same float count as row-major, re-laid out), the
+    /// absolute `u32` gather indices, and the `u32` window permutation.
+    pub fn storage_bytes_for(&self, w: usize, n: usize, q: usize) -> usize {
+        w * n * std::mem::size_of::<f32>()
+            + w * q * std::mem::size_of::<u32>()
+            + q * std::mem::size_of::<u32>()
+    }
+}
+
+impl Default for SlicedLayout {
+    fn default() -> Self {
+        Self::DEFAULT
+    }
+}
+
+impl std::fmt::Display for SlicedLayout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "C={} sigma={}", self.slice_height, self.sort_window)
+    }
+}
+
+/// Which storage layout a preparation stages the compressed operand in —
+/// a first-class, planned dimension: the cache keys plans per format and
+/// the measured autotuner picks the winner per host and shape.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StorageFormat {
+    /// The paper's layout: `B′` row-major, `D` as `u8` window offsets.
+    #[default]
+    RowMajor,
+    /// SELL-C-σ sliced panels with absolute gather indices.
+    Sliced(SlicedLayout),
+}
+
+impl StorageFormat {
+    /// Stable identifier: `rowmajor` or `sliced:<C>:<σ>` — what plan-cache
+    /// documents and BENCH artifacts record.
+    pub fn tag(&self) -> String {
+        match self {
+            StorageFormat::RowMajor => "rowmajor".to_string(),
+            StorageFormat::Sliced(s) => format!("sliced:{}:{}", s.slice_height, s.sort_window),
+        }
+    }
+
+    /// Inverse of [`StorageFormat::tag`], also accepting the spellings an
+    /// operator would type into [`STORAGE_ENV`]: `rowmajor` / `row-major`
+    /// / `row_major`, bare `sliced` (the default `C`/`σ`), or
+    /// `sliced:<C>:<σ>`.
+    ///
+    /// # Errors
+    /// [`NmError::Unsupported`] for anything unrecognized — a typo'd
+    /// override must fail loudly, never silently fall back.
+    pub fn from_name(name: &str) -> Result<Self> {
+        let lower = name.to_ascii_lowercase();
+        match lower.as_str() {
+            "rowmajor" | "row-major" | "row_major" => return Ok(StorageFormat::RowMajor),
+            "sliced" => return Ok(StorageFormat::Sliced(SlicedLayout::DEFAULT)),
+            _ => {}
+        }
+        if let Some(rest) = lower.strip_prefix("sliced:") {
+            let mut parts = rest.split(':');
+            let c = parts.next().and_then(|v| v.parse::<usize>().ok());
+            let sigma = parts.next().and_then(|v| v.parse::<usize>().ok());
+            if let (Some(c), Some(sigma), None) = (c, sigma, parts.next()) {
+                return Ok(StorageFormat::Sliced(SlicedLayout::new(c, sigma)?));
+            }
+        }
+        Err(NmError::Unsupported {
+            reason: format!(
+                "unknown storage format `{name}` \
+                 (expected rowmajor, sliced, or sliced:<C>:<sigma>)"
+            ),
+        })
+    }
+
+    /// The format requested through the [`STORAGE_ENV`] environment
+    /// variable: `None` when unset or empty, the parsed format otherwise.
+    ///
+    /// # Errors
+    /// [`NmError::Unsupported`] when the variable holds an unrecognized
+    /// value — validated up front, exactly like `NM_SPMM_ISA`, so a typo
+    /// can never silently run the wrong layout.
+    pub fn from_env() -> Result<Option<Self>> {
+        match std::env::var(STORAGE_ENV) {
+            Ok(v) if v.is_empty() => Ok(None),
+            Ok(v) => Self::from_name(&v).map(Some),
+            Err(_) => Ok(None),
+        }
+    }
+
+    /// Whether this is a sliced layout.
+    pub fn is_sliced(&self) -> bool {
+        matches!(self, StorageFormat::Sliced(_))
+    }
+}
+
+impl std::fmt::Display for StorageFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.tag())
+    }
+}
+
+/// The built sliced form: per-slice contiguous value panels, absolute
+/// gather indices, and the window permutation that produced them.
+///
+/// Everything here depends only on the weights, never on activations — it
+/// is offline work in the paper's accounting, built once per preparation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlicedMatrix {
+    layout: SlicedLayout,
+    /// Compressed row count of the source operand.
+    w: usize,
+    /// Dense column count of the source operand.
+    n: usize,
+    /// Window count along the output dimension.
+    q: usize,
+    /// Vector length `L`.
+    l: usize,
+    /// Window permutation, `perm[new] = old` — reused from `permute.rs`.
+    perm: ChannelPermutation,
+    /// Per permuted window: first dense output column and width (the
+    /// write-back map; the final window of a ragged `n` is narrower).
+    spans: Vec<(u32, u32)>,
+    /// Per-slice value panels, concatenated. Slice `s` holds `w` rows of
+    /// `width(s)` floats; a slice's columns are contiguous per row.
+    values: Vec<f32>,
+    /// Per-slice absolute gather indices, concatenated. Slice `s` holds
+    /// one `w`-long `u32` column per window, window-major — the index
+    /// stream the kernel reads instead of recomputing `base + D[u][j]`.
+    gather: Vec<u32>,
+    /// Value-panel offset of each slice (`slices + 1` entries).
+    offs_v: Vec<usize>,
+    /// Gather-panel offset of each slice (`slices + 1` entries).
+    offs_i: Vec<usize>,
+}
+
+impl SlicedMatrix {
+    /// Build the sliced form of `sb`: sort windows by offset mass inside
+    /// each `σ` group (stable, so `σ = 1` and uniform patterns keep the
+    /// identity), then materialize per-slice panels and absolute indices.
+    pub fn build(sb: &NmSparseMatrix, layout: SlicedLayout) -> Result<Self> {
+        // Constructed through the validated path even when callers built
+        // the struct literally.
+        let layout = SlicedLayout::new(layout.slice_height, layout.sort_window)?;
+        let cfg = sb.cfg();
+        let (w, n, q, l) = (sb.w(), sb.cols(), sb.q(), cfg.l);
+        let d = sb.indices();
+
+        // Sort key per window: offset mass of its index column.
+        let mass: Vec<u64> = (0..q)
+            .map(|j| (0..w).map(|u| d.get(u, j) as u64).sum())
+            .collect();
+        let mut perm: Vec<usize> = (0..q).collect();
+        for group in perm.chunks_mut(layout.sort_window) {
+            group.sort_by_key(|&j| mass[j]); // stable: ties keep input order
+        }
+        let swaps = perm.iter().enumerate().filter(|(i, &j)| *i != j).count();
+        let total_mass = mass.iter().sum::<u64>() as f64;
+        let perm = ChannelPermutation {
+            perm,
+            retained_before: total_mass,
+            retained_after: total_mass, // a reorder never changes the mass
+            swaps,
+        };
+
+        let spans: Vec<(u32, u32)> = perm
+            .perm
+            .iter()
+            .map(|&jw| {
+                let lo = jw * l;
+                let hi = ((jw + 1) * l).min(n);
+                (lo as u32, (hi - lo) as u32)
+            })
+            .collect();
+
+        let slices = q.div_ceil(layout.slice_height);
+        let values_src = sb.values();
+        let mut values = Vec::with_capacity(w * n);
+        let mut gather = Vec::with_capacity(w * q);
+        let mut offs_v = Vec::with_capacity(slices + 1);
+        let mut offs_i = Vec::with_capacity(slices + 1);
+        for s in 0..slices {
+            offs_v.push(values.len());
+            offs_i.push(gather.len());
+            let lo = s * layout.slice_height;
+            let hi = (lo + layout.slice_height).min(q);
+            // Values: slice columns contiguous per compressed row.
+            for u in 0..w {
+                let row = values_src.row(u);
+                for &(col, width) in &spans[lo..hi] {
+                    values.extend_from_slice(&row[col as usize..(col + width) as usize]);
+                }
+            }
+            // Indices: absolute positions, one w-long column per window.
+            for pos in lo..hi {
+                let jw = perm.perm[pos];
+                for u in 0..w {
+                    let base = u / cfg.n * cfg.m;
+                    gather.push((base + d.get(u, jw) as usize) as u32);
+                }
+            }
+        }
+        offs_v.push(values.len());
+        offs_i.push(gather.len());
+
+        Ok(Self {
+            layout,
+            w,
+            n,
+            q,
+            l,
+            perm,
+            spans,
+            values,
+            gather,
+            offs_v,
+            offs_i,
+        })
+    }
+
+    /// The parameters this matrix was built with.
+    #[inline]
+    pub fn layout(&self) -> SlicedLayout {
+        self.layout
+    }
+
+    /// Compressed row count of the source operand.
+    #[inline]
+    pub fn w(&self) -> usize {
+        self.w
+    }
+
+    /// Dense column count of the source operand.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.n
+    }
+
+    /// Window count along the output dimension.
+    #[inline]
+    pub fn windows(&self) -> usize {
+        self.q
+    }
+
+    /// Number of slices (`⌈q / C⌉`).
+    #[inline]
+    pub fn slices(&self) -> usize {
+        self.offs_v.len() - 1
+    }
+
+    /// The window permutation (`perm[new] = old`, over window indices).
+    #[inline]
+    pub fn perm(&self) -> &ChannelPermutation {
+        &self.perm
+    }
+
+    /// Inverse permutation: `inv[old_window] = new_position`.
+    pub fn inverse(&self) -> Vec<usize> {
+        let mut inv = vec![0usize; self.q];
+        for (new, &old) in self.perm.perm.iter().enumerate() {
+            inv[old] = new;
+        }
+        inv
+    }
+
+    /// Permuted window positions covered by slice `s`.
+    #[inline]
+    pub fn slice_windows(&self, s: usize) -> std::ops::Range<usize> {
+        let lo = s * self.layout.slice_height;
+        lo..(lo + self.layout.slice_height).min(self.q)
+    }
+
+    /// Total column width of slice `s`.
+    #[inline]
+    pub fn width(&self, s: usize) -> usize {
+        let rows = self.w.max(1);
+        (self.offs_v[s + 1] - self.offs_v[s]) / rows
+    }
+
+    /// First dense output column and width of the window at permuted
+    /// position `pos` — the contiguous write-back target.
+    #[inline]
+    pub fn span(&self, pos: usize) -> (usize, usize) {
+        let (col, width) = self.spans[pos];
+        (col as usize, width as usize)
+    }
+
+    /// The value panel of slice `s`: `w` rows of [`SlicedMatrix::width`]
+    /// floats, row-major, slice columns contiguous per row.
+    #[inline]
+    pub fn value_panel(&self, s: usize) -> &[f32] {
+        &self.values[self.offs_v[s]..self.offs_v[s + 1]]
+    }
+
+    /// Absolute gather indices of the `wi`-th window of slice `s`,
+    /// restricted to compressed rows `u_lo..u_hi`.
+    #[inline]
+    pub fn gather_span(&self, s: usize, wi: usize, u_lo: usize, u_hi: usize) -> &[u32] {
+        let at = self.offs_i[s] + wi * self.w;
+        &self.gather[at + u_lo..at + u_hi]
+    }
+
+    /// Bytes this built form occupies: value panels, absolute `u32`
+    /// indices, and the `u32`-sized permutation table. `4×` the index
+    /// bytes of the row-major `u8` layout — the price of skipping the
+    /// per-call index reconstruction.
+    pub fn storage_bytes(&self) -> usize {
+        self.layout.storage_bytes_for(self.w, self.n, self.q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::MatrixF32;
+    use crate::pattern::NmConfig;
+    use crate::prune::PrunePolicy;
+
+    fn sparse(k: usize, n: usize, cfg: NmConfig, seed: u64) -> NmSparseMatrix {
+        let b = MatrixF32::random(k, n, seed);
+        NmSparseMatrix::prune(&b, cfg, PrunePolicy::Random { seed }).unwrap()
+    }
+
+    #[test]
+    fn layout_rejects_zero_parameters() {
+        assert!(SlicedLayout::new(0, 4).is_err());
+        assert!(SlicedLayout::new(4, 0).is_err());
+        assert!(SlicedLayout::new(1, 1).is_ok());
+        let err = SlicedMatrix::build(
+            &sparse(16, 16, NmConfig::new(2, 4, 4).unwrap(), 1),
+            SlicedLayout {
+                slice_height: 0,
+                sort_window: 1,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, NmError::InvalidConfig { .. }), "{err}");
+    }
+
+    #[test]
+    fn format_tags_round_trip_and_reject_junk() {
+        for f in [
+            StorageFormat::RowMajor,
+            StorageFormat::Sliced(SlicedLayout::DEFAULT),
+            StorageFormat::Sliced(SlicedLayout::new(4, 16).unwrap()),
+        ] {
+            assert_eq!(StorageFormat::from_name(&f.tag()).unwrap(), f);
+            assert_eq!(f.to_string(), f.tag());
+        }
+        assert_eq!(
+            StorageFormat::from_name("row-major").unwrap(),
+            StorageFormat::RowMajor
+        );
+        assert_eq!(
+            StorageFormat::from_name("SLICED").unwrap(),
+            StorageFormat::Sliced(SlicedLayout::DEFAULT)
+        );
+        for bad in ["csr", "sliced:", "sliced:0:4", "sliced:4", "sliced:4:2:1"] {
+            assert!(
+                matches!(
+                    StorageFormat::from_name(bad),
+                    Err(NmError::Unsupported { .. }) | Err(NmError::InvalidConfig { .. })
+                ),
+                "`{bad}` must be rejected"
+            );
+        }
+        assert!(!StorageFormat::RowMajor.is_sliced());
+        assert!(StorageFormat::default() == StorageFormat::RowMajor);
+        assert!(StorageFormat::Sliced(SlicedLayout::default()).is_sliced());
+    }
+
+    #[test]
+    fn permutation_is_valid_and_stable_within_sort_groups() {
+        let cfg = NmConfig::new(2, 8, 4).unwrap();
+        let sb = sparse(32, 64, cfg, 7); // q = 16 windows
+        let sm = SlicedMatrix::build(&sb, SlicedLayout::new(4, 8).unwrap()).unwrap();
+        let mut sorted = sm.perm().perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..16).collect::<Vec<_>>());
+        // Windows never cross their sigma group.
+        for (new, &old) in sm.perm().perm.iter().enumerate() {
+            assert_eq!(new / 8, old / 8, "window {old} escaped its sort group");
+        }
+        // sigma = 1 is the identity.
+        let id = SlicedMatrix::build(&sb, SlicedLayout::new(4, 1).unwrap()).unwrap();
+        assert_eq!(id.perm().perm, (0..16).collect::<Vec<_>>());
+        assert_eq!(id.perm().swaps, 0);
+    }
+
+    #[test]
+    fn inverse_round_trips_bit_for_bit() {
+        let cfg = NmConfig::new(2, 8, 4).unwrap();
+        let sb = sparse(32, 60, cfg, 9); // ragged n: final window is narrower
+        let sm = SlicedMatrix::build(&sb, SlicedLayout::new(3, 15).unwrap()).unwrap();
+        let inv = sm.inverse();
+        for (old, &new) in inv.iter().enumerate() {
+            assert_eq!(sm.perm().perm[new], old);
+        }
+        // Reassembling rows from the slice panels through the spans
+        // restores the original values exactly.
+        let values = sb.values();
+        for u in 0..sm.w() {
+            let mut restored = vec![0f32; sm.cols()];
+            for s in 0..sm.slices() {
+                let width = sm.width(s);
+                let panel = sm.value_panel(s);
+                let mut off = 0usize;
+                for pos in sm.slice_windows(s) {
+                    let (col, lw) = sm.span(pos);
+                    restored[col..col + lw]
+                        .copy_from_slice(&panel[u * width + off..u * width + off + lw]);
+                    off += lw;
+                }
+            }
+            assert_eq!(restored, values.row(u), "row {u} must restore bit-for-bit");
+        }
+    }
+
+    #[test]
+    fn gather_indices_are_absolute_and_match_d() {
+        let cfg = NmConfig::new(2, 8, 16).unwrap();
+        let sb = sparse(40, 32, cfg, 11); // k=40 pads to 40 (M=8): w=10
+        let sm = SlicedMatrix::build(&sb, SlicedLayout::new(1, 2).unwrap()).unwrap();
+        let d = sb.indices();
+        for s in 0..sm.slices() {
+            for (wi, pos) in sm.slice_windows(s).enumerate() {
+                let jw = sm.perm().perm[pos];
+                let idx = sm.gather_span(s, wi, 0, sm.w());
+                for (u, &got) in idx.iter().enumerate() {
+                    let want = u / cfg.n * cfg.m + d.get(u, jw) as usize;
+                    assert_eq!(got as usize, want);
+                }
+                // Partial ranges view the same stream.
+                assert_eq!(sm.gather_span(s, wi, 2, 5), &idx[2..5]);
+            }
+        }
+    }
+
+    #[test]
+    fn ragged_window_count_leaves_a_short_tail_slice() {
+        let cfg = NmConfig::new(2, 4, 4).unwrap();
+        let sb = sparse(16, 28, cfg, 13); // q = 7 windows
+        let sm = SlicedMatrix::build(&sb, SlicedLayout::new(4, 4).unwrap()).unwrap();
+        assert_eq!(sm.slices(), 2);
+        assert_eq!(sm.slice_windows(0).len(), 4);
+        assert_eq!(sm.slice_windows(1).len(), 3);
+        assert_eq!(sm.width(0) + sm.width(1), 28);
+    }
+
+    #[test]
+    fn storage_accounting_matches_the_analytic_formula() {
+        let cfg = NmConfig::new(2, 16, 4).unwrap();
+        let sb = sparse(64, 64, cfg, 15);
+        let sm = SlicedMatrix::build(&sb, SlicedLayout::DEFAULT).unwrap();
+        let (w, n, q) = (sb.w(), sb.cols(), sb.q());
+        assert_eq!(sm.storage_bytes(), w * n * 4 + w * q * 4 + q * 4);
+        assert_eq!(
+            sm.storage_bytes(),
+            SlicedLayout::DEFAULT.storage_bytes_for(w, n, q)
+        );
+        // The panels really hold every value and index exactly once.
+        assert_eq!(sm.values.len(), w * n);
+        assert_eq!(sm.gather.len(), w * q);
+    }
+}

@@ -10,6 +10,7 @@ use crate::index::{IndexLayout, IndexMatrix};
 use crate::matrix::MatrixF32;
 use crate::pattern::NmConfig;
 use crate::prune::{select, PrunePolicy};
+use crate::sliced::StorageFormat;
 use serde::{Deserialize, Serialize};
 
 /// A dense matrix pruned to N:M vector-wise sparsity and stored compressed.
@@ -179,6 +180,25 @@ impl NmSparseMatrix {
     pub fn compression_ratio(&self, layout: IndexLayout) -> f64 {
         self.dense_bytes() as f64 / self.storage_bytes(layout) as f64
     }
+
+    /// Compressed footprint in bytes under an arbitrary storage format.
+    ///
+    /// [`StorageFormat::RowMajor`] defers to [`NmSparseMatrix::storage_bytes`]
+    /// with `layout`; a sliced format re-lays the same floats out in slice
+    /// panels but replaces the `u8`/bit-packed `D` with absolute `u32`
+    /// gather indices plus a window permutation table, so `layout` does not
+    /// apply to it — the sliced footprint is always the `u32` one.
+    pub fn storage_bytes_as(&self, format: StorageFormat, layout: IndexLayout) -> usize {
+        match format {
+            StorageFormat::RowMajor => self.storage_bytes(layout),
+            StorageFormat::Sliced(s) => s.storage_bytes_for(self.w(), self.cols(), self.q()),
+        }
+    }
+
+    /// `dense_bytes / storage_bytes_as` under an arbitrary storage format.
+    pub fn compression_ratio_as(&self, format: StorageFormat, layout: IndexLayout) -> f64 {
+        self.dense_bytes() as f64 / self.storage_bytes_as(format, layout) as f64
+    }
 }
 
 #[cfg(test)]
@@ -301,6 +321,34 @@ mod tests {
         assert!(
             sb.storage_bytes(IndexLayout::RowMajorU8) > packed,
             "u8 layout must cost more than bit-packed"
+        );
+    }
+
+    #[test]
+    fn per_format_storage_accounting() {
+        use crate::sliced::{SlicedLayout, StorageFormat};
+        let b = MatrixF32::random(64, 64, 6);
+        let c = cfg(2, 16, 4); // w=8, q=16
+        let sb = NmSparseMatrix::prune_magnitude(&b, c).unwrap();
+        // Row-major defers to the layout-specific accounting.
+        for layout in [IndexLayout::RowMajorU8, IndexLayout::BitPacked] {
+            assert_eq!(
+                sb.storage_bytes_as(StorageFormat::RowMajor, layout),
+                sb.storage_bytes(layout)
+            );
+        }
+        // Sliced: same floats, u32 gather indices + u32 permutation table,
+        // independent of the index layout argument.
+        let sliced = StorageFormat::Sliced(SlicedLayout::DEFAULT);
+        let bytes = sb.storage_bytes_as(sliced, IndexLayout::BitPacked);
+        assert_eq!(bytes, 8 * 64 * 4 + 8 * 16 * 4 + 16 * 4);
+        assert_eq!(bytes, sb.storage_bytes_as(sliced, IndexLayout::RowMajorU8));
+        // The u32 indices cost more than the u8 D — honest accounting.
+        assert!(bytes > sb.storage_bytes(IndexLayout::RowMajorU8));
+        assert!(sb.compression_ratio_as(sliced, IndexLayout::BitPacked) > 1.0);
+        assert!(
+            sb.compression_ratio_as(sliced, IndexLayout::BitPacked)
+                < sb.compression_ratio(IndexLayout::BitPacked)
         );
     }
 

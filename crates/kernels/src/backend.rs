@@ -166,6 +166,12 @@ pub trait PreparedState: Send + Sync {
     fn isa(&self) -> Option<Isa> {
         None
     }
+
+    /// The `B′` storage format this preparation staged, when the backend
+    /// stages one (CPU ladder); `None` for the simulator.
+    fn storage(&self) -> Option<nm_core::sliced::StorageFormat> {
+        None
+    }
 }
 
 /// A way to execute a resolved plan on concrete operands.
@@ -324,6 +330,10 @@ impl PreparedState for CpuPrepared {
     fn isa(&self) -> Option<Isa> {
         Some(CpuPrepared::isa(self))
     }
+
+    fn storage(&self) -> Option<nm_core::sliced::StorageFormat> {
+        Some(CpuPrepared::format(self))
+    }
 }
 
 /// The native CPU backend at one step of the V1→V3 ladder.
@@ -385,19 +395,25 @@ impl ExecBackend for CpuBackend {
         sb: &NmSparseMatrix,
     ) -> Result<Box<dyn PreparedState>> {
         let cfg = sb.cfg();
-        let measured_tiling = plan
+        let measured = plan
             .measured
             .as_ref()
-            .filter(|m| m.ladder_version == self.version)
+            .filter(|m| m.ladder_version == self.version);
+        let measured_tiling = measured
             .map(|m| m.cpu_tiling)
             .filter(|t| t.nb.is_multiple_of(cfg.l) && t.kb.is_multiple_of(cfg.m));
         let tiling = match measured_tiling {
             Some(t) => t,
             None => CpuTiling::derive(plan.params, cfg, sb.k())?,
         };
+        // The storage format follows the same evidence rule as the tile
+        // geometry: measured evidence for *this* ladder step wins,
+        // otherwise the plan key's lane (row-major on the auto lane, the
+        // pinned layout on a pinned one).
+        let format = measured.map(|m| m.storage).unwrap_or(plan.key.storage);
         let prep = match self.kernel {
-            Some(k) => CpuPrepared::with_kernel(self.version, sb, tiling, k)?,
-            None => CpuPrepared::new(self.version, sb, tiling)?,
+            Some(k) => CpuPrepared::with_format(self.version, sb, tiling, k, format)?,
+            None => CpuPrepared::new_with_format(self.version, sb, tiling, format)?,
         };
         Ok(Box::new(prep))
     }
@@ -561,6 +577,60 @@ mod tests {
         let run = backend.run_prepared(&dev, &plan, &*state, &a, &sb).unwrap();
         assert_eq!(run.isa, Some(Isa::Scalar));
         assert!(run.c.allclose(&spmm_reference(&a, &sb), 1e-3, 1e-4));
+    }
+
+    #[test]
+    fn plan_storage_lane_drives_the_staged_format() {
+        use crate::plan::ShapeClass;
+        use nm_core::sliced::{SlicedLayout, StorageFormat};
+        let dev = a100_80g();
+        let cfg = NmConfig::new(2, 8, 32).unwrap();
+        let b = MatrixF32::random(128, 128, 5);
+        let sb = NmSparseMatrix::prune_magnitude(&b, cfg).unwrap();
+        let a = MatrixF32::random(1, 128, 6);
+        let expect = spmm_reference(&a, &sb);
+        let backend = CpuBackend::new(NmVersion::V3);
+
+        // A sliced-pinned plan stages SELL-C-σ.
+        let pin = StorageFormat::Sliced(SlicedLayout::DEFAULT);
+        let pinned = Planner::new(dev.clone())
+            .plan_stored(ShapeClass::Decode(1), pin, 1, 128, 128, cfg)
+            .unwrap();
+        let state = backend.prepare(&dev, &pinned, &sb).unwrap();
+        let prep = state.as_any().downcast_ref::<CpuPrepared>().unwrap();
+        assert_eq!(prep.format(), pin);
+        let run = backend
+            .run_prepared(&dev, &pinned, &*state, &a, &sb)
+            .unwrap();
+        assert!(run.c.allclose(&expect, 1e-3, 1e-4));
+
+        // Measured evidence for this ladder step carries the format too.
+        let auto = Planner::new(dev.clone())
+            .plan_as(ShapeClass::Decode(1), 1, 128, 128, cfg)
+            .unwrap();
+        let spec = crate::measure::MeasureSpec {
+            warmup_iters: 0,
+            timed_iters: 1,
+            tiling_variants: false,
+        };
+        let outcome = crate::measure::measure(&pinned, &sb, 1, None, spec).unwrap();
+        assert_eq!(outcome.best.storage, pin, "pin restricts candidates");
+        let host = crate::plan::PlanHost {
+            isa: MicroKernel::select().unwrap().isa().name().to_string(),
+            threads: rayon::current_num_threads(),
+        };
+        let mut choice = outcome.best;
+        choice.ladder_version = NmVersion::V3;
+        let measured = auto.with_measured(host, choice).unwrap();
+        let state = backend.prepare(&dev, &measured, &sb).unwrap();
+        let prep = state.as_any().downcast_ref::<CpuPrepared>().unwrap();
+        assert_eq!(prep.format(), pin, "measured storage wins on the auto lane");
+        // A different ladder step ignores the foreign evidence and stays
+        // on the key's lane.
+        let v1 = CpuBackend::new(NmVersion::V1);
+        let state = v1.prepare(&dev, &measured, &sb).unwrap();
+        let prep = state.as_any().downcast_ref::<CpuPrepared>().unwrap();
+        assert_eq!(prep.format(), StorageFormat::RowMajor);
     }
 
     #[test]

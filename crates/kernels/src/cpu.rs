@@ -40,6 +40,7 @@ use nm_core::colinfo::{preprocess, PackedLayout};
 use nm_core::error::{NmError, Result};
 use nm_core::matrix::MatrixF32;
 use nm_core::pattern::{NmConfig, SparsityClass};
+use nm_core::sliced::{SlicedLayout, SlicedMatrix, StorageFormat};
 use nm_core::sparse::NmSparseMatrix;
 use rayon::prelude::*;
 
@@ -186,8 +187,20 @@ pub struct CpuPrepared {
     n: usize,
     k: usize,
     content_fp: u64,
-    staged: StagedB,
+    staged: StagedFormat,
     packed: Option<PackedLayout>,
+}
+
+/// Which staging a preparation carries — the kernel-side face of
+/// [`StorageFormat`]. The row-major arm is the existing
+/// `transformLayout` product, untouched; the sliced arm gathers through
+/// pre-resolved absolute indices and needs neither the per-call index
+/// reconstruction nor the packed `A` staging.
+enum StagedFormat {
+    /// Block-contiguous `B′` panels (the paper's layout).
+    RowMajor(StagedB),
+    /// SELL-C-σ slice panels with absolute gather indices.
+    Sliced(StagedSliced),
 }
 
 /// FNV-1a over a bounded strided sample of `B′` values and `D` indices —
@@ -233,6 +246,22 @@ impl CpuPrepared {
         Self::with_kernel(version, sb, tiling, MicroKernel::select()?)
     }
 
+    /// As [`CpuPrepared::new`] but staging `sb` in an explicit
+    /// [`StorageFormat`] — the planner/autotuner entry point for the
+    /// sliced layout.
+    ///
+    /// # Errors
+    /// As [`CpuPrepared::new`], plus [`NmError::InvalidConfig`] for an
+    /// invalid sliced parameterization.
+    pub fn new_with_format(
+        version: NmVersion,
+        sb: &NmSparseMatrix,
+        tiling: CpuTiling,
+        format: StorageFormat,
+    ) -> Result<Self> {
+        Self::with_format(version, sb, tiling, MicroKernel::select()?, format)
+    }
+
     /// As [`CpuPrepared::new`] but with an explicit micro-kernel — the
     /// hook the parity suites use to A/B every compiled ISA on one host.
     ///
@@ -244,6 +273,27 @@ impl CpuPrepared {
         sb: &NmSparseMatrix,
         tiling: CpuTiling,
         kernel: MicroKernel,
+    ) -> Result<Self> {
+        Self::with_format(version, sb, tiling, kernel, StorageFormat::RowMajor)
+    }
+
+    /// The fully explicit constructor: micro-kernel *and* storage format.
+    /// Row-major runs the existing `transformLayout` staging (plus the
+    /// `col_info` packing where the version and sparsity call for it); a
+    /// sliced format builds the SELL-C-σ panels instead and replicates the
+    /// row-major block classification per window, so both stagings execute
+    /// the same arithmetic in the same order — bit-identical results.
+    ///
+    /// # Errors
+    /// [`NmError::InvalidBlocking`] when the tiling is not window-aligned
+    /// for `sb`'s configuration; [`NmError::InvalidConfig`] for an invalid
+    /// sliced parameterization.
+    pub fn with_format(
+        version: NmVersion,
+        sb: &NmSparseMatrix,
+        tiling: CpuTiling,
+        kernel: MicroKernel,
+        format: StorageFormat,
     ) -> Result<Self> {
         let cfg = sb.cfg();
         if tiling.mb == 0 || tiling.mt == 0 {
@@ -276,19 +326,31 @@ impl CpuPrepared {
         let nb = tiling.nb.min(n.max(1).div_ceil(cfg.l) * cfg.l);
         let tiling = CpuTiling { kb, nb, ..tiling };
 
-        // transformLayout: stage B′ into block-contiguous panels, once.
-        let staged = StagedB::build(sb, nb, kb);
-
-        // Offline col_info pre-processing for the packed (V2/V3,
-        // high-sparsity) data path.
-        let packed = match version {
-            NmVersion::V1 => None,
-            NmVersion::V2 | NmVersion::V3 => {
-                if uses_packing(cfg) {
-                    Some(preprocess(sb, kb, nb)?)
-                } else {
-                    None
-                }
+        // Stage B′ once, in the requested format. The sliced staging
+        // gathers through absolute indices, so it needs no packed layout —
+        // it replicates the packed path's zero-padded loads directly.
+        let (staged, packed) = match format {
+            StorageFormat::RowMajor => {
+                // transformLayout: stage B′ into block-contiguous panels.
+                let staged = StagedB::build(sb, nb, kb);
+                // Offline col_info pre-processing for the packed (V2/V3,
+                // high-sparsity) data path.
+                let packed = match version {
+                    NmVersion::V1 => None,
+                    NmVersion::V2 | NmVersion::V3 => {
+                        if uses_packing(cfg) {
+                            Some(preprocess(sb, kb, nb)?)
+                        } else {
+                            None
+                        }
+                    }
+                };
+                (StagedFormat::RowMajor(staged), packed)
+            }
+            StorageFormat::Sliced(layout) => {
+                let twin_packed = version != NmVersion::V1 && uses_packing(cfg);
+                let staged = StagedSliced::build(sb, nb, kb, twin_packed, layout)?;
+                (StagedFormat::Sliced(staged), None)
             }
         };
         Ok(Self {
@@ -324,6 +386,14 @@ impl CpuPrepared {
     /// The selected micro-kernel.
     pub fn kernel(&self) -> MicroKernel {
         self.kernel
+    }
+
+    /// The storage format this preparation staged `B′` in.
+    pub fn format(&self) -> StorageFormat {
+        match &self.staged {
+            StagedFormat::RowMajor(_) => StorageFormat::RowMajor,
+            StagedFormat::Sliced(ss) => StorageFormat::Sliced(ss.sm.layout()),
+        }
     }
 }
 
@@ -400,40 +470,85 @@ pub fn spmm_cpu_prepared(
     let double_buffer = prep.version == NmVersion::V3;
     let mk = prep.kernel;
 
-    match prep.version {
-        // V3: rayon row panels (each owns its scratch and staging buffers).
-        NmVersion::V3 => {
-            c.as_mut_slice()
-                .par_chunks_mut(tiling.mb * n)
-                .enumerate()
-                .for_each(|(panel, c_panel)| {
+    match &prep.staged {
+        StagedFormat::RowMajor(staged) => match prep.version {
+            // V3: rayon row panels (each owns its scratch and staging
+            // buffers).
+            NmVersion::V3 => {
+                c.as_mut_slice()
+                    .par_chunks_mut(tiling.mb * n)
+                    .enumerate()
+                    .for_each(|(panel, c_panel)| {
+                        run_panel(
+                            a,
+                            sb,
+                            &tiling,
+                            staged,
+                            prep.packed.as_ref(),
+                            mk,
+                            double_buffer,
+                            panel * tiling.mb,
+                            c_panel,
+                        );
+                    });
+            }
+            // V1/V2: sequential panels (the ladder adds parallelism only
+            // at V3).
+            _ => {
+                for (panel, c_panel) in c.as_mut_slice().chunks_mut(tiling.mb * n).enumerate() {
                     run_panel(
                         a,
                         sb,
                         &tiling,
-                        &prep.staged,
+                        staged,
                         prep.packed.as_ref(),
                         mk,
-                        double_buffer,
+                        false,
                         panel * tiling.mb,
                         c_panel,
                     );
-                });
-        }
-        // V1/V2: sequential panels (the ladder adds parallelism only at V3).
-        _ => {
-            for (panel, c_panel) in c.as_mut_slice().chunks_mut(tiling.mb * n).enumerate() {
-                run_panel(
-                    a,
-                    sb,
-                    &tiling,
-                    &prep.staged,
-                    prep.packed.as_ref(),
-                    mk,
-                    false,
-                    panel * tiling.mb,
-                    c_panel,
-                );
+                }
+            }
+        },
+        StagedFormat::Sliced(ss) => {
+            let a_data = a.as_slice();
+            // When gather indices can legitimately reach the padded tail
+            // of the final window (k not a multiple of M), gather from a
+            // zero-padded copy of A — the same 0.0 the packed path loads
+            // from its zero-filled panels, so results stay bit-identical.
+            let padded: Option<Vec<f32>> = if ss.k_pad > k {
+                let mut p = vec![0f32; m * ss.k_pad];
+                for (dst, src) in p.chunks_mut(ss.k_pad).zip(a_data.chunks(k)) {
+                    dst[..k].copy_from_slice(src);
+                }
+                Some(p)
+            } else {
+                None
+            };
+            let (xa, xk) = match &padded {
+                Some(p) => (p.as_slice(), ss.k_pad),
+                None => (a_data, k),
+            };
+            let l = prep.cfg.l;
+            match prep.version {
+                // V3: output rows are bit-independent, so the sliced path
+                // parallelizes per row (the decode band rarely has more
+                // than a handful).
+                NmVersion::V3 => {
+                    c.as_mut_slice()
+                        .par_chunks_mut(n)
+                        .enumerate()
+                        .for_each(|(i, y)| {
+                            let mut acc = vec![0f32; l];
+                            run_sliced_row(&xa[i * xk..(i + 1) * xk], ss, mk, l, &mut acc, y);
+                        });
+                }
+                _ => {
+                    let mut acc = vec![0f32; l];
+                    for (i, y) in c.as_mut_slice().chunks_mut(n).enumerate() {
+                        run_sliced_row(&xa[i * xk..(i + 1) * xk], ss, mk, l, &mut acc, y);
+                    }
+                }
             }
         }
     }
@@ -510,11 +625,176 @@ impl StagedB {
         }
     }
 
-    /// The contiguous panel for `(column-block jbi, k-block bk)`.
+    /// The contiguous panel for `(column-block jbi, bk)`.
     #[inline]
     fn block(&self, jbi: usize, bk: usize) -> &[f32] {
         let i = jbi * self.kblocks + bk;
         &self.data[self.offs[i]..self.offs[i + 1]]
+    }
+}
+
+/// The SELL-C-σ staging: the built [`SlicedMatrix`] plus the *op-flavor
+/// map* that makes the sliced path bit-identical to the row-major one.
+///
+/// Every `(window, k-block)` pair is classified exactly as the row-major
+/// twin staging would classify the block containing it — vectorized
+/// micro-tile versus general mul-add-with-zero-skip — because the two
+/// flavors round differently (FMA versus separate multiply/add) and the
+/// general path skips zero operands. Replicating the classification at
+/// staging time, from the same clamped tile geometry, means the sliced
+/// kernel performs the same floating-point operations on the same values
+/// in the same per-element order.
+struct StagedSliced {
+    sm: SlicedMatrix,
+    /// Compressed rows per k-block (same formula as the row-major twin).
+    ub: usize,
+    kblocks: usize,
+    /// `k` rounded up to the window depth `M`; gather indices may
+    /// legitimately reach `[k, k_pad)` in the padded final window.
+    k_pad: usize,
+    /// Fast flag per `(permuted window position, k-block)`,
+    /// `fast[pos * kblocks + bk]`.
+    fast: Vec<bool>,
+}
+
+impl StagedSliced {
+    /// Build the sliced staging for the clamped block geometry
+    /// `(nb, kb)`. `twin_packed` says whether the row-major twin of this
+    /// preparation would take the packed data path (V2/V3 at high
+    /// sparsity) — packed blocks are unconditionally in bounds, which
+    /// widens the twin's fast classification.
+    fn build(
+        sb: &NmSparseMatrix,
+        nb: usize,
+        kb: usize,
+        twin_packed: bool,
+        layout: SlicedLayout,
+    ) -> Result<Self> {
+        let cfg = sb.cfg();
+        let (w, n, q, k) = (sb.w(), sb.cols(), sb.q(), sb.k());
+        let sm = SlicedMatrix::build(sb, layout)?;
+        let ub = kb * cfg.n / cfg.m;
+        let jblocks = n.div_ceil(nb);
+        let kblocks = w.div_ceil(ub);
+        let d = sb.indices();
+
+        // Replicate the row-major twin's per-block fast classification
+        // (see `run_panel`): 16-divisible windows, no partial window in
+        // the column block, and in-bounds gathers (always true for the
+        // packed source; per-index for the direct one).
+        let mut fast_old = vec![false; q * kblocks];
+        if cfg.l.is_multiple_of(NW) {
+            for jbi in 0..jblocks {
+                let jb = jbi * nb;
+                let jb_hi = (jb + nb).min(n);
+                if !(jb_hi - jb).is_multiple_of(cfg.l) {
+                    continue;
+                }
+                let j_lo = jb / cfg.l;
+                let j_hi = jb_hi.div_ceil(cfg.l).min(q);
+                for bk in 0..kblocks {
+                    let u_lo = bk * ub;
+                    let u_hi = ((bk + 1) * ub).min(w);
+                    let in_bounds = twin_packed
+                        || (bk + 1) * kb <= k
+                        || (j_lo..j_hi).all(|j| {
+                            (u_lo..u_hi).all(|u| u / cfg.n * cfg.m + (d.get(u, j) as usize) < k)
+                        });
+                    if in_bounds {
+                        for j in j_lo..j_hi {
+                            fast_old[j * kblocks + bk] = true;
+                        }
+                    }
+                }
+            }
+        }
+        // Re-index the flags to permuted window positions.
+        let fast = (0..q)
+            .flat_map(|pos| {
+                let old = sm.perm().perm[pos];
+                fast_old[old * kblocks..(old + 1) * kblocks].to_vec()
+            })
+            .collect();
+        Ok(Self {
+            sm,
+            ub,
+            kblocks,
+            k_pad: k.div_ceil(cfg.m) * cfg.m,
+            fast,
+        })
+    }
+}
+
+/// One output row through the sliced staging: `y += x ⊛ slices`.
+///
+/// `x` must already be zero-padded to `k_pad` when the padded final
+/// window is reachable (the caller handles this once per call). Fast
+/// windows run the same register micro-tiles as the row-major path over
+/// the pre-resolved absolute indices — no per-call index reconstruction,
+/// no `A` panel packing; general windows replicate the row-major general
+/// path's zeroed accumulator and zero-operand skip. Write-back lands at
+/// each window's original column span, so the permutation never escapes.
+fn run_sliced_row(
+    x: &[f32],
+    ss: &StagedSliced,
+    mk: MicroKernel,
+    l: usize,
+    acc_scratch: &mut [f32],
+    y: &mut [f32],
+) {
+    let sm = &ss.sm;
+    let w = sm.w();
+    let wide = l.is_multiple_of(NW2);
+    let ar = [x];
+    for s in 0..sm.slices() {
+        let width = sm.width(s);
+        let vals = sm.value_panel(s);
+        for bk in 0..ss.kblocks {
+            let u_lo = bk * ss.ub;
+            let u_hi = ((bk + 1) * ss.ub).min(w);
+            let panel = &vals[u_lo * width..u_hi * width];
+            let mut col_off = 0usize;
+            for (wi, pos) in sm.slice_windows(s).enumerate() {
+                let (col, lw) = sm.span(pos);
+                let idx = sm.gather_span(s, wi, u_lo, u_hi);
+                if ss.fast[pos * ss.kblocks + bk] {
+                    #[cfg(test)]
+                    instrument::SLICED_FAST.with(|c| c.set(c.get() + 1));
+                    if wide {
+                        for off in (0..l).step_by(NW2) {
+                            let acc = mk.tile32(&ar, idx, panel, width, col_off + off);
+                            for (out, add) in y[col + off..col + off + NW2].iter_mut().zip(&acc[0])
+                            {
+                                *out += add;
+                            }
+                        }
+                    } else {
+                        for off in (0..l).step_by(NW) {
+                            let acc = mk.tile16(&ar, idx, panel, width, col_off + off);
+                            for (out, add) in y[col + off..col + off + NW].iter_mut().zip(&acc[0]) {
+                                *out += add;
+                            }
+                        }
+                    }
+                } else {
+                    let acc = &mut acc_scratch[..lw];
+                    acc.fill(0.0);
+                    for (ui, &si) in idx.iter().enumerate() {
+                        let alpha = x[si as usize];
+                        if alpha != 0.0 {
+                            let at = ui * width + col_off;
+                            for (out, bv) in acc.iter_mut().zip(&panel[at..at + lw]) {
+                                *out += alpha * bv;
+                            }
+                        }
+                    }
+                    for (out, add) in y[col..col + lw].iter_mut().zip(&acc[..]) {
+                        *out += add;
+                    }
+                }
+                col_off += lw;
+            }
+        }
     }
 }
 
@@ -608,6 +888,10 @@ pub(crate) mod instrument {
         /// decode tiles. Zero before the ladder existed: rows < 4 fell
         /// through to the general scalar path.
         pub static SKINNY_RUNGS: Cell<usize> = const { Cell::new(0) };
+        /// `(window, k-block)` pairs the sliced path ran through the
+        /// vectorized micro-tiles — proof the sliced fast flavor was
+        /// actually exercised, not silently demoted to the general path.
+        pub static SLICED_FAST: Cell<usize> = const { Cell::new(0) };
     }
 }
 
@@ -1320,6 +1604,119 @@ mod tests {
             // a 2-row and a 1-row rung; m=6 → one 4-row tile + a 2-row rung.
             assert_eq!(skinny, want_skinny, "m = {m}: skinny-rung count");
         }
+    }
+
+    /// Sliced and row-major preparations of the same operand must produce
+    /// bit-identical outputs — not merely allclose — because the sliced
+    /// staging replicates the row-major op-flavor per window.
+    fn check_sliced_bitwise(m: usize, k: usize, n: usize, c: NmConfig, t: CpuTiling, seed: u64) {
+        let a = MatrixF32::random(m, k, seed);
+        let b = MatrixF32::random(k, n, seed + 1);
+        let sb = NmSparseMatrix::prune(&b, c, PrunePolicy::Random { seed: seed + 2 }).unwrap();
+        for version in [NmVersion::V1, NmVersion::V2, NmVersion::V3] {
+            let rm = CpuPrepared::with_kernel(version, &sb, t, MicroKernel::scalar()).unwrap();
+            for layout in [
+                SlicedLayout::new(1, 1).unwrap(),
+                SlicedLayout::new(4, 4).unwrap(),
+                SlicedLayout::DEFAULT,
+            ] {
+                let sl = CpuPrepared::with_format(
+                    version,
+                    &sb,
+                    t,
+                    MicroKernel::scalar(),
+                    StorageFormat::Sliced(layout),
+                )
+                .unwrap();
+                assert_eq!(sl.format(), StorageFormat::Sliced(layout));
+                let want = spmm_cpu_prepared(&a, &sb, &rm).unwrap();
+                let got = spmm_cpu_prepared(&a, &sb, &sl).unwrap();
+                assert_eq!(
+                    got.as_slice(),
+                    want.as_slice(),
+                    "{c} {version:?} {layout}: sliced must be bit-identical to row-major"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sliced_is_bit_identical_across_levels_and_versions() {
+        for c in NmConfig::paper_levels(16) {
+            let t = CpuTiling::auto(c, 4, 64, 128).unwrap();
+            check_sliced_bitwise(1, 128, 64, c, t, 71);
+            check_sliced_bitwise(3, 128, 64, c, t, 73);
+        }
+    }
+
+    #[test]
+    fn sliced_is_bit_identical_on_ragged_shapes() {
+        // Ragged everything: n not a multiple of L (partial final window),
+        // k not a multiple of M (padded tail window), q not divisible by
+        // the slice height, odd L off the fast path entirely.
+        let c4 = cfg(2, 16, 4);
+        check_sliced_bitwise(
+            2,
+            67,
+            45,
+            c4,
+            CpuTiling {
+                mb: 16,
+                nb: 8,
+                kb: 32,
+                mt: 4,
+            },
+            81,
+        );
+        // L=16 with a padded tail (k=36): mixes fast and general flavors.
+        let c16 = cfg(2, 8, 16);
+        check_sliced_bitwise(
+            1,
+            36,
+            32,
+            c16,
+            CpuTiling {
+                mb: 8,
+                nb: 32,
+                kb: 32,
+                mt: 4,
+            },
+            83,
+        );
+    }
+
+    #[test]
+    fn sliced_fast_windows_run_the_micro_tiles() {
+        let c = cfg(2, 8, 16);
+        let t = CpuTiling {
+            mb: 8,
+            nb: 32,
+            kb: 32,
+            mt: 4,
+        };
+        let (k, n) = (64, 32);
+        let b = MatrixF32::random(k, n, 91);
+        let sb = NmSparseMatrix::prune_magnitude(&b, c).unwrap();
+        let prep = CpuPrepared::with_format(
+            NmVersion::V1,
+            &sb,
+            t,
+            MicroKernel::scalar(),
+            StorageFormat::Sliced(SlicedLayout::DEFAULT),
+        )
+        .unwrap();
+        let x = MatrixF32::random(1, k, 92);
+        let before = instrument::SLICED_FAST.with(|c| c.get());
+        let y = spmv_cpu_prepared(x.row(0), &sb, &prep).unwrap();
+        let fast = instrument::SLICED_FAST.with(|c| c.get()) - before;
+        // 2 windows × 2 k-blocks, all block-aligned: every pair is fast.
+        assert_eq!(fast, 4, "all sliced (window, k-block) pairs must be fast");
+        let rm = CpuPrepared::with_kernel(NmVersion::V1, &sb, t, MicroKernel::scalar()).unwrap();
+        let want = spmv_cpu_prepared(x.row(0), &sb, &rm).unwrap();
+        assert_eq!(y, want, "bit-identical to the row-major decode path");
+        let expect = spmm_reference(&x, &sb);
+        let got = MatrixF32::from_vec(1, n, y);
+        assert!(got.allclose(&expect, 1e-3, 1e-4));
     }
 
     #[test]

@@ -97,6 +97,20 @@ impl Engine {
         self.planner.plan_as(class, m, n, k, cfg)
     }
 
+    /// Plan under an explicit shape class **and** storage-format lane
+    /// (cached) — see [`Planner::plan_stored`].
+    pub fn plan_stored(
+        &mut self,
+        class: crate::plan::ShapeClass,
+        storage: nm_core::sliced::StorageFormat,
+        m: usize,
+        n: usize,
+        k: usize,
+        cfg: NmConfig,
+    ) -> Result<Plan> {
+        self.planner.plan_stored(class, storage, m, n, k, cfg)
+    }
+
     /// Counted lookup under an arbitrary key — the session layer's path to
     /// measured (host-scoped) entries. Bumps the hit or miss counter.
     pub fn lookup(&mut self, key: &crate::plan::PlanKey) -> Option<Plan> {

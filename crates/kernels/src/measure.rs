@@ -38,6 +38,7 @@ use crate::plan::{MeasuredChoice, Plan};
 use crate::simd::MicroKernel;
 use nm_core::error::{NmError, Result};
 use nm_core::matrix::MatrixF32;
+use nm_core::sliced::{SlicedLayout, StorageFormat};
 use nm_core::sparse::NmSparseMatrix;
 use std::time::Instant;
 
@@ -154,6 +155,8 @@ pub struct MeasuredSample {
     pub version: NmVersion,
     /// The (effective, clamped) tile geometry it ran with.
     pub tiling: CpuTiling,
+    /// The `B′` storage format it staged.
+    pub storage: StorageFormat,
     /// Best (minimum) per-iteration wall time, seconds.
     pub seconds: f64,
     /// Useful throughput at `seconds`, GFLOP/s.
@@ -253,9 +256,38 @@ pub fn tiling_candidates(plan: &Plan, sb: &NmSparseMatrix, variants: bool) -> Ve
     out
 }
 
-/// Run the short-run harness: benchmark candidate tilings × ladder
-/// versions V1–V3 against `sb` for activations of `rows` rows, and return
-/// the measured-best together with every sample.
+/// Deterministic candidate storage formats for one plan.
+///
+/// A plan pinned to a specific format (its
+/// [`PlanKey::storage`](crate::plan::PlanKey) is not the row-major auto
+/// lane) measures that format only — the pin is the user's call, the
+/// harness merely finds the best tiling × version for it. On the auto lane,
+/// decode-class keys compare row-major against the SELL-C-σ sliced grid
+/// (`C ∈ {4, 8, 32}`, `σ ∈ {1, C, 4·C}`); every other shape class stays
+/// row-major (the prefill staging path is already column-panel
+/// contiguous, so slicing has nothing to sell there). Row-major
+/// enumerates first so timing ties keep the simpler format.
+pub fn format_candidates(plan: &Plan) -> Vec<StorageFormat> {
+    if plan.key.storage.is_sliced() {
+        return vec![plan.key.storage];
+    }
+    let mut out = vec![StorageFormat::RowMajor];
+    if plan.key.shape.is_decode() {
+        for c in [4usize, 8, 32] {
+            for sigma in [1usize, c, 4 * c] {
+                let f = StorageFormat::Sliced(SlicedLayout::new(c, sigma).unwrap());
+                if !out.contains(&f) {
+                    out.push(f);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Run the short-run harness: benchmark candidate tilings × storage
+/// formats × ladder versions V1–V3 against `sb` for activations of
+/// `rows` rows, and return the measured-best together with every sample.
 ///
 /// Each candidate's offline staging ([`CpuPrepared`]) happens **outside**
 /// its timed window and is reused across all its iterations; candidates
@@ -284,45 +316,51 @@ pub fn measure(
     let useful_flops = 2.0 * rows as f64 * sb.cols() as f64 * sb.w() as f64;
 
     let candidates = tiling_candidates(plan, sb, spec.tiling_variants);
+    let formats = format_candidates(plan);
     let mut samples = Vec::new();
     let mut best: Option<MeasuredSample> = None;
     for version in [NmVersion::V1, NmVersion::V2, NmVersion::V3] {
         for &tiling in &candidates {
-            // Offline: staging + packing + dispatch, excluded from the
-            // clock exactly as in production (`Session::load`).
-            let Ok(prep) = CpuPrepared::with_kernel(version, sb, tiling, kernel) else {
-                continue;
-            };
-            for _ in 0..spec.warmup_iters {
-                spmm_cpu_prepared(&a, sb, &prep)?;
-            }
-            let mut seconds = f64::INFINITY;
-            for _ in 0..spec.timed_iters.max(1) {
-                let t0 = Instant::now();
-                spmm_cpu_prepared(&a, sb, &prep)?;
-                seconds = seconds.min(t0.elapsed().as_secs_f64());
-            }
-            let sample = MeasuredSample {
-                version,
-                // The *effective* (clamped) geometry, so replaying the
-                // choice prepares exactly what was measured.
-                tiling: prep.tiling(),
-                seconds,
-                gflops: useful_flops / seconds / 1e9,
-            };
-            samples.push(sample);
-            // Strict `<`: ties keep the earlier (simpler) ladder step.
-            if best.is_none_or(|b| sample.seconds < b.seconds) {
-                best = Some(sample);
+            for &format in &formats {
+                // Offline: staging + packing + dispatch, excluded from
+                // the clock exactly as in production (`Session::load`).
+                let Ok(prep) = CpuPrepared::with_format(version, sb, tiling, kernel, format) else {
+                    continue;
+                };
+                for _ in 0..spec.warmup_iters {
+                    spmm_cpu_prepared(&a, sb, &prep)?;
+                }
+                let mut seconds = f64::INFINITY;
+                for _ in 0..spec.timed_iters.max(1) {
+                    let t0 = Instant::now();
+                    spmm_cpu_prepared(&a, sb, &prep)?;
+                    seconds = seconds.min(t0.elapsed().as_secs_f64());
+                }
+                let sample = MeasuredSample {
+                    version,
+                    // The *effective* (clamped) geometry, so replaying
+                    // the choice prepares exactly what was measured.
+                    tiling: prep.tiling(),
+                    storage: format,
+                    seconds,
+                    gflops: useful_flops / seconds / 1e9,
+                };
+                samples.push(sample);
+                // Strict `<`: ties keep the earlier (simpler) candidate
+                // — earlier ladder step, row-major before sliced.
+                if best.is_none_or(|b| sample.seconds < b.seconds) {
+                    best = Some(sample);
+                }
             }
         }
     }
     let Some(winner) = best else {
         return Err(NmError::InvalidBlocking {
             reason: format!(
-                "no CPU candidate could prepare for {} (tried {} tilings x 3 versions)",
+                "no CPU candidate could prepare for {} (tried {} tilings x {} formats x 3 versions)",
                 plan.key,
-                candidates.len()
+                candidates.len(),
+                formats.len()
             ),
         });
     };
@@ -330,6 +368,7 @@ pub fn measure(
         best: MeasuredChoice {
             ladder_version: winner.version,
             cpu_tiling: winner.tiling,
+            storage: winner.storage,
             gflops: winner.gflops,
             samples: spec.timed_iters.max(1),
         },
@@ -340,7 +379,7 @@ pub fn measure(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::plan::Planner;
+    use crate::plan::{Planner, ShapeClass};
     use gpu_sim::device::a100_80g;
     use nm_core::pattern::NmConfig;
     use nm_core::prune::PrunePolicy;
@@ -413,7 +452,10 @@ mod tests {
         // readings may differ between the two runs.
         assert_eq!(a.samples.len(), b.samples.len());
         for (x, y) in a.samples.iter().zip(&b.samples) {
-            assert_eq!((x.version, x.tiling), (y.version, y.tiling));
+            assert_eq!(
+                (x.version, x.tiling, x.storage),
+                (y.version, y.tiling, y.storage)
+            );
             assert!(x.seconds > 0.0 && x.gflops > 0.0);
         }
         assert_eq!(a.best.samples, spec.timed_iters);
@@ -446,10 +488,62 @@ mod tests {
         let mut dedup = full.clone();
         dedup.dedup();
         assert_eq!(dedup.len(), full.len(), "no duplicate candidates");
-        // The harness can actually time the skinny candidates.
+        // The harness can actually time the skinny candidates across
+        // every storage format.
         let spec = MeasureSpec::for_mode(AutotuneMode::Quick).unwrap();
+        let formats = format_candidates(&plan);
         let outcome = measure(&plan, &sb, 1, None, spec).unwrap();
-        assert_eq!(outcome.samples.len(), quick.len() * 3, "3 ladder steps");
+        assert_eq!(
+            outcome.samples.len(),
+            quick.len() * formats.len() * 3,
+            "3 ladder steps x formats"
+        );
+    }
+
+    #[test]
+    fn decode_plans_compare_storage_formats_and_pins_restrict_them() {
+        let cfg = NmConfig::new(2, 8, 32).unwrap();
+        let mut planner = Planner::new(a100_80g());
+        let decode = planner
+            .plan_as(ShapeClass::Decode(1), 1, 128, 128, cfg)
+            .unwrap();
+        let formats = format_candidates(&decode);
+        assert_eq!(formats[0], StorageFormat::RowMajor, "auto lane leads");
+        assert_eq!(
+            formats.len(),
+            1 + 9,
+            "row-major + C in {{4,8,32}} x sigma in {{1,C,4C}}: {formats:?}"
+        );
+        for c in [4usize, 8, 32] {
+            for sigma in [1, c, 4 * c] {
+                let f = StorageFormat::Sliced(SlicedLayout::new(c, sigma).unwrap());
+                assert!(formats.contains(&f), "missing {f}");
+            }
+        }
+        assert_eq!(formats, format_candidates(&decode), "deterministic");
+
+        // Prefill keys stay row-major only.
+        let prefill = planner.plan(64, 128, 128, cfg).unwrap();
+        assert_eq!(format_candidates(&prefill), vec![StorageFormat::RowMajor]);
+
+        // A pinned sliced plan measures exactly its pin.
+        let pin = StorageFormat::Sliced(SlicedLayout::DEFAULT);
+        let pinned = planner
+            .plan_stored(ShapeClass::Decode(1), pin, 1, 128, 128, cfg)
+            .unwrap();
+        assert_eq!(format_candidates(&pinned), vec![pin]);
+
+        // The measured winner records the storage format it staged.
+        let b = MatrixF32::random(128, 128, 9);
+        let sb = NmSparseMatrix::prune(&b, cfg, PrunePolicy::Random { seed: 10 }).unwrap();
+        let spec = MeasureSpec {
+            warmup_iters: 0,
+            timed_iters: 1,
+            tiling_variants: false,
+        };
+        let outcome = measure(&pinned, &sb, 1, None, spec).unwrap();
+        assert_eq!(outcome.best.storage, pin);
+        assert!(outcome.samples.iter().all(|s| s.storage == pin));
     }
 
     #[test]

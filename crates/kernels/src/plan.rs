@@ -36,6 +36,7 @@ use nm_analysis::strategy::{PipelineHint, PredictedBound, StrategyDecision};
 use nm_core::error::{NmError, Result};
 use nm_core::json::JsonValue;
 use nm_core::pattern::NmConfig;
+use nm_core::sliced::StorageFormat;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -227,6 +228,13 @@ pub struct PlanKey {
     /// plan, measure and cache separately from each other and from
     /// prefill.
     pub shape: ShapeClass,
+    /// The storage lane this plan is keyed to. [`StorageFormat::RowMajor`]
+    /// is both the paper's layout and the *auto* lane (measurement may
+    /// still pick a sliced winner, recorded in
+    /// [`MeasuredChoice::storage`]); an explicit sliced pin keys its own
+    /// cache identity so it never shadows the auto entry. Pre-v4
+    /// documents load as row-major.
+    pub storage: StorageFormat,
     /// The measurement scope for measured entries; `None` for cost-model
     /// plans. Part of the key, so measured evidence never shadows the
     /// analytic plan for the same shape (and vice versa).
@@ -246,6 +254,7 @@ impl PlanKey {
             m_win: cfg.m,
             l: cfg.l,
             shape: ShapeClass::of_rows(m),
+            storage: StorageFormat::RowMajor,
             host: None,
         }
     }
@@ -254,6 +263,14 @@ impl PlanKey {
     pub fn for_host(&self, host: PlanHost) -> Self {
         Self {
             host: Some(host),
+            ..self.clone()
+        }
+    }
+
+    /// The same key re-keyed to an explicit storage lane.
+    pub fn with_storage(&self, storage: StorageFormat) -> Self {
+        Self {
+            storage,
             ..self.clone()
         }
     }
@@ -273,6 +290,9 @@ impl std::fmt::Display for PlanKey {
         )?;
         if self.shape.is_decode() {
             write!(f, " [{}]", self.shape)?;
+        }
+        if self.storage != StorageFormat::RowMajor {
+            write!(f, " [{}]", self.storage)?;
         }
         if let Some(host) = &self.host {
             write!(f, " @{host}")?;
@@ -479,6 +499,10 @@ pub struct MeasuredChoice {
     /// The (effective, clamped) CPU tile geometry it measured fastest
     /// with.
     pub cpu_tiling: CpuTiling,
+    /// The storage format that measured fastest — on an auto
+    /// (row-major-keyed) decode entry this is where a sliced layout wins
+    /// its place; execution stages `B′` in this format.
+    pub storage: StorageFormat,
     /// Measured useful throughput of the winner, in GFLOP/s.
     pub gflops: f64,
     /// Timed iterations behind the winning sample.
@@ -700,6 +724,23 @@ fn host_from_json(v: Option<&JsonValue>) -> Result<Option<PlanHost>> {
     }
 }
 
+/// Parse a storage tag from a cache document. Absent/null fields load as
+/// row-major (pre-v4 documents predate the storage dimension); a present
+/// but unrecognized tag is a malformed document.
+fn storage_from_json(v: Option<&JsonValue>) -> Result<StorageFormat> {
+    match v {
+        None | Some(JsonValue::Null) => Ok(StorageFormat::RowMajor),
+        Some(s) => {
+            let tag = s.as_str().ok_or_else(|| NmError::Persist {
+                reason: "`storage` is not a string".into(),
+            })?;
+            StorageFormat::from_name(tag).map_err(|e| NmError::Persist {
+                reason: format!("malformed storage format: {e}"),
+            })
+        }
+    }
+}
+
 fn measured_to_json(m: &Option<MeasuredChoice>) -> JsonValue {
     match m {
         Some(m) => JsonValue::object(vec![
@@ -711,6 +752,7 @@ fn measured_to_json(m: &Option<MeasuredChoice>) -> JsonValue {
             ("nb", JsonValue::from_usize(m.cpu_tiling.nb)),
             ("kb", JsonValue::from_usize(m.cpu_tiling.kb)),
             ("mt", JsonValue::from_usize(m.cpu_tiling.mt)),
+            ("storage", JsonValue::from_str_value(&m.storage.tag())),
             ("gflops", JsonValue::Number(m.gflops)),
             ("samples", JsonValue::from_usize(m.samples)),
         ]),
@@ -729,6 +771,7 @@ fn measured_from_json(v: Option<&JsonValue>) -> Result<Option<MeasuredChoice>> {
                 kb: m.usize_field("kb")?,
                 mt: m.usize_field("mt")?,
             },
+            storage: storage_from_json(m.get("storage"))?,
             gflops: m.f64_field("gflops")?,
             samples: m.usize_field("samples")?,
         })),
@@ -753,6 +796,7 @@ fn plan_to_json(plan: &Plan) -> JsonValue {
                 ("m_win", JsonValue::from_usize(k.m_win)),
                 ("l", JsonValue::from_usize(k.l)),
                 ("shape", JsonValue::from_str_value(&k.shape.tag())),
+                ("storage", JsonValue::from_str_value(&k.storage.tag())),
                 ("host", host_to_json(&k.host)),
             ]),
         ),
@@ -831,6 +875,9 @@ fn plan_from_json(v: &JsonValue) -> Result<Plan> {
                 reason: "`shape` is not a string".into(),
             })?)?,
         },
+        // Version-1/2/3 documents predate the storage dimension; every
+        // plan they hold was staged row-major.
+        storage: storage_from_json(kv.get("storage"))?,
         // Version-1 documents predate measured provenance and carry no
         // host scope.
         host: host_from_json(kv.get("host"))?,
@@ -916,7 +963,10 @@ fn plan_from_json(v: &JsonValue) -> Result<Plan> {
 /// * v3 — adds `key.shape` (prefill vs decode). v1/v2 documents still
 ///   load: their entries were planned through the GEMM path, so they
 ///   become prefill-class keys.
-const CACHE_FORMAT_VERSION: usize = 3;
+/// * v4 — adds `key.storage` and `measured.storage` (the SELL-C-σ sliced
+///   lane). v1–v3 documents still load: everything they hold was staged
+///   row-major, so both fields default to it.
+const CACHE_FORMAT_VERSION: usize = 4;
 
 /// Oldest cache-file version [`PlanCache::from_json`] still accepts.
 const CACHE_FORMAT_OLDEST: usize = 1;
@@ -996,6 +1046,7 @@ impl PlanCache {
                 p.key.m_win,
                 p.key.l,
                 p.key.shape.sort_rank(),
+                p.key.storage.tag(),
                 p.key.host.clone(),
             )
         });
@@ -1122,6 +1173,27 @@ impl Planner {
         k: usize,
         cfg: NmConfig,
     ) -> Result<Plan> {
+        self.plan_stored(class, StorageFormat::RowMajor, m, n, k, cfg)
+    }
+
+    /// As [`Planner::plan_as`], but keyed to an explicit storage lane —
+    /// the planner face of the [`LoadSpec`](crate::session::LoadSpec)
+    /// storage override. A sliced lane gets its own cache identity; the
+    /// analytic estimates are storage-independent (the cost model times
+    /// data movement the GPU kernels share), so the lane only changes the
+    /// key and what execution stages.
+    ///
+    /// # Errors
+    /// As [`Planner::plan_as`].
+    pub fn plan_stored(
+        &mut self,
+        class: ShapeClass,
+        storage: StorageFormat,
+        m: usize,
+        n: usize,
+        k: usize,
+        cfg: NmConfig,
+    ) -> Result<Plan> {
         if let ShapeClass::Decode(rows) = class {
             if !(1..=DECODE_MAX_ROWS).contains(&rows) {
                 return Err(NmError::InvalidConfig {
@@ -1139,6 +1211,7 @@ impl Planner {
         };
         let mut key = PlanKey::new(&self.dev, eff_m, n, k, cfg);
         key.shape = class;
+        key.storage = storage;
         if let Some(plan) = self.cache.lookup(&key) {
             return Ok(plan.clone());
         }
@@ -1488,6 +1561,7 @@ mod tests {
                 kb: 128,
                 mt: 8,
             },
+            storage: StorageFormat::RowMajor,
             gflops: 12.5,
             samples: 3,
         }
@@ -1576,12 +1650,14 @@ mod tests {
         let plan = planner.plan(512, 1024, 2048, cfg(4, 16)).unwrap();
         let v3 = planner.cache().to_json().unwrap();
         let v1 = v3
-            .replace("\"version\":3", "\"version\":1")
+            .replace("\"version\":4", "\"version\":1")
             .replace("\"shape\":\"prefill\",", "")
+            .replace("\"storage\":\"rowmajor\",", "")
             .replace(",\"host\":null", "")
             .replace("\"provenance\":\"cost_model\",\"measured\":null,", "");
         assert!(!v1.contains("provenance"), "surgery must remove v2 fields");
         assert!(!v1.contains("shape"), "surgery must remove v3 fields");
+        assert!(!v1.contains("storage"), "surgery must remove v4 fields");
         let cache = PlanCache::from_json(&v1).unwrap();
         let loaded = cache.peek(&plan.key).expect("v1 entry must load");
         assert_eq!(loaded.provenance, Provenance::CostModel);
@@ -1675,6 +1751,70 @@ mod tests {
         let mut unscoped = base.with_measured(demo_host(), demo_measured()).unwrap();
         unscoped.key.host = None;
         assert!(unscoped.validate().is_err());
+    }
+
+    #[test]
+    fn storage_lane_keys_and_measured_storage_round_trip() {
+        use nm_core::sliced::SlicedLayout;
+        let mut planner = Planner::new(a100_80g());
+        let level = cfg(2, 16);
+        let sliced = StorageFormat::Sliced(SlicedLayout::new(8, 32).unwrap());
+        // The sliced lane gets its own cache identity next to the auto one.
+        let auto = planner
+            .plan_as(ShapeClass::Decode(1), 1, 4096, 4096, level)
+            .unwrap();
+        let pinned = planner
+            .plan_stored(ShapeClass::Decode(1), sliced, 1, 4096, 4096, level)
+            .unwrap();
+        assert_eq!(auto.key.storage, StorageFormat::RowMajor);
+        assert_eq!(pinned.key.storage, sliced);
+        assert_ne!(auto.key, pinned.key, "lanes must not collide");
+        assert_eq!(planner.cache().len(), 2);
+
+        // A measured winner can carry a sliced format on the auto lane.
+        let mut m = demo_measured();
+        m.storage = sliced;
+        let measured = auto.with_measured(demo_host(), m).unwrap();
+        let mut cache = planner.into_cache();
+        cache.insert(measured.clone());
+        let json = cache.to_json().unwrap();
+        assert!(json.contains("\"storage\":\"sliced:8:32\""));
+        let reloaded = PlanCache::from_json(&json).unwrap();
+        assert_eq!(reloaded.peek(&pinned.key), Some(&pinned));
+        assert_eq!(
+            reloaded
+                .peek(&measured.key)
+                .unwrap()
+                .measured
+                .unwrap()
+                .storage,
+            sliced
+        );
+        assert_eq!(json, reloaded.to_json().unwrap(), "deterministic order");
+
+        // A v3 document (no storage fields) loads as row-major — surgery
+        // on our own serializer keeps the exercise exact.
+        let mut v3cache = PlanCache::new();
+        v3cache.insert(auto.clone());
+        let v3 = v3cache
+            .to_json()
+            .unwrap()
+            .replace("\"version\":4", "\"version\":3")
+            .replace("\"storage\":\"rowmajor\",", "");
+        assert!(!v3.contains("storage"));
+        let loaded = PlanCache::from_json(&v3).unwrap();
+        assert_eq!(
+            loaded.peek(&auto.key),
+            Some(&auto),
+            "v3 reload equals the in-process plan (row-major lane)"
+        );
+
+        // A malformed storage tag is a persistence error, not a fallback.
+        let bad = json.replace("\"storage\":\"sliced:8:32\"", "\"storage\":\"sell\"");
+        assert!(matches!(
+            PlanCache::from_json(&bad),
+            Err(NmError::Persist { .. })
+        ));
     }
 
     #[test]

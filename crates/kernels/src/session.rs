@@ -59,6 +59,7 @@ use gpu_sim::device::DeviceConfig;
 use nm_core::error::{NmError, Result};
 use nm_core::matrix::MatrixF32;
 use nm_core::pattern::NmConfig;
+use nm_core::sliced::StorageFormat;
 use nm_core::sparse::NmSparseMatrix;
 use rayon::prelude::*;
 use std::path::{Path, PathBuf};
@@ -86,6 +87,7 @@ pub struct SessionBuilder {
     threads: Option<usize>,
     cache_path: Option<PathBuf>,
     autotune: Option<AutotuneMode>,
+    storage: Option<StorageFormat>,
 }
 
 impl SessionBuilder {
@@ -102,6 +104,7 @@ impl SessionBuilder {
             threads: None,
             cache_path: None,
             autotune: None,
+            storage: None,
         }
     }
 
@@ -162,13 +165,27 @@ impl SessionBuilder {
         self
     }
 
+    /// Pin every layer this session loads to one `B′` storage format
+    /// instead of the planned/measured lane: `StorageFormat::RowMajor`
+    /// forces the paper's layout, `StorageFormat::Sliced` the SELL-C-σ
+    /// panels. [`LoadSpec::storage`] overrides this per layer.
+    ///
+    /// An explicit pin overrides the `NM_SPMM_STORAGE` environment
+    /// variable; without either, the format is planned (and, under
+    /// measured autotuning, chosen by evidence).
+    pub fn storage(mut self, format: StorageFormat) -> Self {
+        self.storage = Some(format);
+        self
+    }
+
     /// Build the session.
     ///
     /// # Errors
     /// [`NmError::Unsupported`] when an [`SessionBuilder::isa`] override
-    /// names an ISA this host cannot execute or `NM_SPMM_AUTOTUNE` holds
-    /// an unrecognized mode (strictly validated, like `NM_SPMM_ISA` —
-    /// never a silent fallback to `Off`), and
+    /// names an ISA this host cannot execute, `NM_SPMM_AUTOTUNE` holds
+    /// an unrecognized mode, or `NM_SPMM_STORAGE` holds an unrecognized
+    /// storage format (both strictly validated, like `NM_SPMM_ISA` —
+    /// never a silent fallback), and
     /// [`NmError::Persist`] when the plan-cache file exists but cannot be
     /// parsed.
     pub fn build(self) -> Result<Session> {
@@ -180,6 +197,10 @@ impl SessionBuilder {
         let autotune = match self.autotune {
             Some(mode) => mode,
             None => AutotuneMode::from_env()?.unwrap_or_default(),
+        };
+        let storage = match self.storage {
+            Some(format) => Some(format),
+            None => StorageFormat::from_env()?,
         };
         if let Some(threads) = self.threads {
             // First-wins, like real rayon: a pool configured earlier in
@@ -197,6 +218,7 @@ impl SessionBuilder {
             backend: self.backend,
             kernel,
             autotune,
+            storage,
         })
     }
 }
@@ -238,6 +260,7 @@ pub struct LoadSpec {
     backend: Option<BackendKind>,
     shape_class: Option<ShapeClass>,
     plan: Option<Plan>,
+    storage: Option<StorageFormat>,
 }
 
 impl LoadSpec {
@@ -250,6 +273,7 @@ impl LoadSpec {
             backend: None,
             shape_class: None,
             plan: None,
+            storage: None,
         }
     }
 
@@ -269,9 +293,21 @@ impl LoadSpec {
     }
 
     /// Skip planning and prepare against this externally resolved plan.
-    /// Mutually exclusive with [`LoadSpec::shape_class`].
+    /// Mutually exclusive with [`LoadSpec::shape_class`] and
+    /// [`LoadSpec::storage`].
     pub fn planned(mut self, plan: Plan) -> Self {
         self.plan = Some(plan);
+        self
+    }
+
+    /// Pin this layer's `B′` storage format instead of the
+    /// planned/measured lane. A sliced pin plans (and caches) on its own
+    /// format lane; a row-major pin shares the auto lane's plan but
+    /// always stages the paper's layout. Overrides the session-wide
+    /// [`SessionBuilder::storage`] pin. Mutually exclusive with
+    /// [`LoadSpec::planned`] — the plan already fixes the lane.
+    pub fn storage(mut self, format: StorageFormat) -> Self {
+        self.storage = Some(format);
         self
     }
 
@@ -288,6 +324,11 @@ impl LoadSpec {
     /// The shape-class override, when one is set.
     pub fn shape_class_hint(&self) -> Option<ShapeClass> {
         self.shape_class
+    }
+
+    /// The storage-format pin, when one is set.
+    pub fn storage_hint(&self) -> Option<StorageFormat> {
+        self.storage
     }
 
     /// Whether this spec carries a pre-resolved plan.
@@ -307,6 +348,7 @@ pub struct Session {
     backend: BackendKind,
     kernel: Option<MicroKernel>,
     autotune: AutotuneMode,
+    storage: Option<StorageFormat>,
 }
 
 impl Session {
@@ -335,11 +377,24 @@ impl Session {
         self.autotune
     }
 
+    /// The session-wide storage-format pin, when one is set
+    /// ([`SessionBuilder::storage`] or `NM_SPMM_STORAGE`).
+    pub fn storage(&self) -> Option<StorageFormat> {
+        self.storage
+    }
+
     /// Plan a problem through the shared cache (strategy decision +
     /// exhaustive autotune on a miss, O(1) on a hit). The estimate-only
-    /// entry point; [`Session::load`] calls it internally.
+    /// entry point; [`Session::load`] calls it internally. A session-wide
+    /// storage pin routes the plan onto that format's cache lane, exactly
+    /// as the load paths would.
     pub fn plan(&mut self, m: usize, n: usize, k: usize, cfg: NmConfig) -> Result<Plan> {
-        self.engine.plan(m, n, k, cfg)
+        match self.storage {
+            Some(f) => self
+                .engine
+                .plan_stored(ShapeClass::of_rows(m), f, m, n, k, cfg),
+            None => self.engine.plan(m, n, k, cfg),
+        }
     }
 
     /// As [`Session::plan`], but under an explicit [`ShapeClass`] —
@@ -352,7 +407,10 @@ impl Session {
         k: usize,
         cfg: NmConfig,
     ) -> Result<Plan> {
-        self.engine.plan_as(class, m, n, k, cfg)
+        match self.storage {
+            Some(f) => self.engine.plan_stored(class, f, m, n, k, cfg),
+            None => self.engine.plan_as(class, m, n, k, cfg),
+        }
     }
 
     /// Plan-cache counters — entries, hits, misses.
@@ -412,33 +470,50 @@ impl Session {
                     .into(),
             });
         }
+        if spec.plan.is_some() && spec.storage.is_some() {
+            return Err(NmError::InvalidConfig {
+                reason: "LoadSpec::planned and LoadSpec::storage are mutually exclusive: \
+                         a pre-resolved plan already fixes the storage lane"
+                    .into(),
+            });
+        }
         if let Some(plan) = spec.plan {
             return self.prepare_layer(plan, weights, spec.backend.unwrap_or(self.backend));
         }
+        let pin = spec.storage.or(self.storage);
         if spec.backend.is_none() {
             if let (BackendKind::Cpu(_), Some(mspec)) =
                 (self.backend, MeasureSpec::for_mode(self.autotune))
             {
-                return self.load_measured(weights, spec.rows, spec.shape_class, mspec);
+                return self.load_measured(weights, spec.rows, spec.shape_class, pin, mspec);
             }
         }
         let backend = spec.backend.unwrap_or(self.backend);
-        let plan = self.plan_spec(spec.shape_class, spec.rows, &weights)?;
+        let plan = self.plan_spec(spec.shape_class, pin, spec.rows, &weights)?;
         self.prepare_layer(plan, weights, backend)
     }
 
-    /// Plan one layer for `rows`-row activations, honoring an optional
-    /// shape-class override, through the shared (counted) cache.
+    /// Plan one layer for `rows`-row activations, honoring the optional
+    /// shape-class and storage-format overrides, through the shared
+    /// (counted) cache. A pinned format plans on that format's lane
+    /// (a sliced pin gets its own cache identity; a row-major pin shares
+    /// the auto lane — both spell `StorageFormat` into the key the same
+    /// way row-major auto plans do).
     fn plan_spec(
         &mut self,
         class: Option<ShapeClass>,
+        pin: Option<StorageFormat>,
         rows: usize,
         weights: &NmSparseMatrix,
     ) -> Result<Plan> {
         let (n, k, cfg) = (weights.cols(), weights.k(), weights.cfg());
-        match class {
-            Some(c) => self.engine.plan_as(c, rows, n, k, cfg),
-            None => self.engine.plan(rows, n, k, cfg),
+        match (pin, class) {
+            (Some(f), class) => {
+                let class = class.unwrap_or_else(|| ShapeClass::of_rows(rows));
+                self.engine.plan_stored(class, f, rows, n, k, cfg)
+            }
+            (None, Some(c)) => self.engine.plan_as(c, rows, n, k, cfg),
+            (None, None) => self.engine.plan(rows, n, k, cfg),
         }
     }
 
@@ -460,9 +535,10 @@ impl Session {
         weights: Arc<NmSparseMatrix>,
         rows: usize,
         class: Option<ShapeClass>,
+        pin: Option<StorageFormat>,
         spec: MeasureSpec,
     ) -> Result<PreparedLayer> {
-        let base = self.plan_spec(class, rows, &weights)?;
+        let base = self.plan_spec(class, pin, rows, &weights)?;
         // Resolve the micro-kernel first: the host ISA is part of the
         // measured cache key, so a cache file moved to a different
         // machine (or a different worker-count run) misses instead of
@@ -476,7 +552,7 @@ impl Session {
             threads: rayon::current_num_threads(),
         };
         let key = base.key.for_host(host.clone());
-        let plan = match self.engine.lookup(&key) {
+        let mut plan = match self.engine.lookup(&key) {
             Some(plan) => plan,
             None => {
                 let outcome = measure::measure(&base, &weights, rows, Some(kernel), spec)?;
@@ -489,6 +565,15 @@ impl Session {
                 plan
             }
         };
+        // A row-major pin shares the auto lane's measured entry (the
+        // persisted evidence stays the genuine auto winner), but this
+        // load must stage the pinned layout: rewrite the local copy's
+        // measured format before preparing. Tile geometry is
+        // format-independent, so the measured tiling stays valid. A
+        // sliced pin already restricted measurement to its format.
+        if let (Some(f), Some(m)) = (pin, plan.measured.as_mut()) {
+            m.storage = f;
+        }
         let version = plan
             .measured
             .as_ref()
@@ -610,6 +695,14 @@ impl PreparedLayer {
     /// only; the simulator has no host ISA).
     pub fn isa(&self) -> Option<Isa> {
         self.state.isa()
+    }
+
+    /// The `B′` storage format the preparation actually staged (CPU
+    /// backends only; the simulator stages nothing). `forward` results
+    /// are bit-identical across formats — this reports which layout the
+    /// planned/measured/pinned resolution landed on.
+    pub fn storage(&self) -> Option<StorageFormat> {
+        self.state.storage()
     }
 
     /// The online path: multiply one activation batch,
@@ -981,6 +1074,121 @@ mod tests {
             let expect = spmm_reference(a, &sb);
             assert!(sr.c.allclose(&expect, 1e-3, 1e-4));
             assert!(pr.c.allclose(&expect, 1e-3, 1e-4));
+        }
+    }
+
+    #[test]
+    fn storage_pins_route_transparently_and_stay_bit_identical() {
+        use nm_core::sliced::SlicedLayout;
+        let mut s = session();
+        let cfg = NmConfig::new(2, 8, 16).unwrap();
+        let sb = Arc::new(weights(96, 64, cfg, 81));
+        let x = MatrixF32::random(1, 96, 82);
+
+        let auto = s.load(sb.clone(), 1).unwrap();
+        assert_eq!(
+            auto.storage(),
+            Some(StorageFormat::RowMajor),
+            "no pin, no measurement: the auto lane stages the paper layout"
+        );
+
+        let pin = StorageFormat::Sliced(SlicedLayout::DEFAULT);
+        let sliced = s
+            .load_with(sb.clone(), LoadSpec::rows(1).storage(pin))
+            .unwrap();
+        assert_eq!(sliced.plan().key.storage, pin, "own cache lane");
+        assert_eq!(sliced.storage(), Some(pin));
+
+        // The permutation is invisible: same activations, bit-identical
+        // output, on both the matrix and the vector entry points.
+        let (ra, rs) = (auto.forward(&x).unwrap(), sliced.forward(&x).unwrap());
+        assert_eq!(ra.c.as_slice(), rs.c.as_slice());
+        let (va, vs) = (
+            auto.forward_vec(x.row(0)).unwrap(),
+            sliced.forward_vec(x.row(0)).unwrap(),
+        );
+        assert_eq!(va.c.as_slice(), vs.c.as_slice());
+
+        // A row-major pin shares the auto plan lane.
+        let rm = s
+            .load_with(
+                sb.clone(),
+                LoadSpec::rows(1).storage(StorageFormat::RowMajor),
+            )
+            .unwrap();
+        assert_eq!(rm.plan().key, auto.plan().key);
+        assert_eq!(rm.storage(), Some(StorageFormat::RowMajor));
+
+        // The simulator stages no format; the pin does not break it.
+        let sim = s
+            .load_with(sb.clone(), LoadSpec::rows(1).backend(BackendKind::Sim))
+            .unwrap();
+        assert_eq!(sim.storage(), None);
+
+        // Session-wide pin applies when the spec sets none.
+        let mut pinned_session = SessionBuilder::new(a100_80g())
+            .storage(pin)
+            .build()
+            .unwrap();
+        assert_eq!(pinned_session.storage(), Some(pin));
+        let layer = pinned_session.load(sb.clone(), 1).unwrap();
+        assert_eq!(layer.storage(), Some(pin));
+
+        // planned + storage is a contradiction.
+        let plan = s.plan(1, 64, 96, cfg).unwrap();
+        let err = s
+            .load_with(sb.clone(), LoadSpec::rows(1).planned(plan).storage(pin))
+            .unwrap_err();
+        assert!(matches!(err, NmError::InvalidConfig { .. }), "{err}");
+        assert_eq!(LoadSpec::rows(1).storage(pin).storage_hint(), Some(pin));
+    }
+
+    #[test]
+    fn measured_loads_honor_storage_pins_and_record_the_winner() {
+        use nm_core::sliced::SlicedLayout;
+        let mut s = SessionBuilder::new(a100_80g())
+            .autotune(AutotuneMode::Quick)
+            .build()
+            .unwrap();
+        let cfg = NmConfig::new(2, 8, 16).unwrap();
+        let sb = Arc::new(weights(96, 64, cfg, 83));
+        let x = MatrixF32::random(1, 96, 84);
+
+        // The auto lane stages whatever the measurement picked.
+        let auto = s.load(sb.clone(), 1).unwrap();
+        let measured = auto.plan().measured.expect("measured evidence");
+        assert_eq!(auto.storage(), Some(measured.storage));
+
+        // A row-major pin reuses the auto lane's evidence (no second
+        // measurement) but stages the pinned layout.
+        let before = crate::measure::measurement_passes();
+        let rm = s
+            .load_with(
+                sb.clone(),
+                LoadSpec::rows(1).storage(StorageFormat::RowMajor),
+            )
+            .unwrap();
+        assert_eq!(crate::measure::measurement_passes(), before, "cache hit");
+        assert_eq!(rm.storage(), Some(StorageFormat::RowMajor));
+        assert_eq!(
+            rm.plan().measured.as_ref().unwrap().cpu_tiling,
+            measured.cpu_tiling,
+            "the measured tile geometry survives the format rewrite"
+        );
+
+        // A sliced pin measures its own lane, restricted to the pin.
+        let pin = StorageFormat::Sliced(SlicedLayout::new(4, 4).unwrap());
+        let sliced = s
+            .load_with(sb.clone(), LoadSpec::rows(1).storage(pin))
+            .unwrap();
+        assert_eq!(sliced.storage(), Some(pin));
+        assert_eq!(sliced.plan().measured.as_ref().unwrap().storage, pin);
+
+        // All three stage differently, multiply identically.
+        let want = auto.forward_vec(x.row(0)).unwrap();
+        for layer in [&rm, &sliced] {
+            let got = layer.forward_vec(x.row(0)).unwrap();
+            assert_eq!(want.c.as_slice(), got.c.as_slice());
         }
     }
 

@@ -1,0 +1,219 @@
+//! Sliced-storage parity: the SELL-C-σ staged format must be an
+//! *invisible* rearrangement. Three claims are enforced end to end:
+//!
+//! 1. **Numerics** — a sliced-staged layer produces bit-for-bit the same
+//!    output as its row-major twin (same version, same tiling, same
+//!    micro-kernel), and both sit within oracle tolerance of the f64
+//!    reference, across every ISA this host can execute, every ladder
+//!    version, every paper sparsity level and ragged shapes.
+//! 2. **Permutation bookkeeping** — the window permutation and its
+//!    inverse compose to the identity, and the per-window write-back
+//!    spans tile the output columns exactly once.
+//! 3. **Persistence** — the v4 plan-cache format round-trips the storage
+//!    lane through disk, and a v3-era document (no `storage` field)
+//!    still loads, as row-major.
+
+use nm_spmm::core::spmm::gemm_reference_f64;
+use nm_spmm::kernels::cpu::{spmm_cpu_prepared, CpuPrepared, CpuTiling};
+use nm_spmm::kernels::plan::Planner;
+use nm_spmm::kernels::simd::MicroKernel;
+use nm_spmm::kernels::{BackendKind, LoadSpec, NmVersion, PlanCache, SessionBuilder, ShapeClass};
+use nm_spmm::prelude::*;
+use nm_spmm::sim::device::a100_80g;
+use proptest::prelude::*;
+
+const VERSIONS: [NmVersion; 3] = [NmVersion::V1, NmVersion::V2, NmVersion::V3];
+
+/// Ragged (k, n) pairs: k off the window depth, n off the pruning-window
+/// width, plus an exact multiple as the control.
+const RAGGED: [(usize, usize); 3] = [(90, 49), (70, 64), (128, 96)];
+
+/// The sliced grid the autotuner enumerates, plus a degenerate C = 1.
+fn layouts() -> Vec<SlicedLayout> {
+    [(1, 1), (4, 4), (8, 32), (32, 128)]
+        .into_iter()
+        .map(|(c, s)| SlicedLayout::new(c, s).unwrap())
+        .collect()
+}
+
+#[test]
+fn sliced_matches_row_major_bitwise_and_the_oracle_across_isas_versions_and_levels() {
+    for mk in MicroKernel::available() {
+        for (li, cfg) in NmConfig::paper_levels(16).into_iter().enumerate() {
+            for (si, (k, n)) in RAGGED.into_iter().enumerate() {
+                let m = 1 + si; // skinny rows: the band sliced staging serves
+                let seed = 7000 + (li * 16 + si) as u64;
+                let a = MatrixF32::random(m, k, seed);
+                let b = MatrixF32::random(k, n, seed ^ 0x5e11);
+                let sb = NmSparseMatrix::prune_magnitude(&b, cfg).unwrap();
+                let oracle = gemm_reference_f64(&a, &sb.decompress());
+                let tiling = CpuTiling::auto(cfg, m, n, k).unwrap();
+                for version in VERSIONS {
+                    let rm = CpuPrepared::with_kernel(version, &sb, tiling, mk).unwrap();
+                    let want = spmm_cpu_prepared(&a, &sb, &rm).unwrap();
+                    assert!(
+                        want.allclose(&oracle, 1e-3, 1e-4),
+                        "{mk} {cfg} {version:?} k={k} n={n}: row-major vs f64 oracle diff {}",
+                        want.max_abs_diff(&oracle)
+                    );
+                    for layout in layouts() {
+                        let sl = CpuPrepared::with_format(
+                            version,
+                            &sb,
+                            tiling,
+                            mk,
+                            StorageFormat::Sliced(layout),
+                        )
+                        .unwrap();
+                        let got = spmm_cpu_prepared(&a, &sb, &sl).unwrap();
+                        assert_eq!(
+                            got.as_slice(),
+                            want.as_slice(),
+                            "{mk} {cfg} {version:?} k={k} n={n} C={} σ={}: sliced must be \
+                             bit-identical to row-major",
+                            layout.slice_height,
+                            layout.sort_window,
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn permutation_and_inverse_round_trip_and_spans_tile_the_columns() {
+    let cfg = NmConfig::new(2, 8, 16).unwrap();
+    let b = MatrixF32::random(96, 49, 11);
+    let sb = NmSparseMatrix::prune_magnitude(&b, cfg).unwrap();
+    for layout in layouts() {
+        let sm = SlicedMatrix::build(&sb, layout).unwrap();
+        let perm = &sm.perm().perm;
+        let inv = sm.inverse();
+        assert_eq!(perm.len(), sm.windows());
+        for old in 0..sm.windows() {
+            assert_eq!(
+                perm[inv[old]], old,
+                "C={} σ={}: inverse must undo the window permutation",
+                layout.slice_height, layout.sort_window
+            );
+        }
+        // Every output column is written exactly once: the spans at
+        // permuted positions partition [0, n).
+        let mut covered = vec![false; sm.cols()];
+        for pos in 0..sm.windows() {
+            let (col, width) = sm.span(pos);
+            for (c, slot) in covered.iter_mut().enumerate().skip(col).take(width) {
+                assert!(!*slot, "column {c} written twice");
+                *slot = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c), "write-back spans leave a gap");
+    }
+}
+
+#[test]
+fn plan_cache_v4_round_trips_the_storage_lane_and_loads_v3_documents() {
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "nm-spmm-sliced-parity-cache-{}.json",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+
+    let cfg = NmConfig::new(2, 8, 32).unwrap();
+    let layout = SlicedLayout::new(4, 16).unwrap();
+    let mut planner = Planner::new(a100_80g());
+    let auto = planner.plan(4, 96, 128, cfg).unwrap();
+    let pinned = planner
+        .plan_stored(
+            ShapeClass::Decode(4),
+            StorageFormat::Sliced(layout),
+            4,
+            96,
+            128,
+            cfg,
+        )
+        .unwrap();
+    assert_eq!(auto.key.storage, StorageFormat::RowMajor);
+    assert_eq!(pinned.key.storage, StorageFormat::Sliced(layout));
+
+    planner.cache().save(&path).unwrap();
+    let reloaded = PlanCache::load(&path).unwrap();
+    assert_eq!(
+        reloaded.len(),
+        2,
+        "both storage lanes survive the disk trip"
+    );
+    assert_eq!(reloaded.peek(&auto.key), Some(&auto));
+    assert_eq!(reloaded.peek(&pinned.key), Some(&pinned));
+
+    // A v3-era document knows no storage lanes: strip the field and the
+    // version stamp, and the same plans must come back as row-major.
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.contains("\"storage\":\"sliced:4:16\""));
+    let old = text
+        .replace("\"storage\":\"rowmajor\",", "")
+        .replace("\"storage\":\"sliced:4:16\",", "")
+        .replace("\"version\":4", "\"version\":3");
+    assert!(!old.contains("storage"));
+    std::fs::write(&path, old).unwrap();
+    let legacy = PlanCache::load(&path).unwrap();
+    // Without the storage field the two lanes share one key, so the v3
+    // reload collapses them onto the row-major lane — exactly how a
+    // pre-sliced build would have cached this shape.
+    assert_eq!(legacy.len(), 1);
+    assert!(
+        legacy.peek(&auto.key).is_some(),
+        "a v3 document must load with every plan on the row-major lane"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Property: a session layer pinned to any sliced layout serves
+    /// `forward_vec` bit-for-bit identically to the auto (row-major)
+    /// layer, for every ladder version, arbitrary ragged (k, n), every
+    /// paper level and both pruning-window widths.
+    #[test]
+    fn forward_vec_is_bit_identical_across_storage_formats(
+        k in 1usize..160,
+        n in 1usize..96,
+        level in 0usize..4,
+        wide in 0usize..2,
+        c_pick in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let l = if wide == 1 { 32 } else { 16 };
+        let cfg = NmConfig::paper_levels(l)[level];
+        let c = [2usize, 4, 8][c_pick];
+        let layout = SlicedLayout::new(c, 4 * c).unwrap();
+        let b = MatrixF32::random(k, n, seed ^ 0x51ed);
+        let sb = std::sync::Arc::new(NmSparseMatrix::prune_magnitude(&b, cfg).unwrap());
+        let x: Vec<f32> = MatrixF32::random(1, k, seed).into_vec();
+        let mut session = SessionBuilder::new(a100_80g()).build().unwrap();
+        for version in VERSIONS {
+            let auto = session
+                .load_with(sb.clone(), LoadSpec::rows(1).backend(BackendKind::Cpu(version)))
+                .unwrap();
+            let sliced = session
+                .load_with(
+                    sb.clone(),
+                    LoadSpec::rows(1)
+                        .backend(BackendKind::Cpu(version))
+                        .storage(StorageFormat::Sliced(layout)),
+                )
+                .unwrap();
+            prop_assert_eq!(
+                sliced.storage(),
+                Some(StorageFormat::Sliced(layout)),
+                "the pin must reach the staged state"
+            );
+            let want = auto.forward_vec(&x).unwrap();
+            let got = sliced.forward_vec(&x).unwrap();
+            prop_assert_eq!(got.c.as_slice(), want.c.as_slice());
+        }
+    }
+}
