@@ -37,6 +37,7 @@ pub mod trace;
 pub use device::DeviceConfig;
 pub use stats::KernelStats;
 pub use timing::{KernelProfile, LaunchReport, PipelineMode};
+pub use trace::{ExecutionTrace, PhaseCounts};
 
 /// Glob-import of the simulator's most used types.
 pub mod prelude {
@@ -45,4 +46,5 @@ pub mod prelude {
     pub use crate::roofline::Roofline;
     pub use crate::stats::KernelStats;
     pub use crate::timing::{Bound, KernelProfile, LaunchReport, PipelineMode};
+    pub use crate::trace::{ExecutionTrace, PhaseCounts};
 }

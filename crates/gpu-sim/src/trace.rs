@@ -51,7 +51,57 @@ pub struct ExecutionTrace {
     pub main_loop_fraction: f64,
 }
 
+/// Phase-structure fingerprint of a launch timeline: how many waves it
+/// ran and how many segments of each kind they contributed.
+///
+/// This is the **trace comparison hook** external executors check
+/// themselves against: any backend that claims to execute the same
+/// launch (e.g. the `nm-gpu` shader interpreter) must walk the same
+/// number of waves with the same prologue / main-loop / epilogue
+/// structure the timing model assumes. Cycle *durations* are
+/// deliberately excluded — they are the model's opinion; the phase
+/// counts are the launch's shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseCounts {
+    /// Waves the launch needed (grid blocks / resident capacity).
+    pub waves: usize,
+    /// Prologue segments (one per wave: the first tile fill).
+    pub prologue: usize,
+    /// Main-loop segments (one per wave).
+    pub main_loop: usize,
+    /// Epilogue segments (one per wave: the `C` write-back).
+    pub epilogue: usize,
+}
+
+impl PhaseCounts {
+    /// Whether two launch shapes agree.
+    pub fn matches(&self, other: &PhaseCounts) -> bool {
+        self == other
+    }
+}
+
+impl std::fmt::Display for PhaseCounts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} wave(s): {}P/{}M/{}E",
+            self.waves, self.prologue, self.main_loop, self.epilogue
+        )
+    }
+}
+
 impl ExecutionTrace {
+    /// This trace's phase-structure fingerprint (see [`PhaseCounts`]).
+    pub fn phase_counts(&self) -> PhaseCounts {
+        let count = |kind: SegmentKind| self.segments.iter().filter(|s| s.kind == kind).count();
+        PhaseCounts {
+            waves: self.segments.iter().map(|s| s.wave + 1).max().unwrap_or(0),
+            prologue: count(SegmentKind::Prologue),
+            main_loop: count(SegmentKind::MainLoop),
+            epilogue: count(SegmentKind::Epilogue),
+        }
+    }
+
     /// Build a trace from a profile and its report. The per-wave split
     /// reuses the same arithmetic as `timing::estimate`, so segment sums
     /// equal the report's total (tested).
@@ -199,6 +249,25 @@ mod tests {
             trace.total_cycles,
             rep.cycles
         );
+    }
+
+    #[test]
+    fn phase_counts_fingerprint_the_wave_structure() {
+        let dev = a100_80g();
+        let prof = sample_profile();
+        let rep = estimate(&dev, &prof).unwrap();
+        let trace = ExecutionTrace::from_launch(&dev, &prof, &rep);
+        let pc = trace.phase_counts();
+        assert_eq!(pc.waves, rep.waves.max(1));
+        assert_eq!(pc.prologue, pc.waves);
+        assert_eq!(pc.main_loop, pc.waves);
+        assert_eq!(pc.epilogue, pc.waves);
+        assert!(pc.matches(&pc));
+        assert!(!pc.matches(&PhaseCounts {
+            waves: pc.waves + 1,
+            ..pc
+        }));
+        assert!(pc.to_string().contains("wave"));
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! Interpreter execution traces and the phase-structure bridge to the
+//! simulator's launch timeline.
+//!
+//! The interpreter counts what it *actually did* — workgroups walked,
+//! shared-memory stages, gather loads, writebacks. [`InterpTrace`]
+//! turns those raw counters into a [`gpu_sim::PhaseCounts`] fingerprint
+//! via the simulator's own occupancy model, so a parity test can assert
+//! the generated kernel's launch shape equals the shape
+//! `gpu_sim::ExecutionTrace` predicts for the same profile.
+
+use gpu_sim::occupancy::{occupancy, BlockResources};
+use gpu_sim::{DeviceConfig, PhaseCounts};
+
+/// What the shader interpreter observed while executing one launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterpTrace {
+    /// Launch grid as `(grid_x, grid_y)` = (column groups, row tiles).
+    pub grid: (usize, usize),
+    /// Total workgroups executed (`grid_x * grid_y`).
+    pub workgroups: usize,
+    /// Main-loop iterations (k-blocks) each workgroup ran.
+    pub main_iters_per_workgroup: usize,
+    /// Prologue tile fills (one per workgroup for pipelined families,
+    /// zero for serial ones — the serial loop stages inline).
+    pub prologue_fills: usize,
+    /// Shared-memory staging events (one per k-block per workgroup).
+    pub shared_stages: usize,
+    /// Gather-table reads performed.
+    pub gather_loads: usize,
+    /// Floating-point operations actually issued (2 per multiply-add;
+    /// general spans that skip a zero issue none for it).
+    pub flops: usize,
+    /// `C` element writebacks.
+    pub writebacks: usize,
+    /// Epilogue events (one per workgroup).
+    pub epilogues: usize,
+}
+
+impl InterpTrace {
+    /// The launch's phase-structure fingerprint on `dev`, computed with
+    /// the **same** occupancy arithmetic the timing model uses: the
+    /// workgroups the interpreter actually walked, folded into waves by
+    /// the device's resident-block capacity for `res`.
+    ///
+    /// Parity contract: for a kernel lowered from the same plan, this
+    /// must equal `ExecutionTrace::phase_counts()` of the simulated
+    /// launch.
+    pub fn phase_counts(&self, dev: &DeviceConfig, res: &BlockResources) -> PhaseCounts {
+        let occ = occupancy(dev, res);
+        let capacity = (occ.blocks_per_sm * dev.sm_count).max(1);
+        let waves = self.workgroups.max(1).div_ceil(capacity);
+        PhaseCounts {
+            waves,
+            prologue: waves,
+            main_loop: waves,
+            epilogue: waves,
+        }
+    }
+}
+
+impl std::fmt::Display for InterpTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}x{} grid, {} workgroup(s) x {} iter(s): {} stage(s), {} gather(s), {} flop(s), {} writeback(s)",
+            self.grid.0,
+            self.grid.1,
+            self.workgroups,
+            self.main_iters_per_workgroup,
+            self.shared_stages,
+            self.gather_loads,
+            self.flops,
+            self.writebacks
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::device::a100_80g;
+
+    fn trace(workgroups: usize) -> InterpTrace {
+        InterpTrace {
+            grid: (workgroups, 1),
+            workgroups,
+            main_iters_per_workgroup: 4,
+            prologue_fills: workgroups,
+            shared_stages: workgroups * 4,
+            gather_loads: 0,
+            flops: 0,
+            writebacks: 0,
+            epilogues: workgroups,
+        }
+    }
+
+    #[test]
+    fn small_grids_are_one_wave() {
+        let dev = a100_80g();
+        let res = BlockResources {
+            threads: 128,
+            regs_per_thread: 64,
+            smem_bytes: 32 * 1024,
+        };
+        let pc = trace(4).phase_counts(&dev, &res);
+        assert_eq!(pc.waves, 1);
+        assert_eq!(pc.prologue, 1);
+        assert_eq!(pc.main_loop, 1);
+        assert_eq!(pc.epilogue, 1);
+    }
+
+    #[test]
+    fn huge_grids_take_multiple_waves() {
+        let dev = a100_80g();
+        let res = BlockResources {
+            threads: 128,
+            regs_per_thread: 64,
+            smem_bytes: 32 * 1024,
+        };
+        let occ = occupancy(&dev, &res);
+        let capacity = occ.blocks_per_sm * dev.sm_count;
+        let pc = trace(capacity * 3 + 1).phase_counts(&dev, &res);
+        assert_eq!(pc.waves, 4);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = trace(2).to_string();
+        assert!(s.contains("2 workgroup(s)"));
+        assert!(s.contains("8 stage(s)"));
+    }
+}

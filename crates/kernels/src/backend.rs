@@ -46,6 +46,13 @@ use gpu_sim::device::DeviceConfig;
 use std::any::Any;
 use std::time::Instant;
 
+/// Environment variable naming the default execution backend
+/// ([`BackendKind::from_env`]): one of the [`BackendKind::name`]
+/// identifiers (`sim`, `cpu_v1`, `cpu_v2`, `cpu_v3`, `codegen`). An
+/// explicit [`SessionBuilder::backend`](crate::session::SessionBuilder::backend)
+/// call always wins over this variable.
+pub const BACKEND_ENV: &str = "NM_SPMM_BACKEND";
+
 /// Which execution backend to run a plan through.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BackendKind {
@@ -53,26 +60,34 @@ pub enum BackendKind {
     Sim,
     /// The native CPU ladder at the given optimization step.
     Cpu(NmVersion),
+    /// The WGSL code-generation backend: the plan lowered to a validated
+    /// compute shader, executed by the deterministic interpreter
+    /// ([`crate::codegen::CodegenBackend`]).
+    Codegen,
 }
 
 impl BackendKind {
-    /// Every backend, simulator first, then the CPU ladder in step order.
-    pub fn all() -> [BackendKind; 4] {
+    /// Every backend: simulator first, the CPU ladder in step order,
+    /// then the codegen path.
+    pub fn all() -> [BackendKind; 5] {
         [
             BackendKind::Sim,
             BackendKind::Cpu(NmVersion::V1),
             BackendKind::Cpu(NmVersion::V2),
             BackendKind::Cpu(NmVersion::V3),
+            BackendKind::Codegen,
         ]
     }
 
-    /// Stable identifier (`sim`, `cpu_v1`, `cpu_v2`, `cpu_v3`).
+    /// Stable identifier (`sim`, `cpu_v1`, `cpu_v2`, `cpu_v3`,
+    /// `codegen`).
     pub fn name(&self) -> &'static str {
         match self {
             BackendKind::Sim => "sim",
             BackendKind::Cpu(NmVersion::V1) => "cpu_v1",
             BackendKind::Cpu(NmVersion::V2) => "cpu_v2",
             BackendKind::Cpu(NmVersion::V3) => "cpu_v3",
+            BackendKind::Codegen => "codegen",
         }
     }
 
@@ -86,12 +101,29 @@ impl BackendKind {
             })
     }
 
+    /// The backend requested through the [`BACKEND_ENV`] environment
+    /// variable: `None` when unset or empty, the parsed kind otherwise.
+    ///
+    /// # Errors
+    /// [`NmError::Persist`] when the variable holds an unrecognized
+    /// backend name — validated up front, exactly like `NM_SPMM_ISA` and
+    /// `NM_SPMM_STORAGE`, so a typo can never silently run on the wrong
+    /// substrate.
+    pub fn from_env() -> Result<Option<Self>> {
+        match std::env::var(BACKEND_ENV) {
+            Ok(v) if v.is_empty() => Ok(None),
+            Ok(v) => Self::from_name(&v).map(Some),
+            Err(_) => Ok(None),
+        }
+    }
+
     /// Box the backend this selector names, with default micro-kernel
     /// dispatch (the CPU ladder selects its ISA per preparation).
     pub fn instantiate(&self) -> Box<dyn ExecBackend> {
         match self {
             BackendKind::Sim => Box::new(SimBackend),
             BackendKind::Cpu(v) => Box::new(CpuBackend::new(*v)),
+            BackendKind::Codegen => Box::new(crate::codegen::CodegenBackend::new()),
         }
     }
 }
@@ -103,6 +135,7 @@ impl std::fmt::Display for BackendKind {
             BackendKind::Cpu(NmVersion::V1) => "native CPU V1",
             BackendKind::Cpu(NmVersion::V2) => "native CPU V2",
             BackendKind::Cpu(NmVersion::V3) => "native CPU V3",
+            BackendKind::Codegen => "WGSL codegen",
         })
     }
 }
@@ -492,8 +525,12 @@ mod tests {
             );
             assert!(run.wall_seconds > 0.0, "{kind}: wall clock must tick");
             assert_eq!(run.backend, kind);
-            assert_eq!(run.stats.is_some(), kind == BackendKind::Sim);
-            assert_eq!(run.report.is_some(), kind == BackendKind::Sim);
+            // The simulator and the codegen interpreter both account
+            // events and produce a timing-model report; the native CPU
+            // ladder does neither.
+            let accounted = kind == BackendKind::Sim || kind == BackendKind::Codegen;
+            assert_eq!(run.stats.is_some(), accounted);
+            assert_eq!(run.report.is_some(), accounted);
             // The CPU backend reports which micro-kernel ISA ran; the
             // simulator has none. Whatever was selected must be a
             // host-supported ISA — dispatch can never name an ISA the

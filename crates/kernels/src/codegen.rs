@@ -1,0 +1,618 @@
+//! The `codegen` execution backend: plans lowered to WGSL through
+//! `nm-gpu`, executed by its deterministic shader interpreter.
+//!
+//! This is the third [`ExecBackend`]: where
+//! [`SimBackend`](crate::backend::SimBackend) models a launch and
+//! [`CpuBackend`](crate::backend::CpuBackend) runs the ladder natively,
+//! this backend *generates the GPU kernel* — a complete WGSL compute
+//! shader lowered from the plan's blocking, the N:M config and the
+//! staged storage format — validates it, and executes its tile walk on
+//! the host, workgroup by workgroup.
+//!
+//! ## The twin-preparation contract
+//!
+//! A [`CodegenPrepared`] wraps an ordinary V3 [`CpuPrepared`] twin and
+//! derives every shader binding from the *same clamped geometry and the
+//! same fast/general classification* the CPU kernel uses:
+//!
+//! * the gather table holds the pre-resolved absolute dense-k indices
+//!   (`u/N·M + D[u][jw]`) — the sliced staging's trick, applied
+//!   uniformly;
+//! * column groups mirror the staging's grid-x decomposition: one group
+//!   per column block (row-major) or per SELL-C-σ slice (sliced, spans
+//!   in permuted order with original-column write-back);
+//! * the per-`(span, k-block)` fast flags replicate the CPU panel
+//!   classification bit for bit (the sliced twin's op-flavor map is
+//!   reused verbatim), so the interpreter chooses FMA vs
+//!   zero-skipping mul-add exactly where the CPU kernel does.
+//!
+//! That is what makes the parity guarantee *trace-level*: the
+//! interpreter's output is bit-identical to `cpu_v3`, and its phase
+//! structure (workgroups folded into waves by the simulator's own
+//! occupancy model) matches the [`gpu_sim::ExecutionTrace`] of the
+//! equivalent simulated launch.
+
+use nm_core::error::{NmError, Result};
+use nm_core::matrix::MatrixF32;
+use nm_core::sparse::NmSparseMatrix;
+
+use crate::backend::{BackendKind, ExecBackend, ExecRun, PreparedState};
+use crate::cpu::{CpuPrepared, CpuTiling};
+use crate::nm::NmVersion;
+use crate::plan::{KernelChoice, Plan};
+use crate::simd::{Isa, MicroKernel, NW};
+use gpu_sim::device::DeviceConfig;
+use gpu_sim::occupancy::BlockResources;
+use gpu_sim::timing::{estimate, KernelProfile, PipelineMode};
+use gpu_sim::{ExecutionTrace, KernelStats, LaunchReport, PhaseCounts};
+use nm_gpu::{
+    emit_wgsl, interpret, lower, validate_wgsl, ColumnGroup, InterpTrace, KernelBindings,
+    KernelFamily, KernelIr, KernelSpec, ValidateOptions, WindowSpan,
+};
+use std::any::Any;
+use std::time::Instant;
+
+/// Registers the timing model charges each generated-kernel thread —
+/// the register budget of the paper's hand-written kernels; the emitted
+/// WGSL has the same live-value footprint (accumulator lane + staged
+/// operands).
+const REGS_PER_THREAD: usize = 64;
+
+fn foreign_state_error() -> NmError {
+    NmError::InvalidConfig {
+        reason: "prepared state was not produced by the codegen backend \
+                 (prepare and run_prepared must use the same backend)"
+            .into(),
+    }
+}
+
+/// The kernel family a plan lowers to: the plan's ladder choice, except
+/// that decode-class shapes take the skinny-row family (the 1-row rung
+/// of the ladder, single-row register tiles).
+pub fn family_for_plan(plan: &Plan) -> KernelFamily {
+    if plan.key.shape.is_decode() {
+        KernelFamily::SkinnyDecode
+    } else {
+        match plan.choice.nm_version().unwrap_or(NmVersion::V3) {
+            NmVersion::V1 => KernelFamily::V1,
+            NmVersion::V2 => KernelFamily::V2,
+            NmVersion::V3 => KernelFamily::V3,
+        }
+    }
+}
+
+/// The offline product of the codegen backend: the V3 twin preparation,
+/// the lowered IR, the emitted-and-validated WGSL, and the interpreter's
+/// binding tables — everything derived from the weights alone.
+pub struct CodegenPrepared {
+    twin: CpuPrepared,
+    ir: KernelIr,
+    wgsl: String,
+    b: Vec<f32>,
+    gather: Vec<u32>,
+    groups: Vec<ColumnGroup>,
+    fast: Vec<bool>,
+    q: usize,
+}
+
+impl CodegenPrepared {
+    /// Lower, emit and validate the kernel for `(plan, sb)` on top of an
+    /// already-staged V3 twin preparation.
+    fn build(plan: &Plan, sb: &NmSparseMatrix, twin: CpuPrepared) -> Result<Self> {
+        let cfg = sb.cfg();
+        let (w, n, k, q) = (sb.w(), sb.cols(), sb.k(), sb.q());
+        let tiling = twin.tiling();
+        let family = family_for_plan(plan);
+
+        // Binding tables shared by every family and storage format.
+        let b = sb.values().as_slice().to_vec();
+        let d = sb.indices();
+        let mut gather = Vec::with_capacity(w * q);
+        for u in 0..w {
+            let base = u / cfg.n * cfg.m;
+            for jw in 0..q {
+                gather.push((base + d.get(u, jw) as usize) as u32);
+            }
+        }
+
+        // Grid decomposition + fast flags, per storage format.
+        let (groups, fast, group_count, staged_kblocks) =
+            if let Some((sm, flags, _ub, kblocks)) = twin.sliced_parts() {
+                let mut groups = Vec::with_capacity(sm.slices());
+                for s in 0..sm.slices() {
+                    let mut spans = Vec::new();
+                    let mut col_off = 0u32;
+                    for pos in sm.slice_windows(s) {
+                        let (col, lw) = sm.span(pos);
+                        spans.push(WindowSpan {
+                            window: sm.perm().perm[pos] as u32,
+                            col: col as u32,
+                            width: lw as u32,
+                            strip_off: col_off,
+                        });
+                        col_off += lw as u32;
+                    }
+                    groups.push(ColumnGroup { spans });
+                }
+                let count = groups.len();
+                // The twin's op-flavor map is already keyed by permuted
+                // position — exactly this span order.
+                (groups, flags.to_vec(), count, kblocks)
+            } else {
+                let (nb, ub, jblocks, kblocks) = twin
+                    .rowmajor_geometry()
+                    .expect("a preparation is either sliced or row-major");
+                let mut groups = Vec::with_capacity(jblocks);
+                for jbi in 0..jblocks {
+                    let jb = jbi * nb;
+                    let jb_hi = (jb + nb).min(n);
+                    let j_lo = jb / cfg.l;
+                    let j_hi = jb_hi.div_ceil(cfg.l).min(q);
+                    let spans = (j_lo..j_hi)
+                        .map(|j| {
+                            let col = j * cfg.l;
+                            WindowSpan {
+                                window: j as u32,
+                                col: col as u32,
+                                width: ((col + cfg.l).min(n) - col) as u32,
+                                strip_off: (col - jb) as u32,
+                            }
+                        })
+                        .collect();
+                    groups.push(ColumnGroup { spans });
+                }
+                let fast = rowmajor_fast_flags(sb, nb, ub, kblocks, twin.is_packed());
+                (groups, fast, jblocks, kblocks)
+            };
+
+        let spec = KernelSpec {
+            family,
+            storage: twin.format(),
+            cfg,
+            n,
+            k,
+            w,
+            mb: tiling.mb,
+            nb: tiling.nb,
+            kb: tiling.kb,
+            groups: group_count,
+            packed: twin.is_packed(),
+            fma: twin.isa() != Isa::Scalar,
+        };
+        let ir = lower(&spec)?;
+        debug_assert_eq!(
+            ir.spec.kblocks(),
+            staged_kblocks,
+            "IR k-block count must equal the staged geometry's"
+        );
+        let wgsl = emit_wgsl(&ir);
+        // The emission gate: a malformed shader is a structured error at
+        // preparation time, never something a runtime would discover.
+        validate_wgsl(&wgsl, &ValidateOptions::default()).map_err(|e| NmError::InvalidConfig {
+            reason: format!("generated WGSL failed validation: {e}"),
+        })?;
+        Ok(Self {
+            twin,
+            ir,
+            wgsl,
+            b,
+            gather,
+            groups,
+            fast,
+            q,
+        })
+    }
+
+    /// The lowered kernel IR.
+    pub fn ir(&self) -> &KernelIr {
+        &self.ir
+    }
+
+    /// The generated (and validated) WGSL source.
+    pub fn wgsl(&self) -> &str {
+        &self.wgsl
+    }
+
+    /// The kernel spec this preparation lowered.
+    pub fn spec(&self) -> &KernelSpec {
+        &self.ir.spec
+    }
+
+    /// The interpreter's view of the binding tables.
+    pub fn bindings(&self) -> KernelBindings<'_> {
+        KernelBindings {
+            b: &self.b,
+            gather: &self.gather,
+            groups: &self.groups,
+            fast: &self.fast,
+            q: self.q,
+        }
+    }
+
+    /// The micro-kernel ISA the twin preparation dispatched to.
+    pub fn isa(&self) -> Isa {
+        self.twin.isa()
+    }
+
+    /// Execute the generated kernel over `a` through the shader
+    /// interpreter, after the same operand validation the CPU path runs.
+    ///
+    /// # Errors
+    /// [`NmError::DimensionMismatch`] when `a.cols() != sb.k()` or when
+    /// `sb` is not the operand this preparation was staged from.
+    pub fn execute(&self, a: &MatrixF32, sb: &NmSparseMatrix) -> Result<(MatrixF32, InterpTrace)> {
+        let (m, k) = a.shape();
+        if k != sb.k() {
+            return Err(NmError::DimensionMismatch {
+                expected: format!("A with k = {}", sb.k()),
+                found: format!("A is {m} x {k}"),
+            });
+        }
+        self.twin.validate_operand(sb)?;
+        let (c, trace) = interpret(&self.ir, &self.bindings(), a.as_slice(), m)?;
+        Ok((MatrixF32::from_vec(m, self.ir.spec.n, c), trace))
+    }
+
+    /// The block-resource shape of the generated kernel — what the
+    /// occupancy model folds workgroups into waves with.
+    pub fn resources(&self) -> BlockResources {
+        BlockResources {
+            threads: self.ir.threads() as usize,
+            regs_per_thread: REGS_PER_THREAD,
+            smem_bytes: self.ir.shared_bytes(),
+        }
+    }
+
+    /// The timing-model profile of one launch over `m` activation rows.
+    pub fn profile(&self, m: usize) -> KernelProfile {
+        let spec = &self.ir.spec;
+        let row_tiles = m.div_ceil(spec.mb).max(1);
+        let threads = self.ir.threads().max(1) as f64;
+        let ub = spec.ub();
+        // One FMA per thread-cycle; shared traffic at the micro-tile's
+        // reuse ratio. Coarse, but derived from the same geometry the
+        // interpreter walks, so grid/iteration structure is exact.
+        let macs_per_iter = (spec.mb * spec.nb * ub) as f64;
+        KernelProfile {
+            name: spec.name(),
+            grid: (self.groups.len(), row_tiles),
+            resources: self.resources(),
+            iters_per_block: spec.kblocks(),
+            comp_cycles_per_iter: macs_per_iter / threads,
+            lds_cycles_per_iter: macs_per_iter / threads / 4.0,
+            g2s_per_iter: gpu_sim::l2::BlockTraffic {
+                a_bytes: (spec.mb * spec.kb * 4) as f64,
+                bcol_bytes: (ub * spec.nb * 4) as f64,
+                private_bytes: 0.0,
+            },
+            dependent_load_chains: 1.0,
+            pipeline: if self.ir.buffers == 2 {
+                PipelineMode::DoubleBuffered
+            } else {
+                PipelineMode::Serial
+            },
+            inner_double_buffer: self.ir.buffers == 2,
+            stg_bytes_per_block: (spec.mb * spec.nb * 4) as f64,
+            useful_flops: 2.0 * m as f64 * spec.n as f64 * spec.w as f64,
+        }
+    }
+
+    /// The simulated launch report + timeline for an `m`-row launch.
+    ///
+    /// # Errors
+    /// Propagates the timing model's structured error for a degenerate
+    /// profile.
+    pub fn simulate(&self, dev: &DeviceConfig, m: usize) -> Result<(LaunchReport, ExecutionTrace)> {
+        let prof = self.profile(m);
+        let report = estimate(dev, &prof).map_err(|e| NmError::InvalidConfig {
+            reason: format!("timing model rejected the generated kernel's profile: {e}"),
+        })?;
+        let trace = ExecutionTrace::from_launch(dev, &prof, &report);
+        Ok((report, trace))
+    }
+
+    /// Trace-level parity check for an `m`-row launch: the interpreter's
+    /// phase structure and the simulator's, computed independently —
+    /// the interpreter folds the workgroups it actually walked through
+    /// the occupancy model; the simulator derives its timeline from the
+    /// profile. Equality is the acceptance criterion.
+    ///
+    /// # Errors
+    /// As [`CodegenPrepared::simulate`].
+    pub fn phase_parity(
+        &self,
+        dev: &DeviceConfig,
+        trace: &InterpTrace,
+        m: usize,
+    ) -> Result<(PhaseCounts, PhaseCounts)> {
+        let (_, sim_trace) = self.simulate(dev, m)?;
+        Ok((
+            trace.phase_counts(dev, &self.resources()),
+            sim_trace.phase_counts(),
+        ))
+    }
+
+    /// Event counts attributed from what the interpreter observed.
+    fn stats(&self, trace: &InterpTrace) -> KernelStats {
+        let shared_floats = self.ir.shared_floats as u64;
+        KernelStats {
+            ffma: trace.flops as u64 / 2,
+            ldg_bytes_a: trace.gather_loads as u64 * 4,
+            ldg_bytes_b: trace.gather_loads as u64 * 4,
+            ldg_bytes_d: self.gather.len() as u64 * 4,
+            ldg_bytes_colinfo: 0,
+            stg_bytes: trace.writebacks as u64 * 4,
+            ldg_sectors: (trace.gather_loads as u64 * 4).div_ceil(32),
+            lds_requests: trace.flops as u64 / 2 / 32,
+            lds_replays: 0,
+            sts_requests: trace.shared_stages as u64,
+            lds_bytes: trace.flops as u64 / 2 * 4,
+            sts_bytes: trace.shared_stages as u64 * shared_floats * 4,
+            barriers: (trace.shared_stages + trace.epilogues) as u64,
+            blocks: trace.workgroups as u64,
+            main_loop_iters: (trace.workgroups * trace.main_iters_per_workgroup) as u64,
+        }
+    }
+}
+
+/// Replicate the row-major panel classification per `(window, k-block)`:
+/// vectorized micro-tile versus general mul-add-with-zero-skip — the
+/// same predicate `run_panel` evaluates per block, flattened to windows
+/// (`fast[j * kblocks + bk]`).
+fn rowmajor_fast_flags(
+    sb: &NmSparseMatrix,
+    nb: usize,
+    ub: usize,
+    kblocks: usize,
+    packed: bool,
+) -> Vec<bool> {
+    let cfg = sb.cfg();
+    let (w, n, q, k) = (sb.w(), sb.cols(), sb.q(), sb.k());
+    let kb = ub * cfg.m / cfg.n;
+    let jblocks = n.div_ceil(nb);
+    let d = sb.indices();
+    let mut fast = vec![false; q * kblocks];
+    if !cfg.l.is_multiple_of(NW) {
+        return fast;
+    }
+    for jbi in 0..jblocks {
+        let jb = jbi * nb;
+        let jb_hi = (jb + nb).min(n);
+        if !(jb_hi - jb).is_multiple_of(cfg.l) {
+            continue;
+        }
+        let j_lo = jb / cfg.l;
+        let j_hi = jb_hi.div_ceil(cfg.l).min(q);
+        for bk in 0..kblocks {
+            let u_lo = bk * ub;
+            let u_hi = ((bk + 1) * ub).min(w);
+            let in_bounds = packed
+                || (bk + 1) * kb <= k
+                || (j_lo..j_hi)
+                    .all(|j| (u_lo..u_hi).all(|u| u / cfg.n * cfg.m + (d.get(u, j) as usize) < k));
+            if in_bounds {
+                for j in j_lo..j_hi {
+                    fast[j * kblocks + bk] = true;
+                }
+            }
+        }
+    }
+    fast
+}
+
+impl PreparedState for CodegenPrepared {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn isa(&self) -> Option<Isa> {
+        Some(self.twin.isa())
+    }
+
+    fn storage(&self) -> Option<nm_core::sliced::StorageFormat> {
+        Some(self.twin.format())
+    }
+}
+
+/// The WGSL code-generation backend.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CodegenBackend {
+    /// Explicit micro-kernel pin for the twin preparation, mirroring
+    /// [`CpuBackend::with_kernel`](crate::backend::CpuBackend::with_kernel).
+    kernel: Option<MicroKernel>,
+}
+
+impl CodegenBackend {
+    /// Backend with runtime ISA dispatch for the twin preparation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Backend pinned to an explicit micro-kernel (the ALU-mode pin:
+    /// scalar → twice-rounded mul/add, vector → FMA).
+    pub fn with_kernel(kernel: MicroKernel) -> Self {
+        Self {
+            kernel: Some(kernel),
+        }
+    }
+}
+
+impl ExecBackend for CodegenBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Codegen
+    }
+
+    /// The offline step: resolve tiles and storage exactly as the V3 CPU
+    /// backend would (measured evidence for V3 wins, cost-model
+    /// derivation otherwise), stage the twin preparation, then lower,
+    /// emit and validate the WGSL kernel.
+    fn prepare(
+        &self,
+        _dev: &DeviceConfig,
+        plan: &Plan,
+        sb: &NmSparseMatrix,
+    ) -> Result<Box<dyn PreparedState>> {
+        let cfg = sb.cfg();
+        let measured = plan
+            .measured
+            .as_ref()
+            .filter(|m| m.ladder_version == NmVersion::V3);
+        let measured_tiling = measured
+            .map(|m| m.cpu_tiling)
+            .filter(|t| t.nb.is_multiple_of(cfg.l) && t.kb.is_multiple_of(cfg.m));
+        let tiling = match measured_tiling {
+            Some(t) => t,
+            None => CpuTiling::derive(plan.params, cfg, sb.k())?,
+        };
+        let format = measured.map(|m| m.storage).unwrap_or(plan.key.storage);
+        let twin = match self.kernel {
+            Some(k) => CpuPrepared::with_format(NmVersion::V3, sb, tiling, k, format)?,
+            None => CpuPrepared::new_with_format(NmVersion::V3, sb, tiling, format)?,
+        };
+        Ok(Box::new(CodegenPrepared::build(plan, sb, twin)?))
+    }
+
+    /// The online step: interpret the generated kernel, then attach the
+    /// simulated report and event counts for the same launch — this
+    /// backend reports both real numerics *and* the model's opinion of
+    /// the kernel it generated.
+    fn run_prepared(
+        &self,
+        dev: &DeviceConfig,
+        plan: &Plan,
+        state: &dyn PreparedState,
+        a: &MatrixF32,
+        sb: &NmSparseMatrix,
+    ) -> Result<ExecRun> {
+        let Some(prep) = state.as_any().downcast_ref::<CodegenPrepared>() else {
+            return Err(foreign_state_error());
+        };
+        let t0 = Instant::now();
+        let (c, trace) = prep.execute(a, sb)?;
+        let wall_seconds = t0.elapsed().as_secs_f64();
+        let (report, _) = prep.simulate(dev, a.rows().max(1))?;
+        let estimate_family = match prep.ir.spec.family {
+            KernelFamily::V1 => KernelChoice::NmV1,
+            KernelFamily::V2 => KernelChoice::NmV2,
+            KernelFamily::V3 | KernelFamily::SkinnyDecode => KernelChoice::NmV3,
+        };
+        Ok(ExecRun {
+            c,
+            backend: BackendKind::Codegen,
+            wall_seconds,
+            estimate: plan.estimates.get(estimate_family),
+            isa: Some(prep.twin.isa()),
+            stats: Some(prep.stats(&trace)),
+            report: Some(report),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::CpuBackend;
+    use crate::plan::{Planner, ShapeClass};
+    use gpu_sim::device::a100_80g;
+    use nm_core::pattern::NmConfig;
+    use nm_core::sliced::{SlicedLayout, StorageFormat};
+    use nm_core::spmm::spmm_reference;
+
+    fn operand(cfg: NmConfig, k: usize, n: usize, seed: u64) -> NmSparseMatrix {
+        let b = MatrixF32::random(k, n, seed);
+        NmSparseMatrix::prune_magnitude(&b, cfg).unwrap()
+    }
+
+    #[test]
+    fn codegen_backend_is_bit_identical_to_cpu_v3() {
+        let dev = a100_80g();
+        let cfg = NmConfig::new(2, 8, 32).unwrap();
+        let plan = Planner::new(dev.clone()).plan(33, 144, 200, cfg).unwrap();
+        let sb = operand(cfg, 200, 144, 7);
+        let a = MatrixF32::random(33, 200, 8);
+
+        let cpu = CpuBackend::new(NmVersion::V3)
+            .run(&dev, &plan, &a, &sb)
+            .unwrap();
+        let gen = CodegenBackend::new().run(&dev, &plan, &a, &sb).unwrap();
+        assert_eq!(
+            cpu.c.as_slice(),
+            gen.c.as_slice(),
+            "interpreter must reproduce cpu_v3 bit for bit"
+        );
+        assert!(gen.c.allclose(&spmm_reference(&a, &sb), 1e-3, 1e-4));
+        assert!(gen.stats.is_some() && gen.report.is_some());
+        assert_eq!(gen.backend, BackendKind::Codegen);
+    }
+
+    #[test]
+    fn sliced_pin_generates_a_sliced_kernel_with_identical_numerics() {
+        let dev = a100_80g();
+        let cfg = NmConfig::new(2, 8, 16).unwrap();
+        let pin = StorageFormat::Sliced(SlicedLayout::DEFAULT);
+        let plan = Planner::new(dev.clone())
+            .plan_stored(ShapeClass::Prefill, pin, 13, 112, 72, cfg)
+            .unwrap();
+        let sb = operand(cfg, 72, 112, 9);
+        let a = MatrixF32::random(13, 72, 10);
+
+        let backend = CodegenBackend::new();
+        let state = backend.prepare(&dev, &plan, &sb).unwrap();
+        let prep = state.as_any().downcast_ref::<CodegenPrepared>().unwrap();
+        assert_eq!(prep.spec().storage, pin);
+        assert!(prep.wgsl().contains("sliced"));
+        let run = backend.run_prepared(&dev, &plan, &*state, &a, &sb).unwrap();
+        let cpu = CpuBackend::new(NmVersion::V3)
+            .run(&dev, &plan, &a, &sb)
+            .unwrap();
+        assert_eq!(cpu.c.as_slice(), run.c.as_slice());
+    }
+
+    #[test]
+    fn decode_plans_lower_to_the_skinny_family() {
+        let dev = a100_80g();
+        let cfg = NmConfig::new(2, 8, 32).unwrap();
+        let plan = Planner::new(dev.clone())
+            .plan_as(ShapeClass::Decode(1), 1, 128, 128, cfg)
+            .unwrap();
+        assert_eq!(family_for_plan(&plan), KernelFamily::SkinnyDecode);
+        let sb = operand(cfg, 128, 128, 11);
+        let a = MatrixF32::random(1, 128, 12);
+        let run = CodegenBackend::new().run(&dev, &plan, &a, &sb).unwrap();
+        let cpu = CpuBackend::new(NmVersion::V3)
+            .run(&dev, &plan, &a, &sb)
+            .unwrap();
+        assert_eq!(cpu.c.as_slice(), run.c.as_slice());
+    }
+
+    #[test]
+    fn phase_structure_matches_the_simulated_trace() {
+        let dev = a100_80g();
+        let cfg = NmConfig::new(2, 8, 32).unwrap();
+        let plan = Planner::new(dev.clone()).plan(96, 256, 192, cfg).unwrap();
+        let sb = operand(cfg, 192, 256, 13);
+        let a = MatrixF32::random(96, 192, 14);
+        let backend = CodegenBackend::new();
+        let state = backend.prepare(&dev, &plan, &sb).unwrap();
+        let prep = state.as_any().downcast_ref::<CodegenPrepared>().unwrap();
+        let (_, trace) = prep.execute(&a, &sb).unwrap();
+        let (ours, sim) = prep.phase_parity(&dev, &trace, 96).unwrap();
+        assert!(ours.matches(&sim), "interpreter {ours} vs simulator {sim}");
+    }
+
+    #[test]
+    fn foreign_operand_is_rejected() {
+        let dev = a100_80g();
+        let cfg = NmConfig::new(2, 8, 32).unwrap();
+        let plan = Planner::new(dev.clone()).plan(8, 64, 64, cfg).unwrap();
+        let sb = operand(cfg, 64, 64, 15);
+        let other = operand(cfg, 64, 64, 16);
+        let a = MatrixF32::random(8, 64, 17);
+        let backend = CodegenBackend::new();
+        let state = backend.prepare(&dev, &plan, &sb).unwrap();
+        let err = backend
+            .run_prepared(&dev, &plan, &*state, &a, &other)
+            .unwrap_err();
+        assert!(matches!(err, NmError::DimensionMismatch { .. }), "{err}");
+    }
+}

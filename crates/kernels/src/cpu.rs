@@ -395,6 +395,60 @@ impl CpuPrepared {
             StagedFormat::Sliced(ss) => StorageFormat::Sliced(ss.sm.layout()),
         }
     }
+
+    /// Whether this preparation carries the `col_info` packed layout
+    /// (V2/V3 at high sparsity, row-major staging only).
+    pub(crate) fn is_packed(&self) -> bool {
+        self.packed.is_some()
+    }
+
+    /// The row-major staging's block geometry `(nb, ub, jblocks,
+    /// kblocks)`, or `None` for a sliced preparation. The codegen
+    /// backend lowers its kernel grid from exactly these numbers so the
+    /// generated shader walks the same blocks the CPU kernel does.
+    pub(crate) fn rowmajor_geometry(&self) -> Option<(usize, usize, usize, usize)> {
+        match &self.staged {
+            StagedFormat::RowMajor(s) => Some((s.nb, s.ub, s.jblocks, s.kblocks)),
+            StagedFormat::Sliced(_) => None,
+        }
+    }
+
+    /// The sliced staging's parts `(matrix, fast flags, ub, kblocks)`,
+    /// or `None` for a row-major preparation. The fast flags are the
+    /// op-flavor map, `fast[pos * kblocks + bk]` over permuted window
+    /// positions — the codegen backend re-uses them verbatim as its
+    /// per-span selector table.
+    pub(crate) fn sliced_parts(&self) -> Option<(&SlicedMatrix, &[bool], usize, usize)> {
+        match &self.staged {
+            StagedFormat::RowMajor(_) => None,
+            StagedFormat::Sliced(ss) => Some((&ss.sm, &ss.fast, ss.ub, ss.kblocks)),
+        }
+    }
+
+    /// Reject an operand this preparation was not staged from: shape or
+    /// config disagreement, or a *different* matrix with identical shape
+    /// and config (bounded content-fingerprint sample). Shared by every
+    /// execution path that accepts `(operand, preparation)` pairs.
+    pub(crate) fn validate_operand(&self, sb: &NmSparseMatrix) -> Result<()> {
+        if (self.cfg, self.w, self.n, self.k) != (sb.cfg(), sb.w(), sb.cols(), sb.k()) {
+            return Err(NmError::DimensionMismatch {
+                expected: format!(
+                    "the {}x{} {} operand prepared for",
+                    self.k, self.n, self.cfg
+                ),
+                found: format!("B′ for a {}x{} {} matrix", sb.k(), sb.cols(), sb.cfg()),
+            });
+        }
+        if self.content_fp != content_fingerprint(sb) {
+            return Err(NmError::DimensionMismatch {
+                expected: "the same B′ this preparation was staged from".into(),
+                found: "a different matrix with identical shape and config \
+                        (content fingerprint mismatch)"
+                    .into(),
+            });
+        }
+        Ok(())
+    }
 }
 
 /// Execute `C = A ⊛ (B′, D)` natively on the CPU at the given ladder step.
@@ -443,23 +497,7 @@ pub fn spmm_cpu_prepared(
             found: format!("A is {m} x {k}"),
         });
     }
-    if (prep.cfg, prep.w, prep.n, prep.k) != (sb.cfg(), sb.w(), sb.cols(), sb.k()) {
-        return Err(NmError::DimensionMismatch {
-            expected: format!(
-                "the {}x{} {} operand prepared for",
-                prep.k, prep.n, prep.cfg
-            ),
-            found: format!("B′ for a {}x{} {} matrix", sb.k(), sb.cols(), sb.cfg()),
-        });
-    }
-    if prep.content_fp != content_fingerprint(sb) {
-        return Err(NmError::DimensionMismatch {
-            expected: "the same B′ this preparation was staged from".into(),
-            found: "a different matrix with identical shape and config \
-                    (content fingerprint mismatch)"
-                .into(),
-        });
-    }
+    prep.validate_operand(sb)?;
 
     let n = sb.cols();
     let mut c = MatrixF32::zeros(m, n);

@@ -54,6 +54,11 @@
 //!   double-buffered staging + rayon row panels) whose tile sizes are
 //!   derived from the plan's auto-tuned blocking. This is the measured-
 //!   performance path the `bench_measured` harness sweeps.
+//! * [`codegen::CodegenBackend`] — the plan lowered to a **generated
+//!   WGSL compute shader** through the `nm-gpu` crate (typed shader IR →
+//!   validated WGSL → deterministic host interpretation), bit-identical
+//!   to the V3 CPU ladder and phase-matched against the simulator's
+//!   launch timeline.
 //!
 //! Plans record their [`plan::Provenance`]: the analytic cost model, or
 //! **measurement** — [`measure`](mod@measure) is a short-run harness that times the
@@ -75,6 +80,7 @@
 
 pub mod autotune;
 pub mod backend;
+pub mod codegen;
 pub mod common;
 pub mod cpu;
 pub mod dense;
@@ -90,7 +96,8 @@ pub mod sparse_tc;
 pub mod sputnik;
 
 pub use autotune::{tune, TuneResult};
-pub use backend::{BackendKind, CpuBackend, ExecBackend, ExecRun, SimBackend};
+pub use backend::{BackendKind, CpuBackend, ExecBackend, ExecRun, SimBackend, BACKEND_ENV};
+pub use codegen::{CodegenBackend, CodegenPrepared};
 pub use cpu::{spmm_cpu, spmm_cpu_prepared, spmv_cpu_prepared, CpuPrepared, CpuTiling};
 pub use dense::DenseGemmKernel;
 pub use engine::{CacheStats, Engine};

@@ -263,11 +263,26 @@ pub fn tiling_candidates(plan: &Plan, sb: &NmSparseMatrix, variants: bool) -> Ve
 /// lane) measures that format only — the pin is the user's call, the
 /// harness merely finds the best tiling × version for it. On the auto lane,
 /// decode-class keys compare row-major against the SELL-C-σ sliced grid
-/// (`C ∈ {4, 8, 32}`, `σ ∈ {1, C, 4·C}`); every other shape class stays
-/// row-major (the prefill staging path is already column-panel
-/// contiguous, so slicing has nothing to sell there). Row-major
-/// enumerates first so timing ties keep the simpler format.
+/// (`C ∈ {4, 8, 32}`, `σ ∈ {1, C, 4·C}`); prefill-class keys stay
+/// row-major by default (the prefill staging path is already column-panel
+/// contiguous, so slicing rarely has anything to sell there) **unless**
+/// `NM_SPMM_STORAGE` pins a sliced layout, in which case that one layout
+/// joins the prefill grid so the harness can measure it against row-major
+/// instead of trusting the pin blindly. Row-major enumerates first so
+/// timing ties keep the simpler format.
 pub fn format_candidates(plan: &Plan) -> Vec<StorageFormat> {
+    // The env value was already strictly validated when the session was
+    // built; a malformed value here (direct harness use) simply means no
+    // extra prefill candidate.
+    format_candidates_with(plan, StorageFormat::from_env().ok().flatten())
+}
+
+/// [`format_candidates`] with the environment pin passed explicitly —
+/// the testable core.
+pub(crate) fn format_candidates_with(
+    plan: &Plan,
+    env_pin: Option<StorageFormat>,
+) -> Vec<StorageFormat> {
     if plan.key.storage.is_sliced() {
         return vec![plan.key.storage];
     }
@@ -281,6 +296,10 @@ pub fn format_candidates(plan: &Plan) -> Vec<StorageFormat> {
                 }
             }
         }
+    } else if let Some(f) = env_pin.filter(|f| f.is_sliced()) {
+        // Prefill auto lane: admit the env-pinned sliced layout as a
+        // measured candidate alongside row-major.
+        out.push(f);
     }
     out
 }
@@ -522,9 +541,28 @@ mod tests {
         }
         assert_eq!(formats, format_candidates(&decode), "deterministic");
 
-        // Prefill keys stay row-major only.
+        // Prefill keys stay row-major only (no env pin in this process).
         let prefill = planner.plan(64, 128, 128, cfg).unwrap();
-        assert_eq!(format_candidates(&prefill), vec![StorageFormat::RowMajor]);
+        assert_eq!(
+            format_candidates_with(&prefill, None),
+            vec![StorageFormat::RowMajor]
+        );
+        // A sliced env pin joins the prefill grid behind row-major; a
+        // row-major pin adds nothing.
+        let pin = StorageFormat::Sliced(SlicedLayout::DEFAULT);
+        assert_eq!(
+            format_candidates_with(&prefill, Some(pin)),
+            vec![StorageFormat::RowMajor, pin],
+            "env-pinned sliced layout must be measured on prefill too"
+        );
+        assert_eq!(
+            format_candidates_with(&prefill, Some(StorageFormat::RowMajor)),
+            vec![StorageFormat::RowMajor]
+        );
+        // Decode grids and plan-key pins ignore the env value — the grid
+        // already covers sliced layouts, and a key pin is the user's call.
+        let decode_with_env = format_candidates_with(&decode, Some(pin));
+        assert_eq!(decode_with_env, format_candidates_with(&decode, None));
 
         // A pinned sliced plan measures exactly its pin.
         let pin = StorageFormat::Sliced(SlicedLayout::DEFAULT);

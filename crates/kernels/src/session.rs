@@ -37,6 +37,17 @@
 //! ISA dispatch) is paid once in `load` and never again, mirroring how
 //! the paper excludes its pre-processing from kernel time.
 //!
+//! ## Environment-override precedence
+//!
+//! Several defaults can be steered from the environment: `NM_SPMM_BACKEND`
+//! (default backend), `NM_SPMM_STORAGE` (storage-format pin),
+//! `NM_SPMM_AUTOTUNE` (measured autotuning), and — inside the micro-kernel
+//! dispatch — `NM_SPMM_ISA` / `NM_SPMM_FORCE_SCALAR`. The rule is uniform:
+//! **an explicit builder call always beats the environment variable**, and
+//! the variable beats the built-in default. Every variable is strictly
+//! validated (an unrecognized value is a structured build error, never a
+//! silent fallback). The precedence is pinned by `tests/env_overrides.rs`.
+//!
 //! ## Concurrency
 //!
 //! [`PreparedLayer`] is `Send + Sync`: one prepared handle can serve
@@ -81,7 +92,7 @@ use std::sync::Arc;
 #[derive(Debug)]
 pub struct SessionBuilder {
     device: DeviceConfig,
-    backend: BackendKind,
+    backend: Option<BackendKind>,
     isa: Option<Isa>,
     kernel: Option<MicroKernel>,
     threads: Option<usize>,
@@ -91,14 +102,14 @@ pub struct SessionBuilder {
 }
 
 impl SessionBuilder {
-    /// A builder for `device` with the defaults: native CPU V3 backend,
-    /// runtime micro-kernel dispatch, uncapped workers, in-memory plan
-    /// cache, measured autotuning off (unless `NM_SPMM_AUTOTUNE` says
-    /// otherwise).
+    /// A builder for `device` with the defaults: native CPU V3 backend
+    /// (unless `NM_SPMM_BACKEND` says otherwise), runtime micro-kernel
+    /// dispatch, uncapped workers, in-memory plan cache, measured
+    /// autotuning off (unless `NM_SPMM_AUTOTUNE` says otherwise).
     pub fn new(device: DeviceConfig) -> Self {
         Self {
             device,
-            backend: BackendKind::Cpu(NmVersion::V3),
+            backend: None,
             isa: None,
             kernel: None,
             threads: None,
@@ -110,8 +121,13 @@ impl SessionBuilder {
 
     /// The default backend layers are loaded on ([`Session::load`]);
     /// [`Session::load_on`] overrides it per layer.
+    ///
+    /// Precedence: an explicit call here **always beats** the
+    /// `NM_SPMM_BACKEND` environment variable, which in turn beats the
+    /// built-in default (`cpu_v3`) — the same explicit-beats-environment
+    /// rule every `NM_SPMM_*` override follows (see the module docs).
     pub fn backend(mut self, backend: BackendKind) -> Self {
-        self.backend = backend;
+        self.backend = Some(backend);
         self
     }
 
@@ -186,9 +202,18 @@ impl SessionBuilder {
     /// an unrecognized mode, or `NM_SPMM_STORAGE` holds an unrecognized
     /// storage format (both strictly validated, like `NM_SPMM_ISA` —
     /// never a silent fallback), and
-    /// [`NmError::Persist`] when the plan-cache file exists but cannot be
-    /// parsed.
+    /// [`NmError::Persist`] when `NM_SPMM_BACKEND` names an unknown
+    /// backend or the plan-cache file exists but cannot be parsed.
+    ///
+    /// Environment overrides (`NM_SPMM_BACKEND`, `NM_SPMM_STORAGE`,
+    /// `NM_SPMM_AUTOTUNE`) are consulted **only** for settings the
+    /// builder was not explicitly given — explicit builder calls always
+    /// win (tested in `tests/env_overrides.rs`).
     pub fn build(self) -> Result<Session> {
+        let backend = match self.backend {
+            Some(b) => b,
+            None => BackendKind::from_env()?.unwrap_or(BackendKind::Cpu(NmVersion::V3)),
+        };
         let kernel = match (self.kernel, self.isa) {
             (Some(k), _) => Some(k),
             (None, Some(isa)) => Some(MicroKernel::for_isa(isa)?),
@@ -215,7 +240,7 @@ impl SessionBuilder {
         };
         Ok(Session {
             engine,
-            backend: self.backend,
+            backend,
             kernel,
             autotune,
             storage,
@@ -777,9 +802,11 @@ impl PreparedLayer {
             }
         }
         let routing = match self.backend.kind() {
-            BackendKind::Cpu(NmVersion::V1) | BackendKind::Cpu(NmVersion::V2) => {
-                BatchRouting::ParallelAcross
-            }
+            // The codegen interpreter walks its workgroups on the calling
+            // thread, so like CPU V1/V2 it benefits from batch fan-out.
+            BackendKind::Cpu(NmVersion::V1)
+            | BackendKind::Cpu(NmVersion::V2)
+            | BackendKind::Codegen => BatchRouting::ParallelAcross,
             // CPU V3 and the simulated kernels parallelize inside each
             // call; batch-level fan-out on top would nest thread pools.
             _ => BatchRouting::SerialWithin,
@@ -976,9 +1003,10 @@ mod tests {
             );
             assert_eq!(run.isa, layer.isa());
         }
-        // One shape class: a single planning miss, then three cache hits.
+        // One shape class: a single planning miss, then a cache hit for
+        // every further backend.
         let st = s.stats();
-        assert_eq!((st.entries, st.hits, st.misses), (1, 3, 1));
+        assert_eq!((st.entries, st.hits, st.misses), (1, 4, 1));
     }
 
     #[test]

@@ -5,6 +5,9 @@
 //! * [`core`] — N:M vector-wise format, pruning, compression,
 //!   offline pre-processing and the parallel CPU kernels,
 //! * [`sim`] — the GPGPU simulator substrate,
+//! * [`gpu`] — the WGSL code-generation subsystem: typed shader IR,
+//!   emitter + validator, and the deterministic host interpreter the
+//!   `codegen` backend executes through,
 //! * [`kernels`] — simulated GPU kernels (dense GEMM, NM-SpMM
 //!   V1/V2/V3, nmSPARSE, Sputnik) and the **prepared-session API**
 //!   (`SessionBuilder` → `Session::load_with` → `PreparedLayer::forward`),
@@ -22,6 +25,7 @@
 pub use gpu_sim as sim;
 pub use nm_analysis as analysis;
 pub use nm_core as core;
+pub use nm_gpu as gpu;
 pub use nm_kernels as kernels;
 pub use nm_serve as serve;
 pub use nm_workloads as workloads;
